@@ -1,0 +1,518 @@
+(* Experiment harness: regenerates the quantitative content of every result
+   in the paper (DESIGN.md's E1..E10) and, under "timing", runs Bechamel
+   wall-clock benchmarks of each protocol.
+
+   Usage:
+     dune exec bench/main.exe            # all experiment tables + timing
+     dune exec bench/main.exe -- e4 e7   # selected tables
+     dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks only *)
+
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+module LB = Anonet.Lower_bounds
+module Is = Intervals.Iset
+
+let pf = Printf.printf
+
+let header id title =
+  pf "\n================================================================\n";
+  pf "%s  %s\n" id title;
+  pf "================================================================\n"
+
+let log2f x = log (float_of_int x) /. log 2.0
+
+let outcome_str = function
+  | E.Terminated -> "terminated"
+  | E.Quiescent -> "quiescent"
+  | E.Step_limit -> "step-limit"
+
+(* Average float-valued measurements over seeds. *)
+let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* {1 E1 — Theorem 3.1: grounded-tree broadcast upper bound} *)
+
+let e1 () =
+  header "E1" "Tree broadcast on random grounded trees (Thm 3.1: O(|E| log |E|))";
+  pf "%8s %8s %10s %14s %8s %12s\n" "n" "|E|" "bits" "bits/ElogE" "bw" "bw-log2E";
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let g =
+              F.random_grounded_tree (Prng.create (1000 + seed)) ~n ~t_edge_prob:0.3
+            in
+            let st = Anonet.broadcast_tree g in
+            assert (st.outcome = E.Terminated);
+            ( float_of_int (G.n_edges g),
+              float_of_int st.total_bits,
+              float_of_int st.max_edge_bits ))
+          [ 1; 2; 3 ]
+      in
+      let e = avg (List.map (fun (a, _, _) -> a) samples) in
+      let bits = avg (List.map (fun (_, b, _) -> b) samples) in
+      let bw = avg (List.map (fun (_, _, c) -> c) samples) in
+      pf "%8d %8.0f %10.0f %14.3f %8.1f %12.1f\n" n e bits
+        (bits /. (e *. (log e /. log 2.0)))
+        bw
+        (bw -. (log e /. log 2.0)))
+    [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+
+(* {1 E2 — Theorem 3.2: comb lower bound} *)
+
+let e2 () =
+  header "E2" "Comb G_n alphabet growth (Thm 3.2: Omega(|E| log |E|))";
+  pf "%8s %8s %10s %10s %14s %8s\n" "n" "|E|" "distinct" "bits" "bits/ElogE" "bw";
+  List.iter
+    (fun n ->
+      let r = LB.comb_symbols n in
+      pf "%8d %8d %10d %10d %14.3f %8d\n" n r.LB.edges r.LB.distinct_symbols
+        r.LB.total_bits
+        (float_of_int r.LB.total_bits
+        /. (float_of_int r.LB.edges *. log2f r.LB.edges))
+        r.LB.max_edge_bits)
+    [ 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+(* {1 E3 — Section 3.3: DAG broadcast upper bound} *)
+
+let e3 () =
+  header "E3" "DAG broadcast on random DAGs (Sec 3.3: O(|E|) bandwidth, one msg/edge)";
+  pf "%8s %8s %10s %10s %12s %12s\n" "n" "|E|" "msgs" "maxmsg" "maxmsg/E" "bits";
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let prng = Prng.create (2000 + seed) in
+            let g = F.random_dag prng ~n ~extra_edges:(2 * n) ~t_edge_prob:0.2 in
+            let r = Anonet.Dag_engine.run g in
+            assert (r.outcome = E.Terminated);
+            ( float_of_int (G.n_edges g),
+              float_of_int r.deliveries,
+              float_of_int r.max_message_bits,
+              float_of_int r.total_bits ))
+          [ 1; 2; 3 ]
+      in
+      let e = avg (List.map (fun (a, _, _, _) -> a) samples) in
+      let msgs = avg (List.map (fun (_, b, _, _) -> b) samples) in
+      let mm = avg (List.map (fun (_, _, c, _) -> c) samples) in
+      let bits = avg (List.map (fun (_, _, _, d) -> d) samples) in
+      pf "%8d %8.0f %10.0f %10.1f %12.4f %12.0f\n" n e msgs mm (mm /. e) bits)
+    [ 8; 16; 32; 64; 128; 256; 512 ]
+
+(* {1 E4 — Theorem 3.8: commodity-preserving lower bound} *)
+
+let e4 () =
+  header "E4" "Skeleton family, all subsets (Thm 3.8: 2^n distinct quantities)";
+  pf "%4s %10s %12s %10s %10s | %12s %10s\n" "n" "subsets" "distinct" "minbits"
+    "maxbits" "naive-dist" "naive-max";
+  List.iter
+    (fun n ->
+      let p = LB.skeleton_quantities_pow2 ~n in
+      let q = LB.skeleton_quantities_naive ~n in
+      pf "%4d %10d %12d %10d %10d | %12d %10d\n" n p.LB.subsets
+        p.LB.distinct_quantities p.LB.min_quantity_bits p.LB.max_quantity_bits
+        q.LB.distinct_quantities q.LB.max_quantity_bits)
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+(* {1 E5 — Theorems 4.2/4.3: general broadcast} *)
+
+let e5 () =
+  header "E5" "General broadcast on random digraphs (Thm 4.2: O(|E|^2 |V| log d))";
+  pf "%8s %8s %8s %10s %12s %10s %14s\n" "n" "|E|" "|V|" "msgs" "bits" "maxmsg"
+    "bits/E2VlogD";
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let prng = Prng.create (3000 + seed) in
+            let g =
+              F.random_digraph prng ~n ~extra_edges:n ~back_edges:(n / 4)
+                ~t_edge_prob:0.2
+            in
+            let st = Anonet.broadcast_general g in
+            assert (st.outcome = E.Terminated);
+            let e = float_of_int (G.n_edges g) in
+            let v = float_of_int (G.n_vertices g) in
+            let logd = Float.max 1.0 (log2f (G.max_out_degree g)) in
+            ( e,
+              v,
+              float_of_int st.deliveries,
+              float_of_int st.total_bits,
+              float_of_int st.max_message_bits,
+              float_of_int st.total_bits /. (e *. e *. v *. logd) ))
+          [ 1; 2; 3 ]
+      in
+      let pick f = avg (List.map f samples) in
+      pf "%8d %8.0f %8.0f %10.0f %12.0f %10.0f %14.6f\n" n
+        (pick (fun (e, _, _, _, _, _) -> e))
+        (pick (fun (_, v, _, _, _, _) -> v))
+        (pick (fun (_, _, m, _, _, _) -> m))
+        (pick (fun (_, _, _, b, _, _) -> b))
+        (pick (fun (_, _, _, _, mm, _) -> mm))
+        (pick (fun (_, _, _, _, _, r) -> r)))
+    [ 8; 16; 32; 64; 128; 256 ]
+
+(* {1 E6 — Theorem 5.1: labeling} *)
+
+let e6 () =
+  header "E6" "Labeling on random digraphs (Thm 5.1: labels O(|V| log d) bits)";
+  pf "%8s %8s %8s %12s %12s %14s\n" "n" "|E|" "|V|" "bits" "maxlabel" "maxlbl/VlogD";
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let prng = Prng.create (4000 + seed) in
+            let g =
+              F.random_digraph prng ~n ~extra_edges:n ~back_edges:(n / 4)
+                ~t_edge_prob:0.2
+            in
+            let st, labels = Anonet.assign_labels g in
+            assert (st.outcome = E.Terminated);
+            let max_label =
+              Array.fold_left (fun acc l -> max acc (Is.size_bits l)) 0 labels
+            in
+            let v = float_of_int (G.n_vertices g) in
+            let logd = Float.max 1.0 (log2f (G.max_out_degree g)) in
+            ( float_of_int (G.n_edges g),
+              v,
+              float_of_int st.total_bits,
+              float_of_int max_label,
+              float_of_int max_label /. (v *. logd) ))
+          [ 1; 2; 3 ]
+      in
+      let pick f = avg (List.map f samples) in
+      pf "%8d %8.0f %8.0f %12.0f %12.1f %14.4f\n" n
+        (pick (fun (e, _, _, _, _) -> e))
+        (pick (fun (_, v, _, _, _) -> v))
+        (pick (fun (_, _, b, _, _) -> b))
+        (pick (fun (_, _, _, ml, _) -> ml))
+        (pick (fun (_, _, _, _, r) -> r)))
+    [ 8; 16; 32; 64; 128; 256 ]
+
+(* {1 E7 — Theorem 5.2: label lower bound} *)
+
+let e7 () =
+  header "E7" "Pruned trees (Thm 5.2: Omega(h log d)-bit labels on h+3 vertices)";
+  pf "%8s %8s %10s %12s %18s\n" "height" "degree" "vertices" "labelbits"
+    "bits/(h*log(d+1))";
+  List.iter
+    (fun (h, d) ->
+      let r = LB.pruned_label ~height:h ~degree:d in
+      pf "%8d %8d %10d %12d %18.3f\n" h d r.LB.vertices r.LB.label_bits
+        (float_of_int r.LB.label_bits /. (float_of_int h *. log2f (d + 1))))
+    [
+      (2, 2); (4, 2); (8, 2); (16, 2); (32, 2); (64, 2);
+      (8, 4); (8, 8); (8, 16); (8, 32);
+      (16, 8); (32, 8);
+    ];
+  pf "\nPruning argument check (full-tree leaf label = pruned-tree leaf label):\n";
+  List.iter
+    (fun (h, d) ->
+      let full_l, pruned_l = LB.full_vs_pruned_leaf_labels ~height:h ~degree:d in
+      pf "  h=%d d=%d  equal=%b  label=%s\n" h d (Is.equal full_l pruned_l)
+        (Is.to_string pruned_l))
+    [ (2, 2); (3, 2); (4, 2); (2, 3); (3, 3); (2, 4) ]
+
+(* {1 E8 — mapping} *)
+
+let e8 () =
+  header "E8" "Topology mapping on random digraphs (Sec 6 extension)";
+  pf "%8s %8s %12s %12s %10s %12s\n" "n" "|E|" "label-bits" "map-bits" "overhead"
+    "isomorphic";
+  List.iter
+    (fun n ->
+      let prng = Prng.create (5000 + n) in
+      let g =
+        F.random_digraph prng ~n ~extra_edges:n ~back_edges:(n / 4) ~t_edge_prob:0.2
+      in
+      let lst, _ = Anonet.assign_labels g in
+      let mst, map = Anonet.map_network g in
+      let iso =
+        match map with Ok m -> Anonet.Mapping.map_isomorphic m g | Error _ -> false
+      in
+      pf "%8d %8d %12d %12d %9.1fx %12b\n" n (G.n_edges g) lst.total_bits
+        mst.total_bits
+        (float_of_int mst.total_bits /. float_of_int (max 1 lst.total_bits))
+        iso)
+    [ 8; 16; 32; 64; 128 ]
+
+(* {1 E9 — splitting-rule ablation} *)
+
+let e9 () =
+  header "E9" "Ablation: power-of-two vs naive x/d splitting (Sec 3.1)";
+  pf "%8s %8s %12s %12s %10s %10s\n" "n" "|E|" "pow2-bits" "naive-bits" "pow2-bw"
+    "naive-bw";
+  List.iter
+    (fun n ->
+      let g = F.random_grounded_tree (Prng.create (6000 + n)) ~n ~t_edge_prob:0.3 in
+      let a = Anonet.broadcast_tree g in
+      let b = Anonet.broadcast_tree_naive g in
+      pf "%8d %8d %12d %12d %10d %10d\n" n (G.n_edges g) a.total_bits b.total_bits
+        a.max_edge_bits b.max_edge_bits)
+    [ 16; 32; 64; 128; 256; 512; 1024 ]
+
+(* {1 E10 — scheduler ablation} *)
+
+let e10 () =
+  header "E10" "Ablation: asynchronous schedules (correctness is schedule-free)";
+  let prng = Prng.create 777 in
+  let g =
+    F.random_digraph prng ~n:100 ~extra_edges:100 ~back_edges:25 ~t_edge_prob:0.2
+  in
+  pf "network: |V|=%d |E|=%d\n" (G.n_vertices g) (G.n_edges g);
+  pf "%16s %12s %10s %12s %10s\n" "scheduler" "outcome" "msgs" "bits" "maxmsg";
+  List.iter
+    (fun (name, sch) ->
+      let st = Anonet.broadcast_general ~scheduler:sch g in
+      pf "%16s %12s %10d %12d %10d\n" name (outcome_str st.outcome) st.deliveries
+        st.total_bits st.max_message_bits)
+    [
+      ("fifo", Runtime.Scheduler.Fifo);
+      ("lifo", Runtime.Scheduler.Lifo);
+      ("random-1", Runtime.Scheduler.Random (Prng.create 1));
+      ("random-2", Runtime.Scheduler.Random (Prng.create 2));
+      ("random-3", Runtime.Scheduler.Random (Prng.create 3));
+      ("starve-t", Runtime.Scheduler.Edge_priority (fun e -> -e));
+      ("rush-t", Runtime.Scheduler.Edge_priority (fun e -> e));
+    ]
+
+(* {1 E11 — synchronous time complexity} *)
+
+module Sync_general = Runtime.Sync_engine.Make (Anonet.General_broadcast)
+module Sync_tree = Runtime.Sync_engine.Make (Anonet.Tree_broadcast)
+
+let e11 () =
+  header "E11" "Synchronous rounds (Sec 2 extension: time complexity)";
+  pf "-- paths (rounds should be exactly depth = n+1) --\n";
+  pf "%8s %8s %8s\n" "n" "rounds" "msgs";
+  List.iter
+    (fun n ->
+      let r = Sync_tree.run (F.path n) in
+      assert (r.base.outcome = E.Terminated);
+      pf "%8d %8d %8d\n" n r.rounds r.base.deliveries)
+    [ 4; 16; 64; 256 ];
+  pf "\n-- random digraphs (general protocol; rounds ~ diameter-ish) --\n";
+  pf "%8s %8s %8s %8s %10s\n" "n" "|V|" "|E|" "rounds" "msgs";
+  List.iter
+    (fun n ->
+      let prng = Prng.create (7000 + n) in
+      let g =
+        F.random_digraph prng ~n ~extra_edges:n ~back_edges:(n / 4) ~t_edge_prob:0.2
+      in
+      let r = Sync_general.run g in
+      assert (r.base.outcome = E.Terminated);
+      pf "%8d %8d %8d %8d %10d\n" n (G.n_vertices g) (G.n_edges g) r.rounds
+        r.base.deliveries)
+    [ 16; 32; 64; 128; 256 ]
+
+(* {1 E12 — channel-fault ablation} *)
+
+let e12 () =
+  header "E12" "Ablation: channel faults (safety under drops and duplication)";
+  let trials = 60 in
+  let tally name run =
+    let term_ok = ref 0 and term_bad = ref 0 and quiescent = ref 0 in
+    for seed = 1 to trials do
+      let prng = Prng.create (8000 + seed) in
+      let g =
+        F.random_digraph prng ~n:20 ~extra_edges:10 ~back_edges:5 ~t_edge_prob:0.25
+      in
+      let outcome', visited = run seed g in
+      match outcome' with
+      | E.Terminated -> if visited then incr term_ok else incr term_bad
+      | E.Quiescent -> incr quiescent
+      | E.Step_limit -> ()
+    done;
+    pf "%34s %10d %12d %12d\n" name !term_ok !term_bad !quiescent
+  in
+  pf "%34s %10s %12s %12s   (over %d random digraphs)\n" "protocol+fault" "term-ok"
+    "FALSE-term" "no-term" trials;
+  let visited_of (r : _ E.report) = Array.for_all (fun v -> v) r.visited in
+  tally "general, drop 15%" (fun seed g ->
+      let faults = Runtime.Faults.create ~drop:0.15 ~seed () in
+      let r = Anonet.General_engine.run ~faults g in
+      (r.outcome, visited_of r));
+  tally "general, duplicate 30%" (fun seed g ->
+      let faults = Runtime.Faults.create ~duplicate:0.3 ~seed () in
+      let r = Anonet.General_engine.run ~faults g in
+      (r.outcome, visited_of r));
+  tally "mapping, duplicate 30%" (fun seed g ->
+      let faults = Runtime.Faults.create ~duplicate:0.3 ~seed () in
+      let r = Anonet.Mapping_engine.run ~faults g in
+      (r.outcome, visited_of r));
+  tally "tree(on its trees), duplicate 30%" (fun seed _g ->
+      let prng = Prng.create (9000 + seed) in
+      let g = F.random_grounded_tree prng ~n:20 ~t_edge_prob:0.3 in
+      let faults = Runtime.Faults.create ~duplicate:0.3 ~seed () in
+      let r = Anonet.Tree_engine.run ~faults g in
+      (r.outcome, visited_of r));
+  pf "\nReading: FALSE-term > 0 under duplication shows the exactly-once\n";
+  pf "channel assumption is load-bearing for every protocol except mapping,\n";
+  pf "whose per-edge adjacency facts gate termination; drops only ever\n";
+  pf "convert termination into no-termination (safety preserved).\n"
+
+(* {1 E13 — the exponential label gap (conclusion)} *)
+
+let e13 () =
+  header "E13" "Label-length gap: undirected O(log|V|) vs directed Omega(|V| log d)";
+  pf "%8s %18s %16s %8s\n" "|V|" "undirected-bits" "directed-bits" "ratio";
+  List.iter
+    (fun v ->
+      let n = v - 2 in
+      let g = F.bidirected_random (Prng.create (77 + n)) ~n ~extra_edges:n in
+      let r = Anonet.Undirected_engine.run g in
+      assert (r.outcome = E.Terminated);
+      let und =
+        List.fold_left
+          (fun acc w ->
+            match Anonet.Undirected_labeling.vertex_id r.states.(w) with
+            | Some i -> max acc (Bitio.Codes.gamma0_size i)
+            | None -> acc)
+          0 (G.internal_vertices g)
+      in
+      let dir = (LB.pruned_label ~height:(v - 3) ~degree:2).LB.label_bits in
+      pf "%8d %18d %16d %8.1f\n" v und dir (float_of_int dir /. float_of_int und))
+    [ 8; 16; 32; 64; 128; 256 ];
+  pf "\nBoth columns label a |V|-vertex anonymous network; the undirected\n";
+  pf "token walk has feedback (it can reply over the edge a message came\n";
+  pf "from), the directed pruned family cannot — the paper's exponential\n";
+  pf "gap (conclusion, Section 6) in one table.\n"
+
+(* {1 Power-law fits (printed after the sweeps)} *)
+
+let fits () =
+  header "FITS" "Measured power-law exponents vs the paper's bounds";
+  let tree_pts =
+    List.map
+      (fun n ->
+        let g = F.random_grounded_tree (Prng.create (1000 + n)) ~n ~t_edge_prob:0.3 in
+        let st = Anonet.broadcast_tree g in
+        (float_of_int (G.n_edges g), float_of_int st.total_bits))
+      [ 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+  in
+  let f = Metrics.loglog_fit tree_pts in
+  pf "E1 tree total bits ~ |E|^k      : k = %.3f (bound: 1 + o(1), R2=%.3f)\n"
+    f.Metrics.slope f.Metrics.r2;
+  let skel_pts =
+    List.map
+      (fun n ->
+        let r = LB.skeleton_quantities_pow2 ~n in
+        (float_of_int n, float_of_int r.LB.max_quantity_bits))
+      [ 2; 4; 6; 8; 10 ]
+  in
+  let f = Metrics.linear_fit skel_pts in
+  pf "E4 skeleton max bits ~ a*n + b  : a = %.3f (bound: Theta(n), R2=%.3f)\n"
+    f.Metrics.slope f.Metrics.r2;
+  let label_pts =
+    List.map
+      (fun h ->
+        let r = LB.pruned_label ~height:h ~degree:2 in
+        (float_of_int h, float_of_int r.LB.label_bits))
+      [ 4; 8; 16; 32; 64 ]
+  in
+  let f = Metrics.linear_fit label_pts in
+  pf "E7 label bits ~ a*h + b (d=2)   : a = %.3f (bound: Theta(h log d), R2=%.3f)\n"
+    f.Metrics.slope f.Metrics.r2;
+  let general_pts =
+    List.map
+      (fun n ->
+        let prng = Prng.create (3000 + n) in
+        let g =
+          F.random_digraph prng ~n ~extra_edges:n ~back_edges:(n / 4)
+            ~t_edge_prob:0.2
+        in
+        let st = Anonet.broadcast_general g in
+        (float_of_int (G.n_edges g), float_of_int st.total_bits))
+      [ 16; 32; 64; 128; 256 ]
+  in
+  let f = Metrics.loglog_fit general_pts in
+  pf "E5 general total bits ~ |E|^k   : k = %.3f (bound: <= 3 + o(1), R2=%.3f)\n"
+    f.Metrics.slope f.Metrics.r2
+
+(* {1 Bechamel timing benchmarks} *)
+
+let timing () =
+  header "TIMING" "Bechamel wall-clock benchmarks (one Test.make per experiment)";
+  let open Bechamel in
+  let open Toolkit in
+  let tree_g = F.comb 256 in
+  let dag_g = F.grid_dag ~rows:12 ~cols:12 in
+  let prng = Prng.create 99 in
+  let gen_g =
+    F.random_digraph prng ~n:60 ~extra_edges:60 ~back_edges:15 ~t_edge_prob:0.2
+  in
+  let skel_g = F.skeleton ~n:8 ~subset:(Array.make 8 true) in
+  let pruned_g = F.pruned_tree ~height:32 ~degree:4 in
+  let tests =
+    Test.make_grouped ~name:"anonet" ~fmt:"%s %s"
+      [
+        Test.make ~name:"e1-tree-broadcast-comb256"
+          (Staged.stage (fun () -> ignore (Anonet.broadcast_tree tree_g)));
+        Test.make ~name:"e2-comb-symbols-128"
+          (Staged.stage (fun () -> ignore (LB.comb_symbols 128)));
+        Test.make ~name:"e3-dag-broadcast-grid12"
+          (Staged.stage (fun () -> ignore (Anonet.broadcast_dag dag_g)));
+        Test.make ~name:"e4-skeleton-n8"
+          (Staged.stage (fun () -> ignore (Anonet.Dag_engine.run skel_g)));
+        Test.make ~name:"e5-general-broadcast-n60"
+          (Staged.stage (fun () -> ignore (Anonet.broadcast_general gen_g)));
+        Test.make ~name:"e6-labeling-n60"
+          (Staged.stage (fun () -> ignore (Anonet.assign_labels gen_g)));
+        Test.make ~name:"e7-pruned-labeling-h32d4"
+          (Staged.stage (fun () -> ignore (Anonet.Labeling_engine.run pruned_g)));
+        Test.make ~name:"e8-mapping-n60"
+          (Staged.stage (fun () -> ignore (Anonet.map_network gen_g)));
+        Test.make ~name:"e9-naive-tree-comb256"
+          (Staged.stage (fun () -> ignore (Anonet.broadcast_tree_naive tree_g)));
+        Test.make ~name:"e10-general-lifo-n60"
+          (Staged.stage (fun () ->
+               ignore
+                 (Anonet.broadcast_general ~scheduler:Runtime.Scheduler.Lifo gen_g)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  pf "%45s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) -> pf "%45s %16.1f\n" name est)
+    (List.sort compare !rows)
+
+let all_tables =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("fits", fits);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) all_tables;
+      timing ()
+  | _ ->
+      List.iter
+        (fun a ->
+          if a = "timing" then timing ()
+          else
+            match List.assoc_opt a all_tables with
+            | Some f -> f ()
+            | None -> pf "unknown table %s (known: e1..e10, timing)\n" a)
+        args

@@ -1,0 +1,337 @@
+(* anonet — command-line driver.
+
+   Generate a network family, run one of the paper's protocols on it under a
+   chosen asynchronous schedule, and report the complexity measures (or the
+   labels / the reconstructed map / a Graphviz rendering).
+
+     anonet run --family comb:32 --protocol tree
+     anonet run --family random:50:7 --protocol general --scheduler lifo
+     anonet label --family cycle:9
+     anonet map --family random:20:42 --dot
+     anonet dot --family skeleton:4 *)
+
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+
+let pf = Printf.printf
+
+(* {1 Family specifications} *)
+
+let family_doc =
+  "Network family: comb:N | path:N | diamond | fig8 | cycle:K | grid:RxC | \
+   full-tree:H:D | pruned:H:D | skeleton:N | random-tree:N:SEED | \
+   random-dag:N:SEED | random:N:SEED | ring:N | bidirected:N:SEED.  Append \
+   '+trap' to hang a trap vertex off the first internal vertex (e.g. \
+   'cycle:5+trap')."
+
+let parse_family spec =
+  let spec, trap =
+    match String.index_opt spec '+' with
+    | Some i when String.sub spec i (String.length spec - i) = "+trap" ->
+        (String.sub spec 0 i, true)
+    | _ -> (spec, false)
+  in
+  let parts = String.split_on_char ':' spec in
+  let int s = int_of_string_opt s in
+  let base =
+    match parts with
+    | [ "comb"; n ] -> Option.map F.comb (int n)
+    | [ "path"; n ] -> Option.map F.path (int n)
+    | [ "diamond" ] -> Some (F.diamond ())
+    | [ "fig8" ] -> Some (F.figure_eight ())
+    | [ "cycle"; k ] -> Option.map (fun k -> F.cycle_with_exit ~k) (int k)
+    | [ "grid"; rc ] -> (
+        match String.split_on_char 'x' rc with
+        | [ r; c ] -> (
+            match (int r, int c) with
+            | Some rows, Some cols -> Some (F.grid_dag ~rows ~cols)
+            | _ -> None)
+        | _ -> None)
+    | [ "full-tree"; h; d ] -> (
+        match (int h, int d) with
+        | Some height, Some degree -> Some (F.full_tree ~height ~degree)
+        | _ -> None)
+    | [ "pruned"; h; d ] -> (
+        match (int h, int d) with
+        | Some height, Some degree -> Some (F.pruned_tree ~height ~degree)
+        | _ -> None)
+    | [ "skeleton"; n ] ->
+        Option.map (fun n -> F.skeleton ~n ~subset:(Array.make n true)) (int n)
+    | [ "random-tree"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some (F.random_grounded_tree (Prng.create seed) ~n ~t_edge_prob:0.3)
+        | _ -> None)
+    | [ "random-dag"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some
+              (F.random_dag (Prng.create seed) ~n ~extra_edges:n ~t_edge_prob:0.2)
+        | _ -> None)
+    | [ "random"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some
+              (F.random_digraph (Prng.create seed) ~n ~extra_edges:n
+                 ~back_edges:(n / 4) ~t_edge_prob:0.2)
+        | _ -> None)
+    | [ "ring"; n ] -> Option.map (fun n -> F.bidirected_ring ~n) (int n)
+    | [ "bidirected"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some (F.bidirected_random (Prng.create seed) ~n ~extra_edges:n)
+        | _ -> None)
+    | _ -> None
+  in
+  match base with
+  | None -> Error (`Msg (Printf.sprintf "cannot parse family %S" spec))
+  | Some g ->
+      Ok
+        (if trap then
+           match G.internal_vertices g with
+           | v :: _ -> F.add_trap g ~from_vertex:v
+           | [] -> g
+         else g)
+
+let family_conv =
+  Cmdliner.Arg.conv
+    ( parse_family,
+      fun fmt _ -> Format.pp_print_string fmt "<network>" )
+
+let parse_scheduler = function
+  | "fifo" -> Ok Runtime.Scheduler.Fifo
+  | "lifo" -> Ok Runtime.Scheduler.Lifo
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "random"; seed ] -> (
+          match int_of_string_opt seed with
+          | Some seed -> Ok (Runtime.Scheduler.Random (Prng.create seed))
+          | None -> Error (`Msg "random scheduler needs an int seed"))
+      | _ -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s)))
+
+let scheduler_conv =
+  Cmdliner.Arg.conv
+    (parse_scheduler, fun fmt s -> Format.pp_print_string fmt (Runtime.Scheduler.describe s))
+
+(* {1 Common terms} *)
+
+open Cmdliner
+
+let family_t =
+  Arg.(
+    required
+    & opt (some family_conv) None
+    & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:family_doc)
+
+let scheduler_t =
+  Arg.(
+    value
+    & opt scheduler_conv Runtime.Scheduler.Fifo
+    & info [ "scheduler" ] ~docv:"SCHED" ~doc:"fifo | lifo | random:SEED")
+
+let payload_t =
+  Arg.(
+    value & opt int 0
+    & info [ "payload" ] ~docv:"BITS"
+        ~doc:"Size of the broadcast message m, charged to every protocol message.")
+
+let describe_graph g =
+  pf "network : |V|=%d |E|=%d d_out=%d class=%s\n" (G.n_vertices g) (G.n_edges g)
+    (G.max_out_degree g)
+    (match G.classify g with
+    | `Grounded_tree -> "grounded-tree"
+    | `Dag -> "dag"
+    | `General -> "general");
+  match G.validate g with
+  | Ok () -> ()
+  | Error e -> pf "warning : %s\n" e
+
+let describe_stats (st : Anonet.stats) =
+  pf "outcome          : %s\n"
+    (match st.outcome with
+    | E.Terminated -> "terminated"
+    | E.Quiescent -> "quiescent (no termination)"
+    | E.Step_limit -> "step limit");
+  pf "deliveries       : %d\n" st.deliveries;
+  pf "total bits       : %d\n" st.total_bits;
+  pf "bandwidth        : %d bits (busiest edge)\n" st.max_edge_bits;
+  pf "largest message  : %d bits\n" st.max_message_bits;
+  pf "distinct symbols : %d\n" st.distinct_messages;
+  pf "all visited      : %b\n" st.all_visited
+
+(* {1 Commands} *)
+
+let run_cmd =
+  let protocol_t =
+    Arg.(
+      value & opt string "general"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "flood | tree | tree-naive | dag | general | labeling | mapping | \
+             undirected (the last expects a ring:N / bidirected:N:SEED family)")
+  in
+  let run g protocol scheduler payload =
+    describe_graph g;
+    pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
+      (Runtime.Scheduler.describe scheduler)
+      payload;
+    match protocol with
+    | "flood" ->
+        describe_stats
+          (Anonet.stats_of_report (Anonet.Flood_engine.run ~scheduler ~payload_bits:payload g));
+        `Ok ()
+    | "undirected" ->
+        describe_stats (fst (Anonet.assign_labels_undirected ~scheduler ~payload_bits:payload g));
+        `Ok ()
+    | "tree" ->
+        describe_stats (Anonet.broadcast_tree ~scheduler ~payload_bits:payload g);
+        `Ok ()
+    | "tree-naive" ->
+        describe_stats (Anonet.broadcast_tree_naive ~scheduler ~payload_bits:payload g);
+        `Ok ()
+    | "dag" ->
+        describe_stats (Anonet.broadcast_dag ~scheduler ~payload_bits:payload g);
+        `Ok ()
+    | "general" ->
+        describe_stats (Anonet.broadcast_general ~scheduler ~payload_bits:payload g);
+        `Ok ()
+    | "labeling" ->
+        describe_stats (fst (Anonet.assign_labels ~scheduler ~payload_bits:payload g));
+        `Ok ()
+    | "mapping" ->
+        describe_stats (fst (Anonet.map_network ~scheduler ~payload_bits:payload g));
+        `Ok ()
+    | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a protocol on a generated network and print stats.")
+    Term.(ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t))
+
+let label_cmd =
+  let run g scheduler =
+    describe_graph g;
+    let st, labels = Anonet.assign_labels ~scheduler g in
+    describe_stats st;
+    pf "\nlabels:\n";
+    List.iter
+      (fun v -> pf "  %4d : %s\n" v (Intervals.Iset.to_string labels.(v)))
+      (G.internal_vertices g)
+  in
+  Cmd.v
+    (Cmd.info "label" ~doc:"Assign unique labels (Section 5) and print them.")
+    Term.(const run $ family_t $ scheduler_t)
+
+let sync_cmd =
+  let protocol_t =
+    Arg.(
+      value & opt string "general"
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"tree | dag | general | labeling | mapping")
+  in
+  let run g protocol payload =
+    describe_graph g;
+    pf "protocol: %s (synchronous rounds), payload: %d bits\n\n" protocol payload;
+    let show rounds base =
+      pf "rounds           : %d\n" rounds;
+      describe_stats (Anonet.stats_of_report base)
+    in
+    let module ST = Runtime.Sync_engine.Make (Anonet.Tree_broadcast) in
+    let module SD = Runtime.Sync_engine.Make (Anonet.Dag_broadcast_pow2) in
+    let module SG = Runtime.Sync_engine.Make (Anonet.General_broadcast) in
+    let module SL = Runtime.Sync_engine.Make (Anonet.Labeling) in
+    let module SM = Runtime.Sync_engine.Make (Anonet.Mapping) in
+    match protocol with
+    | "tree" ->
+        let r = ST.run ~payload_bits:payload g in
+        show r.rounds r.base;
+        `Ok ()
+    | "dag" ->
+        let r = SD.run ~payload_bits:payload g in
+        show r.rounds r.base;
+        `Ok ()
+    | "general" ->
+        let r = SG.run ~payload_bits:payload g in
+        show r.rounds r.base;
+        `Ok ()
+    | "labeling" ->
+        let r = SL.run ~payload_bits:payload g in
+        show r.rounds r.base;
+        `Ok ()
+    | "mapping" ->
+        let r = SM.run ~payload_bits:payload g in
+        show r.rounds r.base;
+        `Ok ()
+    | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:"Run a protocol under the synchronous model and report rounds.")
+    Term.(ret (const run $ family_t $ protocol_t $ payload_t))
+
+let map_cmd =
+  let dot_t =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Also print the reconstruction as DOT.")
+  in
+  let run g scheduler dot =
+    describe_graph g;
+    let st, map = Anonet.map_network ~scheduler g in
+    describe_stats st;
+    match map with
+    | Error e -> pf "\nmap extraction: %s\n" e
+    | Ok m ->
+        pf "\nreconstruction: |V|=%d |E|=%d isomorphic-to-input=%b\n"
+          (G.n_vertices m.Anonet.Mapping.graph)
+          (G.n_edges m.Anonet.Mapping.graph)
+          (Anonet.Mapping.map_isomorphic m g);
+        if dot then
+          pf "\n%s"
+            (G.Dot.to_dot ~name:"map"
+               ~vertex_label:(fun v ->
+                 match m.Anonet.Mapping.labels.(v) with
+                 | Some iv -> Intervals.Interval.to_string iv
+                 | None -> if v = 0 then "s" else "t")
+               m.Anonet.Mapping.graph)
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Extract the full topology (mapping protocol).")
+    Term.(const run $ family_t $ scheduler_t $ dot_t)
+
+let trace_cmd =
+  let limit_t =
+    Arg.(value & opt int 60 & info [ "limit" ] ~docv:"N" ~doc:"Max deliveries to print.")
+  in
+  let run g scheduler limit =
+    describe_graph g;
+    let tr = Runtime.Trace.create () in
+    let r =
+      Anonet.General_engine.run ~scheduler ~on_deliver:(Runtime.Trace.hook tr) g
+    in
+    pf "general broadcast under %s: %s after %d deliveries\n\n"
+      (Runtime.Scheduler.describe scheduler)
+      (match r.outcome with
+      | E.Terminated -> "terminated"
+      | E.Quiescent -> "quiescent"
+      | E.Step_limit -> "step limit")
+      r.deliveries;
+    print_string (Runtime.Trace.render ~limit tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the general broadcast and print the delivery-by-delivery log.")
+    Term.(const run $ family_t $ scheduler_t $ limit_t)
+
+let dot_cmd =
+  let run g = print_string (G.Dot.to_dot g) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the generated network in Graphviz DOT syntax.")
+    Term.(const run $ family_t)
+
+let main_cmd =
+  let doc =
+    "Distributed broadcasting and mapping protocols in directed anonymous \
+     networks (Langberg, Schwartz & Bruck, PODC 2007)"
+  in
+  Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
+    [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/adhoc_broadcast.ml: Anonet Array Digraph Printf Prng Runtime

@@ -1,0 +1,1 @@
+examples/network_mapping.ml: Anonet Array Digraph Intervals List Printf Prng Runtime String

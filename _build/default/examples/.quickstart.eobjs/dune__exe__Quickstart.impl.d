@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anonet Array Digraph Intervals List Printf Runtime

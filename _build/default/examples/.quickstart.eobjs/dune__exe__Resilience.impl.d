@@ -1,0 +1,1 @@
+examples/resilience.ml: Anonet Array Digraph Printf Prng Runtime

@@ -1,0 +1,69 @@
+(* Ad-hoc network broadcast — the motivating scenario from the paper's
+   introduction: wireless ad-hoc networks with asymmetric (hence directed)
+   links, where nodes have no identifiers and no topology knowledge.
+
+     dune exec examples/adhoc_broadcast.exe
+
+   We model a deployment as a random directed network: a gateway (s) floods
+   a firmware update; a sink (t) must decide when every sensor has it.  The
+   example compares the protocol ladder on the same deployments:
+
+     - flood        : delivers m but can never decide completion;
+     - dag protocol : decides completion, but deadlocks when asymmetric
+                      links close a routing loop;
+     - general      : decides completion on anything. *)
+
+let pf = Printf.printf
+
+module F = Digraph.Families
+module E = Runtime.Engine
+
+let outcome = function
+  | E.Terminated -> "terminated"
+  | E.Quiescent -> "quiescent"
+  | E.Step_limit -> "limit"
+
+let firmware_bits = 1024
+
+let run_one name g =
+  pf "\n--- deployment: %s (|V|=%d |E|=%d, %s) ---\n" name (Digraph.n_vertices g)
+    (Digraph.n_edges g)
+    (match Digraph.classify g with
+    | `Grounded_tree -> "grounded tree"
+    | `Dag -> "acyclic"
+    | `General -> "has routing loops");
+  pf "%12s %12s %10s %14s %10s\n" "protocol" "outcome" "msgs" "bits" "visited";
+  let flood_report = Anonet.Flood_engine.run ~payload_bits:firmware_bits g in
+  pf "%12s %12s %10d %14d %10b\n" "flood" (outcome flood_report.E.outcome)
+    flood_report.E.deliveries flood_report.E.total_bits
+    (Array.for_all (fun v -> v) flood_report.E.visited);
+  let show name (st : Anonet.stats) =
+    pf "%12s %12s %10d %14d %10b\n" name (outcome st.outcome) st.deliveries
+      st.total_bits st.all_visited
+  in
+  show "dag-wait" (Anonet.broadcast_dag ~payload_bits:firmware_bits g);
+  show "general" (Anonet.broadcast_general ~payload_bits:firmware_bits g)
+
+let () =
+  pf "Firmware update broadcast over anonymous ad-hoc deployments\n";
+  pf "(payload %d bits; every protocol message carries it).\n" firmware_bits;
+
+  (* Deployment 1: a clean tiered deployment — links all point downstream
+     (e.g. high-power gateway to low-power sensors): a DAG. *)
+  let tiers = F.random_dag (Prng.create 11) ~n:40 ~extra_edges:30 ~t_edge_prob:0.2 in
+  run_one "tiered (acyclic)" tiers;
+
+  (* Deployment 2: same scale, but a few sensor pairs have asymmetric
+     power levels that happen to close directed loops. *)
+  let loopy =
+    F.random_digraph (Prng.create 12) ~n:40 ~extra_edges:25 ~back_edges:8
+      ~t_edge_prob:0.2
+  in
+  run_one "asymmetric (loops)" loopy;
+
+  (* Deployment 3: a long relay chain through a canyon. *)
+  run_one "relay chain" (F.path 30);
+
+  pf "\nTakeaways: flood never detects completion (the sink would wait\n";
+  pf "forever); the DAG protocol detects it but deadlocks on loops; the\n";
+  pf "interval protocol of Section 4 handles every deployment.\n"

@@ -1,0 +1,1 @@
+lib/anonet/commodity.ml: Bitio Exact Format List

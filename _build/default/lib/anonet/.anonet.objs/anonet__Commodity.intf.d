@@ -1,0 +1,1 @@
+lib/anonet/commodity.mli: Bitio Exact Format

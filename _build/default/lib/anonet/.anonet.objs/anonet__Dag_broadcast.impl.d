@@ -1,0 +1,1 @@
+lib/anonet/dag_broadcast.ml: Commodity Format List

@@ -1,0 +1,1 @@
+lib/anonet/flood.mli: Runtime

@@ -1,0 +1,1 @@
+lib/anonet/general_broadcast.ml: Interval_protocol

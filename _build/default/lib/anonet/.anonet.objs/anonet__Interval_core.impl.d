@@ -1,0 +1,1 @@
+lib/anonet/interval_core.ml: Array Intervals List

@@ -1,0 +1,1 @@
+lib/anonet/interval_core.mli: Intervals

@@ -1,0 +1,1 @@
+lib/anonet/interval_protocol.ml: Array Format Interval_core Intervals List

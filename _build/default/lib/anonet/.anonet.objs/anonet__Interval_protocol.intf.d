@@ -1,0 +1,1 @@
+lib/anonet/interval_protocol.mli: Interval_core Intervals Runtime

@@ -1,0 +1,1 @@
+lib/anonet/labeling.ml: Interval_protocol

@@ -1,0 +1,1 @@
+lib/anonet/labeling.mli: Interval_protocol

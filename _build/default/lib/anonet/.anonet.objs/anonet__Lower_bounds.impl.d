@@ -1,0 +1,1 @@
+lib/anonet/lower_bounds.ml: Array Bitio Commodity Dag_broadcast Digraph Exact Intervals Labeling List Runtime Scalar_broadcast

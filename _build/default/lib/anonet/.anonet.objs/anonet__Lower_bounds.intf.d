@@ -1,0 +1,1 @@
+lib/anonet/lower_bounds.mli: Digraph Exact Intervals

@@ -1,0 +1,1 @@
+lib/anonet/mapping.ml: Array Bitio Digraph Format Hashtbl Interval_core Intervals List Option Set Stdlib

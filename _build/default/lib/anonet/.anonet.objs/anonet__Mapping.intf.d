@@ -1,0 +1,1 @@
+lib/anonet/mapping.mli: Digraph Intervals Runtime

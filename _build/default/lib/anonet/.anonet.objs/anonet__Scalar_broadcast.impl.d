@@ -1,0 +1,1 @@
+lib/anonet/scalar_broadcast.ml: Commodity Format List

@@ -1,0 +1,1 @@
+lib/anonet/scalar_broadcast.mli: Commodity Runtime

@@ -1,0 +1,1 @@
+lib/anonet/undirected_labeling.ml: Bitio Format List

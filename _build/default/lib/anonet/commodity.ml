@@ -1,0 +1,78 @@
+module type S = sig
+  type t
+
+  val name : string
+  val unit_commodity : t
+  val zero : t
+  val add : t -> t -> t
+  val is_unit : t -> bool
+  val split : t -> int -> t list
+  val encode : Bitio.Bit_writer.t -> t -> unit
+  val decode : Bitio.Bit_reader.t -> t
+  val bit_size : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+let ceil_log2 d =
+  assert (d >= 1);
+  let rec go c p = if p >= d then c else go (c + 1) (p * 2) in
+  go 0 1
+
+let pow2_split_counts d =
+  let c = ceil_log2 d in
+  let small = (2 * d) - (1 lsl c) in
+  (c, small, d - small)
+
+module Pow2_dyadic = struct
+  module Dy = Exact.Dyadic
+
+  type t = Dy.t
+
+  let name = "pow2-dyadic"
+  let unit_commodity = Dy.one
+  let zero = Dy.zero
+  let add = Dy.add
+  let is_unit x = Dy.equal x Dy.one
+
+  let split x d =
+    if d < 1 then invalid_arg "Pow2_dyadic.split: d must be >= 1";
+    let c, small, _big = pow2_split_counts d in
+    List.init d (fun j ->
+        if j < small then Dy.div_pow2 x c else Dy.div_pow2 x (c - 1))
+
+  let encode = Bitio.Codes.write_dyadic
+  let decode = Bitio.Codes.read_dyadic
+  let bit_size = Bitio.Codes.dyadic_size
+  let equal = Dy.equal
+  let compare = Dy.compare
+  let to_string = Dy.to_string
+  let pp = Dy.pp
+end
+
+module Even_rational = struct
+  module Q = Exact.Rational
+
+  type t = Q.t
+
+  let name = "even-rational"
+  let unit_commodity = Q.one
+  let zero = Q.zero
+  let add = Q.add
+  let is_unit x = Q.equal x Q.one
+
+  let split x d =
+    if d < 1 then invalid_arg "Even_rational.split: d must be >= 1";
+    let part = Q.div_int x d in
+    List.init d (fun _ -> part)
+
+  let encode = Bitio.Codes.write_rational
+  let decode = Bitio.Codes.read_rational
+  let bit_size = Bitio.Codes.rational_size
+  let equal = Q.equal
+  let compare = Q.compare
+  let to_string = Q.to_string
+  let pp = Q.pp
+end

@@ -1,0 +1,48 @@
+(** Scalar termination commodities for the flow-based broadcast protocols of
+    Section 3.
+
+    A commodity is the value a vertex splits among its out-edges; the source
+    injects one unit and the terminal declares termination when the values it
+    has received sum back to one.  Two concrete disciplines are provided:
+
+    - {!Pow2_dyadic} — the paper's optimal rule (Section 3.1): a vertex of
+      out-degree [d] sends [x / 2^ceil(log d)] on its first
+      [2d - 2^ceil(log d)] edges and twice that on the rest, so every value
+      in the network is a (dyadic) power of two and encodes in
+      [O(log |E|)] bits on grounded trees;
+    - {!Even_rational} — the naive rule [x/d], which needs general exact
+      rationals and is the ablation baseline the paper credits with
+      [O(|E|^{3/2})] total communication. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val unit_commodity : t
+  (** The flow of value 1 leaving the source. *)
+
+  val zero : t
+  val add : t -> t -> t
+  val is_unit : t -> bool
+
+  val split : t -> int -> t list
+  (** [split x d] with [d >= 1]: the values for out-edges [0..d-1]; the
+      commodity-preservation contract is that they sum to [x]. *)
+
+  val encode : Bitio.Bit_writer.t -> t -> unit
+  val decode : Bitio.Bit_reader.t -> t
+  val bit_size : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Pow2_dyadic : S with type t = Exact.Dyadic.t
+module Even_rational : S with type t = Exact.Rational.t
+
+val pow2_split_counts : int -> int * int * int
+(** [pow2_split_counts d] is [(c, small_edges, big_edges)] for out-degree
+    [d]: [small_edges] edges carry [x/2^c], [big_edges] carry [x/2^(c-1)],
+    with [c = ceil(log2 d)].  Exposed for direct unit-testing of the rule. *)

@@ -1,0 +1,37 @@
+module Make (C : Commodity.S) = struct
+  type state = { acc : C.t; heard : int }
+  type message = C.t
+
+  let name = "dag-broadcast/" ^ C.name
+
+  let initial_state ~out_degree:_ ~in_degree:_ = { acc = C.zero; heard = 0 }
+
+  let root_emit ~out_degree =
+    if out_degree = 0 then []
+    else List.mapi (fun j v -> (j, v)) (C.split C.unit_commodity out_degree)
+
+  let receive ~out_degree ~in_degree state x ~in_port:_ =
+    let state = { acc = C.add state.acc x; heard = state.heard + 1 } in
+    let sends =
+      if state.heard = in_degree && out_degree > 0 then
+        List.mapi (fun j v -> (j, v)) (C.split state.acc out_degree)
+      else []
+    in
+    (state, sends)
+
+  let accepting state = C.is_unit state.acc
+
+  let encode = C.encode
+  let decode = C.decode
+  let equal_message = C.equal
+
+  let state_bits st = C.bit_size st.acc + 32
+
+  let pp_message = C.pp
+
+  let pp_state fmt st =
+    Format.fprintf fmt "acc=%s heard=%d" (C.to_string st.acc) st.heard
+
+  let accumulated st = st.acc
+  let heard st = st.heard
+end

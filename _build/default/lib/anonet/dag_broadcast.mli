@@ -1,0 +1,17 @@
+(** The DAG broadcasting protocol of Section 3.3.
+
+    A vertex holds its incoming commodity until it has heard a message on
+    {e each} of its in-ports (legitimate knowledge: a vertex knows its own
+    in-degree, and on a DAG in which every vertex is reachable from [s]
+    every in-edge eventually fires), then splits the accumulated value over
+    its out-edges.  Exactly one message crosses each edge, giving the
+    [O(|E|)]-bandwidth / [O(|E|^2)]-communication upper bound; on cyclic
+    graphs the wait deadlocks — the engine reports [Quiescent] — which is
+    precisely why Section 4 needs the interval machinery. *)
+
+module Make (C : Commodity.S) : sig
+  include Runtime.Protocol_intf.PROTOCOL with type message = C.t
+
+  val accumulated : state -> C.t
+  val heard : state -> int
+end

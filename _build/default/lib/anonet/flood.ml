@@ -1,0 +1,31 @@
+type state = { received : bool }
+type message = Token
+
+let name = "flood"
+
+let initial_state ~out_degree:_ ~in_degree:_ = { received = false }
+
+let root_emit ~out_degree = List.init out_degree (fun j -> (j, Token))
+
+let receive ~out_degree ~in_degree:_ state Token ~in_port:_ =
+  if state.received then (state, [])
+  else ({ received = true }, List.init out_degree (fun j -> (j, Token)))
+
+let accepting _ = false
+
+let encode w Token = Bitio.Bit_writer.bit w true
+
+let decode r =
+  let (_ : bool) = Bitio.Bit_reader.bit r in
+  Token
+
+let equal_message Token Token = true
+
+let state_bits _ = 1
+
+let pp_message fmt Token = Format.pp_print_string fmt "token"
+
+let pp_state fmt st =
+  Format.pp_print_string fmt (if st.received then "received" else "idle")
+
+let received st = st.received

@@ -1,0 +1,15 @@
+(** Plain propagation without termination detection — the strawman of
+    Section 1.2 ("this, in itself, seems a trivial task obtained by simple
+    propagation").
+
+    Every vertex forwards a one-bit token the first time it hears one.  The
+    broadcast itself succeeds (every reachable vertex is visited), but the
+    terminal has no way to decide completion: [accepting] is constantly
+    false, so the engine always reports [Quiescent].  This module exists to
+    demonstrate, in runnable form, why the paper's commodity machinery is
+    necessary. *)
+
+include Runtime.Protocol_intf.PROTOCOL
+
+val received : state -> bool
+(** Whether the vertex had been visited when the run stopped. *)

@@ -1,0 +1,4 @@
+include Interval_protocol.Make (struct
+  let name = "general-broadcast"
+  let assign_label = false
+end)

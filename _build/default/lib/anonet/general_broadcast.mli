@@ -1,0 +1,18 @@
+(** Broadcasting over general directed graphs — the main protocol of the
+    paper (Section 4, Theorem 4.2).
+
+    The commodity is the unit interval: the root injects [\[0,1)], every
+    vertex canonically partitions what it first receives among its
+    out-edges, repeated arrivals are recognized as cycles and flooded to the
+    terminal as beta information, and the terminal halts exactly when the
+    union of everything it has seen is [\[0,1)] — which happens iff every
+    vertex of the network lies on a path to [t].
+
+    Complexity (Theorems 4.2/4.3): total communication
+    [O(|E|^2 |V| log d_out) + |E||m|]; per-symbol size
+    [O(|E| |V| log d_out) + |m|]. *)
+
+include module type of Interval_protocol.Make (struct
+  let name = "general-broadcast"
+  let assign_label = false
+end)

@@ -1,0 +1,63 @@
+module Is = Intervals.Iset
+
+module Make (M : sig
+  val name : string
+  val assign_label : bool
+end) =
+struct
+  type state = Interval_core.t
+
+  (* (alpha, beta) — both components of Sigma's symbols. *)
+  type message = Is.t * Is.t
+
+  let name = M.name
+
+  let initial_state ~out_degree ~in_degree:_ = Interval_core.create ~out_degree
+
+  (* A multi-out-edge root canonically partitions [0,1) across its ports
+     (the root itself takes no label even in labeling mode — it has no
+     incoming edge to trigger one, matching Section 5). *)
+  let root_emit ~out_degree =
+    if out_degree = 0 then []
+    else
+      List.mapi
+        (fun j part -> (j, (part, Is.empty)))
+        (Is.canonical_partition Is.unit out_degree)
+
+  let receive ~out_degree:_ ~in_degree:_ st (alpha, beta) ~in_port:_ =
+    let st', outs = Interval_core.step ~assign_label:M.assign_label st ~alpha ~beta in
+    ( st',
+      List.map
+        (fun (o : Interval_core.outgoing) -> (o.port, (o.d_alpha, o.d_beta)))
+        outs )
+
+  let accepting = Interval_core.accepting
+
+  let encode w (alpha, beta) =
+    Is.write w alpha;
+    Is.write w beta
+
+  let decode r =
+    let alpha = Is.read r in
+    let beta = Is.read r in
+    (alpha, beta)
+
+  let equal_message (a1, b1) (a2, b2) = Is.equal a1 a2 && Is.equal b1 b2
+
+  let state_bits (st : state) =
+    Array.fold_left
+      (fun acc a -> acc + Is.size_bits a)
+      (Is.size_bits st.beta + Is.size_bits st.label + Is.size_bits st.seen_alpha + 8)
+      st.alpha
+
+  let pp_message fmt (alpha, beta) =
+    Format.fprintf fmt "alpha=%s beta=%s" (Is.to_string alpha) (Is.to_string beta)
+
+  let pp_state fmt (st : state) =
+    Format.fprintf fmt "init=%b beta=%s label=%s covered=%s" st.initialized
+      (Is.to_string st.beta) (Is.to_string st.label)
+      (Is.to_string (Interval_core.covered st))
+
+  let label (st : state) = st.label
+  let covered = Interval_core.covered
+end

@@ -1,0 +1,17 @@
+(** PROTOCOL wrapper around {!Interval_core}, shared by
+    {!General_broadcast} and {!Labeling}. *)
+
+module Make (M : sig
+  val name : string
+  val assign_label : bool
+end) : sig
+  include
+    Runtime.Protocol_intf.PROTOCOL
+      with type state = Interval_core.t
+       and type message = Intervals.Iset.t * Intervals.Iset.t
+
+  val label : state -> Intervals.Iset.t
+  (** The vertex's kept interval-union; empty when not in labeling mode. *)
+
+  val covered : state -> Intervals.Iset.t
+end

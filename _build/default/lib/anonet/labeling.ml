@@ -1,0 +1,4 @@
+include Interval_protocol.Make (struct
+  let name = "labeling"
+  let assign_label = true
+end)

@@ -1,0 +1,16 @@
+(** Unique label assignment over general directed graphs (Section 5,
+    Theorem 5.1).
+
+    A variation of {!General_broadcast}: at its canonical partition each
+    vertex splits its first interval-union into [d+1] parts instead of [d],
+    keeps part 0 as its {e label}, and immediately floods the label as beta
+    information so the terminal can still account for the whole of [\[0,1)].
+    On termination every vertex on a path to [t] holds a non-empty label
+    interval, all labels are pairwise disjoint (hence unique), each label is
+    a single interval of [O(|V| log d_out)] bits — which Theorem 5.2 shows
+    is optimal. *)
+
+include module type of Interval_protocol.Make (struct
+  let name = "labeling"
+  let assign_label = true
+end)

@@ -1,0 +1,91 @@
+(** Runnable versions of the paper's lower-bound arguments.
+
+    The paper's "evaluation" is its theorems; these helpers execute the
+    witness constructions and report the combinatorial quantities the proofs
+    predict, so the benches can check the measured shapes against them. *)
+
+type comb_result = {
+  comb_n : int;
+  edges : int;
+  distinct_symbols : int;
+      (** At least [n] by Lemma 3.7 (the paper states [n+1], but [v_n] has
+          out-degree 1 in [G_n], so the lemma only separates the first [n]
+          chain edges; the [Omega(|E|)] conclusion is unaffected — our
+          protocol realizes exactly [n] distinct symbols). *)
+  total_bits : int;
+  max_edge_bits : int;
+}
+
+val comb_symbols : int -> comb_result
+(** Run the optimal grounded-tree protocol on [G_n] (Figure 5) and count the
+    distinct termination symbols crossing its edges — the quantity the
+    Theorem 3.2 lower bound is built on. *)
+
+type skeleton_result = {
+  skeleton_n : int;
+  subsets : int;  (** [2^n]. *)
+  distinct_quantities : int;  (** Equal to [2^n] by inequality (1). *)
+  min_quantity_bits : int;  (** Encoded size of the smallest quantity seen. *)
+  max_quantity_bits : int;  (** ... and the largest: the [Omega(|E|)] witness. *)
+}
+
+val skeleton_quantities_pow2 : n:int -> skeleton_result
+(** Sweep all [2^n] subset choices of the Figure 4 skeleton family, running
+    the power-of-two commodity-preserving DAG protocol, and collect the
+    quantity entering [t] through the collector [w].  Theorem 3.8 predicts
+    [2^n] pairwise distinct values, hence an [Omega(n) = Omega(|E|)]-bit
+    bandwidth for some subset. *)
+
+val skeleton_quantities_naive : n:int -> skeleton_result
+(** Same sweep under the naive [x/d] rational rule. *)
+
+(** {1 Linear cuts (Definition 3.4 and Appendix A)}
+
+    A linear cut partitions the vertices into [V1]/[V2] such that no vertex
+    of [V1] is a descendant of one in [V2] — equivalently, no edge crosses
+    from [V2] to [V1].  Lemma 3.5 shows the multiset of symbols crossing any
+    linear cut must be {e terminating}, and Theorem 3.6 that no such
+    multiset may strictly contain another; these are the engines of the
+    paper's lower bounds, and the functions below let the tests check them
+    on real executions. *)
+
+val linear_cuts : Digraph.t -> bool array list
+(** All linear cuts of a small acyclic network, each as a [V1]-membership
+    array ([s] always in [V1], [t] always in [V2]).  Exponential in the
+    number of internal vertices — intended for graphs with at most ~15 of
+    them. *)
+
+val cut_crossing_values : Digraph.t -> bool array -> Exact.Dyadic.t list
+(** Run the grounded-tree protocol and collect the termination values
+    carried by the edges crossing the given cut (sorted).  On grounded
+    trees each edge carries exactly one symbol (Lemma 3.3), so this is the
+    multiset [sigma_A(E')] of the proofs. *)
+
+val cut_crossing_values_dag : Digraph.t -> bool array -> Exact.Dyadic.t list
+(** Same snapshot for the Section 3.3 DAG protocol (wait-for-all-ports, one
+    message per edge) — the "equally well ... to directed acyclic graphs"
+    remark after Lemma 3.5. *)
+
+val multiset_strict_subset : Exact.Dyadic.t list -> Exact.Dyadic.t list -> bool
+(** Strict multiset inclusion, the relation Theorem 3.6 forbids between
+    crossing multisets of two linear cuts.  Both inputs sorted. *)
+
+type label_result = {
+  height : int;
+  degree : int;
+  vertices : int;
+  label_bits : int;  (** Encoded size of the surviving leaf's label. *)
+}
+
+val pruned_label : height:int -> degree:int -> label_result
+(** Run the labeling protocol on the pruned tree of Figure 6(b) and measure
+    the label of the surviving leaf [v]: it grows as
+    [Omega(height * log degree)] even though the graph has only [height + 3]
+    vertices (Theorem 5.2). *)
+
+val full_vs_pruned_leaf_labels :
+  height:int -> degree:int -> Intervals.Iset.t * Intervals.Iset.t
+(** The Theorem 5.2 pruning argument, executed: the label of the leftmost
+    leaf in the full tree of Figure 6(a) and the label of the surviving leaf
+    of the pruned tree.  The theorem's key observation is that they are
+    {e equal} — the pruned execution is indistinguishable along the path. *)

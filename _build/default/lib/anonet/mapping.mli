@@ -1,0 +1,55 @@
+(** Topology mapping over general directed anonymous networks.
+
+    The paper's conclusion observes that once unique labels exist one "can
+    even map the whole topology by flooding local information available to
+    nodes".  This module realizes that program as a single protocol, still
+    within the anonymous model of Section 2:
+
+    - run the labeling protocol of Section 5 unchanged ([alpha]/[beta]
+      commodity, canonical [d+1]-partition, label = part 0);
+    - every message additionally carries the sender's label and out-port,
+      so a receiver learns, per in-port, which labeled vertex feeds it;
+    - when both endpoints of an edge know their labels, the receiving
+      endpoint mints an {e adjacency fact} [(src label, src port, dst label,
+      dst port)]; newly labeled vertices also mint an {e announcement}
+      [(label, out-degree, in-degree)];
+    - announcements and facts flood monotonically, exactly like [beta].
+
+    The terminal accepts when (a) the labeling predicate holds
+    ([alpha union beta = \[0,1)]), (b) it knows exactly one edge out of the
+    root, and (c) for every announced vertex it holds as many facts as that
+    vertex announced out-edges.  At that point {!extract_map} rebuilds the
+    entire port-numbered network — provably isomorphic to the ground truth,
+    which the test-suite checks via {!map_isomorphic}. *)
+
+module I = Intervals.Interval
+
+type sender_id = Root | Labeled of I.t
+
+type announcement = { ann_who : sender_id; ann_out : int; ann_in : int }
+(** Degree announcement flooded by every labeled vertex; the root's own
+    announcement rides on its initial messages (it is what lets the
+    terminal handle multi-out-degree roots). *)
+
+type fact = { src : sender_id; src_port : int; dst : I.t; dst_port : int }
+
+include Runtime.Protocol_intf.PROTOCOL
+
+val vertex_label : state -> I.t option
+(** The single-interval label this vertex kept, once initialized. *)
+
+val announcements : state -> announcement list
+val facts : state -> fact list
+
+type network_map = {
+  graph : Digraph.t;  (** Reconstructed network, with [s = 0] and [t] last. *)
+  labels : I.t option array;  (** Per reconstructed vertex id; [None] for [s] and [t]. *)
+}
+
+val extract_map : state -> (network_map, string) result
+(** Rebuild the network from the terminal's final state.  Fails with a
+    description when called on a non-accepting state. *)
+
+val map_isomorphic : network_map -> Digraph.t -> bool
+(** Does the reconstruction match the ground-truth network up to the (only
+    possible) port-preserving relabeling? *)

@@ -1,0 +1,38 @@
+module Make (C : Commodity.S) = struct
+  type state = { acc : C.t; times : int }
+  type message = C.t
+
+  let name = "scalar-broadcast/" ^ C.name
+
+  let initial_state ~out_degree:_ ~in_degree:_ = { acc = C.zero; times = 0 }
+
+  (* A multi-out-edge root splits the unit commodity rather than duplicating
+     it, so flow conservation survives the Section 2 extension. *)
+  let root_emit ~out_degree =
+    if out_degree = 0 then []
+    else List.mapi (fun j v -> (j, v)) (C.split C.unit_commodity out_degree)
+
+  let receive ~out_degree ~in_degree:_ state x ~in_port:_ =
+    let state = { acc = C.add state.acc x; times = state.times + 1 } in
+    let sends =
+      if out_degree = 0 then []
+      else List.mapi (fun j v -> (j, v)) (C.split x out_degree)
+    in
+    (state, sends)
+
+  let accepting state = C.is_unit state.acc
+
+  let encode = C.encode
+  let decode = C.decode
+  let equal_message = C.equal
+
+  let state_bits st = C.bit_size st.acc + 32
+
+  let pp_message = C.pp
+
+  let pp_state fmt st =
+    Format.fprintf fmt "acc=%s after %d messages" (C.to_string st.acc) st.times
+
+  let accumulated st = st.acc
+  let times_received st = st.times
+end

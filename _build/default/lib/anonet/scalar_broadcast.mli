@@ -1,0 +1,23 @@
+(** The grounded-tree broadcasting protocol of Section 3.1, generic over the
+    scalar commodity discipline.
+
+    Behaviour: every time a vertex receives a commodity value it immediately
+    splits it over its out-edges (a grounded-tree vertex receives exactly
+    once — Lemma 3.3 — so this matches the paper; on DAGs the same code
+    remains a *correct* commodity-preserving protocol, it just forwards once
+    per incoming path and serves as the message-count baseline that the
+    wait-for-all-ports variant {!Dag_broadcast} improves on).  The terminal
+    accepts when its accumulated commodity reaches exactly 1.
+
+    Instantiated as {!Tree_broadcast} (power-of-two rule, the paper's
+    optimal protocol) and {!Tree_broadcast_naive} ([x/d] rule, the ablation
+    baseline). *)
+
+module Make (C : Commodity.S) : sig
+  include Runtime.Protocol_intf.PROTOCOL with type message = C.t
+
+  val accumulated : state -> C.t
+  (** Total commodity received by the vertex so far. *)
+
+  val times_received : state -> int
+end

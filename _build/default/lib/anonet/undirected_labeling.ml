@@ -1,0 +1,102 @@
+type message =
+  | Start
+  | Token of int  (** carries the next free identifier *)
+  | Return of int
+  | Done of int  (** carries the total vertex count *)
+
+type state = {
+  id : int option;
+  parent : int option;  (** bidirected port towards the DFS parent *)
+  next_port : int;  (** next bidirected port to explore *)
+  is_root : bool;
+  done_count : int option;  (** set once the Done flood has passed through *)
+}
+
+let name = "undirected-labeling"
+
+let initial_state ~out_degree:_ ~in_degree:_ =
+  { id = None; parent = None; next_port = 0; is_root = false; done_count = None }
+
+let root_emit ~out_degree = List.init out_degree (fun j -> (j, Start))
+
+(* Bidirected ports are 0 .. out_degree - 2; the last out-port leads to t. *)
+let network_ports ~out_degree = max 0 (out_degree - 1)
+
+(* Advance the exploration: hand the token to the next unexplored port, or
+   close the subtree (Return to parent / Done flood at the root). *)
+let rec explore ~out_degree st counter =
+  let k = network_ports ~out_degree in
+  let p = st.next_port in
+  if p < k then
+    if st.parent = Some p then
+      explore ~out_degree { st with next_port = p + 1 } counter
+    else ({ st with next_port = p + 1 }, [ (p, Token counter) ])
+  else if st.is_root then begin
+    (* Traversal complete: the root has feedback, so it can announce both
+       completion and the exact vertex count. *)
+    let st = { st with done_count = Some counter } in
+    (st, List.init out_degree (fun j -> (j, Done counter)))
+  end
+  else begin
+    match st.parent with
+    | Some parent -> (st, [ (parent, Return counter) ])
+    | None -> (st, [])
+  end
+
+let receive ~out_degree ~in_degree:_ st msg ~in_port =
+  match msg with
+  | Start ->
+      if st.id <> None then (st, [])
+      else explore ~out_degree { st with is_root = true; id = Some 0 } 1
+  | Token c ->
+      if st.id = None then
+        explore ~out_degree { st with id = Some c; parent = Some in_port } (c + 1)
+      else (st, [ (in_port, Return c) ])
+  | Return c -> explore ~out_degree st c
+  | Done c ->
+      if st.done_count <> None then (st, [])
+      else
+        ( { st with done_count = Some c },
+          List.init out_degree (fun j -> (j, Done c)) )
+
+let accepting st = st.done_count <> None
+
+let encode w = function
+  | Start -> Bitio.Bit_writer.bits w 0 2
+  | Token c ->
+      Bitio.Bit_writer.bits w 1 2;
+      Bitio.Codes.write_gamma0 w c
+  | Return c ->
+      Bitio.Bit_writer.bits w 2 2;
+      Bitio.Codes.write_gamma0 w c
+  | Done c ->
+      Bitio.Bit_writer.bits w 3 2;
+      Bitio.Codes.write_gamma0 w c
+
+let decode r =
+  match Bitio.Bit_reader.bits r 2 with
+  | 0 -> Start
+  | 1 -> Token (Bitio.Codes.read_gamma0 r)
+  | 2 -> Return (Bitio.Codes.read_gamma0 r)
+  | _ -> Done (Bitio.Codes.read_gamma0 r)
+
+let equal_message (a : message) (b : message) = a = b
+
+let state_bits st =
+  let id_bits = match st.id with None -> 1 | Some c -> Bitio.Codes.gamma0_size c in
+  id_bits + 34
+
+let pp_message fmt = function
+  | Start -> Format.pp_print_string fmt "start"
+  | Token c -> Format.fprintf fmt "token(%d)" c
+  | Return c -> Format.fprintf fmt "return(%d)" c
+  | Done c -> Format.fprintf fmt "done(%d)" c
+
+let pp_state fmt st =
+  Format.fprintf fmt "id=%s root=%b done=%s"
+    (match st.id with Some i -> string_of_int i | None -> "-")
+    st.is_root
+    (match st.done_count with Some c -> string_of_int c | None -> "-")
+
+let vertex_id st = st.id
+let total_count st = st.done_count

@@ -1,0 +1,31 @@
+(** The undirected-anonymous-network baseline: token-DFS labeling with
+    [O(log |V|)]-bit labels.
+
+    The paper's conclusion attributes the exponential label-length gap
+    ([Omega(|V| log d_out)] in directed networks vs [O(log |V|)] in
+    undirected or strongly-connected ones) to "the possible lack of feedback
+    due to the directionality of edges".  This protocol makes the comparison
+    concrete: on the bidirected families
+    ({!Digraph.Families.bidirected_random}), where a vertex {e can} reply
+    over the edge a message arrived on (out-port [j] and in-port [j] are
+    aligned), a single token performs a depth-first traversal handing out
+    consecutive integer identifiers — the classical adaptive message-passing
+    paradigm the introduction contrasts with.
+
+    Once the token returns to the start vertex, it knows the traversal is
+    complete (that is the feedback!), and floods a [Done] notice carrying the
+    vertex count; the terminal accepts on receiving it.  Labels are integers
+    below [|V|]: [O(log |V|)] bits, exponentially shorter than the directed
+    lower bound of Theorem 5.2.
+
+    The network contract (guaranteed by the bidirected families): every
+    internal vertex's last out-port leads to [t] and its remaining ports are
+    aligned bidirected edges; the DFS root is whoever receives [Start]. *)
+
+include Runtime.Protocol_intf.PROTOCOL
+
+val vertex_id : state -> int option
+(** The integer label assigned by the traversal. *)
+
+val total_count : state -> int option
+(** At the terminal: the vertex count announced by [Done]. *)

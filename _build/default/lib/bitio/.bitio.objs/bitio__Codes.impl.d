@@ -1,0 +1,1 @@
+lib/bitio/codes.ml: Bignat Bit_reader Bit_writer Exact

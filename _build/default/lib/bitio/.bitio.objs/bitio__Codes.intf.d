@@ -1,0 +1,1 @@
+lib/bitio/codes.mli: Bignat Bit_reader Bit_writer Exact

@@ -1,0 +1,33 @@
+type t = { data : string; limit : int; mutable pos : int }
+
+exception Truncated
+
+let of_string ?length_bits s =
+  let limit =
+    match length_bits with
+    | None -> 8 * String.length s
+    | Some n ->
+        if n < 0 || n > 8 * String.length s then
+          invalid_arg "Bit_reader.of_string: bad length";
+        n
+  in
+  { data = s; limit; pos = 0 }
+
+let bit r =
+  if r.pos >= r.limit then raise Truncated;
+  let byte = Char.code r.data.[r.pos / 8] in
+  let b = (byte lsr (7 - (r.pos mod 8))) land 1 = 1 in
+  r.pos <- r.pos + 1;
+  b
+
+let bits r width =
+  if width < 0 || width > 62 then invalid_arg "Bit_reader.bits: bad width";
+  let v = ref 0 in
+  for _ = 1 to width do
+    v := (!v lsl 1) lor (if bit r then 1 else 0)
+  done;
+  !v
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+let at_end r = r.pos >= r.limit

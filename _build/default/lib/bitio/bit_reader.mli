@@ -1,0 +1,21 @@
+(** Sequential reader over a packed bit string, the inverse of
+    {!Bit_writer}. *)
+
+type t
+
+exception Truncated
+(** Raised when reading past the end of the available bits. *)
+
+val of_string : ?length_bits:int -> string -> t
+(** [of_string s] reads bits MSB-first from [s].  [length_bits] bounds the
+    number of valid bits (default: all bits of [s]). *)
+
+val bit : t -> bool
+val bits : t -> int -> int
+(** [bits r width] reads [width <= 62] bits as a non-negative int. *)
+
+val pos : t -> int
+(** Bits consumed so far. *)
+
+val remaining : t -> int
+val at_end : t -> bool

@@ -1,0 +1,93 @@
+module B = Bignat
+module Dy = Exact.Dyadic
+module Q = Exact.Rational
+
+let write_unary w n =
+  if n < 0 then invalid_arg "Codes.write_unary: negative";
+  for _ = 1 to n do
+    Bit_writer.bit w false
+  done;
+  Bit_writer.bit w true
+
+let read_unary r =
+  let n = ref 0 in
+  while not (Bit_reader.bit r) do
+    incr n
+  done;
+  !n
+
+let int_width n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let write_gamma w n =
+  if n < 1 then invalid_arg "Codes.write_gamma: needs n >= 1";
+  let k = int_width n - 1 in
+  write_unary w k;
+  Bit_writer.bits w (n - (1 lsl k)) k
+
+let read_gamma r =
+  let k = read_unary r in
+  (1 lsl k) lor Bit_reader.bits r k
+
+let write_gamma0 w n = write_gamma w (n + 1)
+let read_gamma0 r = read_gamma r - 1
+
+let write_delta w n =
+  if n < 1 then invalid_arg "Codes.write_delta: needs n >= 1";
+  let k = int_width n - 1 in
+  write_gamma w (k + 1);
+  Bit_writer.bits w (n - (1 lsl k)) k
+
+let read_delta r =
+  let k = read_gamma r - 1 in
+  (1 lsl k) lor Bit_reader.bits r k
+
+let write_bignat w x =
+  let n = B.bit_length x in
+  write_gamma0 w n;
+  for i = n - 1 downto 0 do
+    Bit_writer.bit w (B.testbit x i)
+  done
+
+let read_bignat r =
+  let n = read_gamma0 r in
+  let x = ref B.zero in
+  for _ = 1 to n do
+    x := B.shift_left !x 1;
+    if Bit_reader.bit r then x := B.add !x B.one
+  done;
+  !x
+
+let write_dyadic w d =
+  Bit_writer.bit w (Dy.is_negative d);
+  write_gamma0 w (Dy.exponent d);
+  write_bignat w (Dy.mantissa d)
+
+let read_dyadic r =
+  let negative = Bit_reader.bit r in
+  let e = read_gamma0 r in
+  let m = read_bignat r in
+  Dy.make ~negative m e
+
+let write_rational w q =
+  Bit_writer.bit w (Q.is_negative q);
+  write_bignat w (Q.num q);
+  write_bignat w (Q.den q)
+
+let read_rational r =
+  let negative = Bit_reader.bit r in
+  let num = read_bignat r in
+  let den = read_bignat r in
+  Q.make ~negative num den
+
+let gamma0_size n =
+  let k = int_width (n + 1) - 1 in
+  (2 * k) + 1
+
+let bignat_size x =
+  let n = B.bit_length x in
+  gamma0_size n + n
+
+let dyadic_size d = 1 + gamma0_size (Dy.exponent d) + bignat_size (Dy.mantissa d)
+let rational_size q = 1 + bignat_size (Q.num q) + bignat_size (Q.den q)

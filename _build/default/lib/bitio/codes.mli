@@ -1,0 +1,46 @@
+(** Self-delimiting integer and number codes over {!Bit_writer}/{!Bit_reader}.
+
+    Protocol messages must be decodable without out-of-band length
+    information (a vertex only sees a bit stream on a port), so every field
+    uses a prefix-free code: Elias gamma/delta for integers, and
+    length-prefixed encodings for bignums and dyadics built on top. *)
+
+val write_unary : Bit_writer.t -> int -> unit
+(** [n >= 0] zeros followed by a one. *)
+
+val read_unary : Bit_reader.t -> int
+
+val write_gamma : Bit_writer.t -> int -> unit
+(** Elias gamma; requires the argument to be [>= 1]. *)
+
+val read_gamma : Bit_reader.t -> int
+
+val write_gamma0 : Bit_writer.t -> int -> unit
+(** Gamma shifted to accept 0: encodes [n >= 0] as [gamma (n+1)]. *)
+
+val read_gamma0 : Bit_reader.t -> int
+
+val write_delta : Bit_writer.t -> int -> unit
+(** Elias delta; requires the argument to be [>= 1]. *)
+
+val read_delta : Bit_reader.t -> int
+
+val write_bignat : Bit_writer.t -> Bignat.t -> unit
+(** Gamma-prefixed bit length, then the magnitude bits MSB-first. *)
+
+val read_bignat : Bit_reader.t -> Bignat.t
+
+val write_dyadic : Bit_writer.t -> Exact.Dyadic.t -> unit
+(** Sign bit, gamma0 exponent, bignat mantissa. *)
+
+val read_dyadic : Bit_reader.t -> Exact.Dyadic.t
+
+val write_rational : Bit_writer.t -> Exact.Rational.t -> unit
+val read_rational : Bit_reader.t -> Exact.Rational.t
+
+val gamma0_size : int -> int
+(** Encoded size in bits of {!write_gamma0}, without writing. *)
+
+val bignat_size : Bignat.t -> int
+val dyadic_size : Exact.Dyadic.t -> int
+val rational_size : Exact.Rational.t -> int

@@ -1,0 +1,1 @@
+lib/digraph/dot.ml: Buffer Graph List Printf String

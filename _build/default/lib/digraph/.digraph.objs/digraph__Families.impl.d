@@ -1,0 +1,1 @@
+lib/digraph/families.ml: Array Graph List Prng

@@ -1,0 +1,1 @@
+lib/digraph/families.mli: Graph Prng

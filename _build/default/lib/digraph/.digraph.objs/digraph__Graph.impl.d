@@ -1,0 +1,1 @@
+lib/digraph/graph.ml: Array Format List Queue Stack Stdlib String

@@ -1,0 +1,28 @@
+let to_dot ?(name = "anonet") ?vertex_label g =
+  let buf = Buffer.create 256 in
+  let label v =
+    match vertex_label with Some f -> f v | None -> string_of_int v
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n";
+  List.iter
+    (fun v ->
+      let shape =
+        if v = Graph.source g then "house"
+        else if v = Graph.terminal g then "doublecircle"
+        else "circle"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" v
+           (String.escaped (label v)) shape))
+    (Graph.vertices g);
+  List.iter
+    (fun u ->
+      for j = 0 to Graph.out_degree g u - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [taillabel=\"%d\"];\n" u
+             (Graph.out_neighbor g u j) j)
+      done)
+    (Graph.vertices g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Graphviz export for debugging and documentation. *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(Graph.vertex -> string) ->
+  Graph.t ->
+  string
+(** [to_dot g] renders the network in DOT syntax.  [s] is drawn as a house,
+    [t] as a double circle.  [vertex_label] overrides the default numeric
+    labels (used to show assigned labels after the labeling protocol). *)

@@ -1,0 +1,324 @@
+type vertex = int
+
+type t = {
+  n : int;
+  s : vertex;
+  t : vertex;
+  out_adj : vertex array array;
+  (* in_adj.(v).(i) = (u, j): v's i-th in-edge is u's j-th out-edge. *)
+  in_adj : (vertex * int) array array;
+  (* Dense edge numbering: edge_base.(u) + j indexes u's j-th out-edge. *)
+  edge_base : int array;
+  n_edges : int;
+}
+
+let make ~n ~s ~t edge_list =
+  if n < 2 then invalid_arg "Graph.make: need at least s and t";
+  if s < 0 || s >= n || t < 0 || t >= n then invalid_arg "Graph.make: s/t out of range";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.make: edge endpoint out of range")
+    edge_list;
+  let out_lists = Array.make n [] in
+  let in_lists = Array.make n [] in
+  (* First pass assigns out-ports in list order. *)
+  let out_count = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      let j = out_count.(u) in
+      out_count.(u) <- j + 1;
+      out_lists.(u) <- v :: out_lists.(u);
+      in_lists.(v) <- (u, j) :: in_lists.(v))
+    edge_list;
+  let out_adj = Array.map (fun l -> Array.of_list (List.rev l)) out_lists in
+  let in_adj = Array.map (fun l -> Array.of_list (List.rev l)) in_lists in
+  let edge_base = Array.make n 0 in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    edge_base.(v) <- !total;
+    total := !total + Array.length out_adj.(v)
+  done;
+  { n; s; t; out_adj; in_adj; edge_base; n_edges = !total }
+
+let n_vertices g = g.n
+let n_edges g = g.n_edges
+let source g = g.s
+let terminal g = g.t
+
+let out_degree g v = Array.length g.out_adj.(v)
+let in_degree g v = Array.length g.in_adj.(v)
+let out_neighbor g v j = g.out_adj.(v).(j)
+let in_origin g v i = g.in_adj.(v).(i)
+
+let out_port_target_port g u j =
+  let v = g.out_adj.(u).(j) in
+  (* Find which in-port of v corresponds to (u, j). *)
+  let rec find i =
+    if i >= Array.length g.in_adj.(v) then
+      invalid_arg "Graph.out_port_target_port: inconsistent adjacency"
+    else begin
+      let u', j' = g.in_adj.(v).(i) in
+      if u' = u && j' = j then (v, i) else find (i + 1)
+    end
+  in
+  find 0
+
+let edges g =
+  List.concat_map
+    (fun u -> Array.to_list (Array.map (fun v -> (u, v)) g.out_adj.(u)))
+    (List.init g.n (fun v -> v))
+
+let edge_index g u j = g.edge_base.(u) + j
+
+let edge_of_index g idx =
+  if idx < 0 || idx >= g.n_edges then invalid_arg "Graph.edge_of_index";
+  (* Binary search over edge_base. *)
+  let lo = ref 0 and hi = ref (g.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if g.edge_base.(mid) <= idx then lo := mid else hi := mid - 1
+  done;
+  (!lo, idx - g.edge_base.(!lo))
+
+let max_out_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 1 g.out_adj
+
+let vertices g = List.init g.n (fun v -> v)
+
+let internal_vertices g =
+  List.filter (fun v -> v <> g.s && v <> g.t) (vertices g)
+
+let bfs_forward g start =
+  let seen = Array.make g.n false in
+  let q = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+      g.out_adj.(v)
+  done;
+  seen
+
+let reachable_from_s g = bfs_forward g g.s
+
+let coreachable_to_t g =
+  let seen = Array.make g.n false in
+  let q = Queue.create () in
+  seen.(g.t) <- true;
+  Queue.add g.t q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (u, _) ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u q
+        end)
+      g.in_adj.(v)
+  done;
+  seen
+
+let all_reachable g = Array.for_all (fun b -> b) (reachable_from_s g)
+let all_coreachable g = Array.for_all (fun b -> b) (coreachable_to_t g)
+
+let topological_order g =
+  (* Kahn's algorithm. *)
+  let indeg = Array.make g.n 0 in
+  Array.iter (Array.iter (fun v -> indeg.(v) <- indeg.(v) + 1)) g.out_adj;
+  let q = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    incr seen;
+    order := v :: !order;
+    Array.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w q)
+      g.out_adj.(v)
+  done;
+  if !seen = g.n then Some (List.rev !order) else None
+
+let is_dag g = topological_order g <> None
+
+let is_grounded_tree g =
+  in_degree g g.s = 0
+  && List.for_all (fun v -> in_degree g v = 1) (internal_vertices g)
+
+let classify g =
+  if is_grounded_tree g && is_dag g then `Grounded_tree
+  else if is_dag g then `Dag
+  else `General
+
+let scc g =
+  (* Iterative Tarjan. *)
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let comp = Array.make g.n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 and next_comp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Array.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.out_adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        on_stack.(w) <- false;
+        comp.(w) <- !next_comp;
+        if w = v then continue := false
+      done;
+      incr next_comp
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (comp, !next_comp)
+
+let validate ?(allow_multi_root = false) g =
+  if g.s = g.t then Error "s and t must be distinct"
+  else if in_degree g g.s <> 0 then Error "root s must have no incoming edges"
+  else if (not allow_multi_root) && out_degree g g.s <> 1 then
+    Error "root s must have exactly one outgoing edge"
+  else if allow_multi_root && out_degree g g.s < 1 then
+    Error "root s must have at least one outgoing edge"
+  else if out_degree g g.t <> 0 then Error "terminal t must have no outgoing edges"
+  else Ok ()
+
+let equal a b =
+  a.n = b.n && a.s = b.s && a.t = b.t && a.out_adj = b.out_adj
+
+let transpose g =
+  let edges =
+    List.concat_map
+      (fun v ->
+        List.init (in_degree g v) (fun i ->
+            let u, _ = g.in_adj.(v).(i) in
+            (v, u)))
+      (vertices g)
+  in
+  make ~n:g.n ~s:g.t ~t:g.s edges
+
+let induced_subgraph g ~keep ~s ~t =
+  if Array.length keep <> g.n then invalid_arg "Graph.induced_subgraph: keep size";
+  if not (keep.(s) && keep.(t)) then
+    invalid_arg "Graph.induced_subgraph: must keep s and t";
+  let remap = Array.make g.n (-1) in
+  let next = ref 0 in
+  for v = 0 to g.n - 1 do
+    if keep.(v) then begin
+      remap.(v) <- !next;
+      incr next
+    end
+  done;
+  let edges =
+    List.filter_map
+      (fun (u, v) -> if keep.(u) && keep.(v) then Some (remap.(u), remap.(v)) else None)
+      (edges g)
+  in
+  make ~n:!next ~s:remap.(s) ~t:remap.(t) edges
+
+let condensation g =
+  let comp, count = scc g in
+  let cross =
+    List.filter_map
+      (fun (u, v) -> if comp.(u) <> comp.(v) then Some (comp.(u), comp.(v)) else None)
+      (edges g)
+  in
+  (make ~n:count ~s:comp.(g.s) ~t:comp.(g.t) cross, comp)
+
+let distances_from g start =
+  let dist = Array.make g.n (-1) in
+  let q = Queue.create () in
+  dist.(start) <- 0;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if dist.(w) = -1 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w q
+        end)
+      g.out_adj.(v)
+  done;
+  dist
+
+let diameter_from_s g =
+  Array.fold_left Stdlib.max 0 (distances_from g g.s)
+
+let longest_path_dag g =
+  match topological_order g with
+  | None -> invalid_arg "Graph.longest_path_dag: graph has a cycle"
+  | Some order ->
+      let best = Array.make g.n 0 in
+      List.iter
+        (fun v ->
+          Array.iter
+            (fun w -> if best.(v) + 1 > best.(w) then best.(w) <- best.(v) + 1)
+            g.out_adj.(v))
+        order;
+      Array.fold_left Stdlib.max 0 best
+
+let canonical_signature g =
+  let id = Array.make g.n (-1) in
+  let next = ref 0 in
+  let assign v =
+    if id.(v) = -1 then begin
+      id.(v) <- !next;
+      incr next
+    end
+  in
+  let q = Queue.create () in
+  assign g.s;
+  Queue.add g.s q;
+  let edges = ref [] in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iteri
+      (fun j w ->
+        if id.(w) = -1 then begin
+          assign w;
+          Queue.add w q
+        end;
+        edges := (id.(v), j, id.(w)) :: !edges)
+      g.out_adj.(v)
+  done;
+  (!next, id.(g.t), List.sort Stdlib.compare !edges)
+
+let isomorphic a b = canonical_signature a = canonical_signature b
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph: %d vertices, %d edges, s=%d, t=%d@," g.n
+    g.n_edges g.s g.t;
+  List.iter
+    (fun u ->
+      if out_degree g u > 0 then
+        Format.fprintf fmt "  %d -> %s@," u
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int g.out_adj.(u)))))
+    (vertices g);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/exact/dyadic.ml: Bignat Float Format List Rational Stdlib String

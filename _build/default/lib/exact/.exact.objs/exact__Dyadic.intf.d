@@ -1,0 +1,1 @@
+lib/exact/dyadic.mli: Bignat Format Rational

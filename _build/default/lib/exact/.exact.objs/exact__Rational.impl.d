@@ -1,0 +1,1 @@
+lib/exact/rational.ml: Bignat Format List Stdlib

@@ -1,0 +1,1 @@
+lib/exact/rational.mli: Bignat Format

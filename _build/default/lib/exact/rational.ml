@@ -1,0 +1,94 @@
+module B = Bignat
+
+(* Invariants: [den] > 0, gcd(num, den) = 1, and [negative] implies
+   [num] <> 0, so zero is uniquely represented. *)
+type t = { negative : bool; num : B.t; den : B.t }
+
+let zero = { negative = false; num = B.zero; den = B.one }
+let one = { negative = false; num = B.one; den = B.one }
+
+let make ?(negative = false) num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then zero
+  else begin
+    let g = B.gcd num den in
+    { negative; num = B.div num g; den = B.div den g }
+  end
+
+let of_bignat n = { negative = false; num = n; den = B.one }
+
+let of_int n =
+  if n >= 0 then of_bignat (B.of_int n)
+  else { negative = true; num = B.of_int (-n); den = B.one }
+
+let of_ints p q =
+  if q = 0 then raise Division_by_zero;
+  let negative = (p < 0) <> (q < 0) in
+  make ~negative (B.of_int (abs p)) (B.of_int (abs q))
+
+let num x = x.num
+let den x = x.den
+let is_zero x = B.is_zero x.num
+let is_negative x = x.negative
+let sign x = if is_zero x then 0 else if x.negative then -1 else 1
+
+let neg x = if is_zero x then x else { x with negative = not x.negative }
+let abs x = { x with negative = false }
+
+(* Signed magnitude addition on reduced fractions. *)
+let add x y =
+  let xn = B.mul x.num y.den and yn = B.mul y.num x.den in
+  let den = B.mul x.den y.den in
+  if x.negative = y.negative then make ~negative:x.negative (B.add xn yn) den
+  else begin
+    let c = B.compare xn yn in
+    if c = 0 then zero
+    else if c > 0 then make ~negative:x.negative (B.sub xn yn) den
+    else make ~negative:y.negative (B.sub yn xn) den
+  end
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  make ~negative:(x.negative <> y.negative) (B.mul x.num y.num) (B.mul x.den y.den)
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  { x with num = x.den; den = x.num }
+
+let div x y = mul x (inv y)
+
+let div_int x d =
+  if d = 0 then raise Division_by_zero;
+  make ~negative:(x.negative <> (d < 0)) x.num (B.mul_int x.den (Stdlib.abs d))
+
+let compare x y =
+  match (sign x, sign y) with
+  | sx, sy when sx <> sy -> Stdlib.compare sx sy
+  | 0, _ -> 0
+  | s, _ ->
+      let c = B.compare (B.mul x.num y.den) (B.mul y.num x.den) in
+      if s > 0 then c else -c
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let sum = List.fold_left add zero
+
+let bit_size x = 1 + B.bit_length x.num + B.bit_length x.den
+
+let to_string x =
+  let s = if x.negative then "-" else "" in
+  if B.is_one x.den then s ^ B.to_string x.num
+  else s ^ B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let to_float x =
+  (* Scale down big operands so the conversion stays in double range. *)
+  let shift = Stdlib.max 0 (Stdlib.max (B.bit_length x.num) (B.bit_length x.den) - 512) in
+  let n = float_of_string (B.to_string (B.shift_right x.num shift)) in
+  let d = float_of_string (B.to_string (B.shift_right x.den shift)) in
+  let v = if d = 0.0 then 0.0 else n /. d in
+  if x.negative then -.v else v

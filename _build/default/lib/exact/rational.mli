@@ -1,0 +1,69 @@
+(** Exact signed rational numbers over {!Bignat}.
+
+    Needed by the naive grounded-tree protocol of Section 3.1, whose
+    termination commodity is [x/d] for arbitrary out-degrees [d] (1/3 is not a
+    dyadic number), and by commodity-preservation checks that sum such values
+    exactly.  Values are kept normalized: positive denominator, reduced by the
+    GCD, and zero has canonical representation. *)
+
+type t
+
+val zero : t
+val one : t
+
+val make : ?negative:bool -> Bignat.t -> Bignat.t -> t
+(** [make num den] is [±num/den], reduced.  @raise Division_by_zero on a zero
+    denominator. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints p q] is [p/q]. @raise Division_by_zero when [q = 0]. *)
+
+val of_bignat : Bignat.t -> t
+
+val num : t -> Bignat.t
+(** Numerator magnitude (always the reduced form). *)
+
+val den : t -> Bignat.t
+(** Denominator (always positive, reduced). *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div_int : t -> int -> t
+(** [div_int x d] is [x/d]; the naive flow-splitting step.
+    @raise Division_by_zero when [d = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sum : t list -> t
+
+val bit_size : t -> int
+(** Bits needed by a plain numerator+denominator encoding: used to *measure*
+    the communication cost of protocols that ship rationals. *)
+
+val to_string : t -> string
+(** ["p/q"], or ["p"] when the denominator is 1; negatives prefixed by [-]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_float : t -> float
+(** Lossy, for display and plotting only. *)

@@ -1,0 +1,1 @@
+lib/intervals/interval.ml: Bitio Exact Format List Printf

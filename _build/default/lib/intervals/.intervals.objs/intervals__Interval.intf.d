@@ -1,0 +1,1 @@
+lib/intervals/interval.mli: Bitio Exact Format

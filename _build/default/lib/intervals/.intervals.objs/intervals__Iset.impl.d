@@ -1,0 +1,1 @@
+lib/intervals/iset.ml: Bitio Exact Format Interval List String

@@ -1,0 +1,1 @@
+lib/intervals/iset.mli: Bitio Exact Format Interval

@@ -1,0 +1,51 @@
+(** Half-open intervals [\[a, b)] with exact dyadic endpoints.
+
+    The element type of the paper's interval set [I\[0,1)] (Definition 4.1).
+    The empty interval has the canonical representation [\[0, 0)], so
+    structural equality is semantic equality. *)
+
+type t
+
+val make : Exact.Dyadic.t -> Exact.Dyadic.t -> t
+(** [make lo hi] is [\[lo, hi)]; any [lo >= hi] yields the canonical empty
+    interval. *)
+
+val empty : t
+val unit : t
+(** [\[0, 1)], the initial commodity sent by the root. *)
+
+val lo : t -> Exact.Dyadic.t
+(** Meaningless (zero) on the empty interval. *)
+
+val hi : t -> Exact.Dyadic.t
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic on [(lo, hi)]; empty sorts first. *)
+
+val measure : t -> Exact.Dyadic.t
+val mem : Exact.Dyadic.t -> t -> bool
+val subset : t -> t -> bool
+val overlaps : t -> t -> bool
+val intersect : t -> t -> t
+
+val touches : t -> t -> bool
+(** [touches a b] when the two intervals overlap or share an endpoint, i.e.
+    their union is a single interval. *)
+
+val split : t -> int -> t list
+(** [split iv k] is the paper's k-way rule (proof of Theorem 4.3): with
+    [N] the smallest power of two [>= k] and [delta = (hi-lo)/N], produce
+    [k-1] intervals of width [delta] and one final interval covering the
+    rest.  All parts are non-empty when [iv] is non-empty, each endpoint
+    gains [O(log k)] bits.  Requires [k >= 1].  Splitting the empty interval
+    yields [k] empty intervals. *)
+
+val write : Bitio.Bit_writer.t -> t -> unit
+val read : Bitio.Bit_reader.t -> t
+val size_bits : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+let mean = function
+  | [] -> invalid_arg "Metrics.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance = function
+  | [] -> invalid_arg "Metrics.variance: empty"
+  | xs ->
+      let m = mean xs in
+      mean (List.map (fun x -> (x -. m) ** 2.0) xs)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p = function
+  | [] -> invalid_arg "Metrics.percentile: empty"
+  | xs ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
+      let sorted = List.sort Float.compare xs in
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else begin
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = min (n - 1) (lo + 1) in
+        let frac = rank -. float_of_int lo in
+        (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+      end
+
+let median xs = percentile 50.0 xs
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Metrics.linear_fit: need at least two points";
+  let xs = List.map fst pts and ys = List.map snd pts in
+  let mx = mean xs and my = mean ys in
+  let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs in
+  if sxx = 0.0 then invalid_arg "Metrics.linear_fit: x values are all equal";
+  let sxy =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 pts
+  in
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.0)) 0.0 ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) -> acc +. ((y -. (intercept +. (slope *. x))) ** 2.0))
+      0.0 pts
+  in
+  let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let loglog_fit pts =
+  if List.exists (fun (x, y) -> x <= 0.0 || y <= 0.0) pts then
+    invalid_arg "Metrics.loglog_fit: needs positive coordinates";
+  linear_fit (List.map (fun (x, y) -> (log x, log y)) pts)
+
+let growth_ratio pts =
+  if List.length pts < 2 then invalid_arg "Metrics.growth_ratio: need two points";
+  let rec ratios acc = function
+    | (_, y1) :: ((_, y2) :: _ as rest) -> ratios ((y2 /. y1) :: acc) rest
+    | _ -> acc
+  in
+  mean (ratios [] pts)

@@ -1,0 +1,38 @@
+(** Small statistics toolkit for the experiment harness.
+
+    The paper states asymptotic bounds; the benches check them by fitting
+    power laws to measured series — [loglog_fit] estimates the exponent of
+    [y ~ c * x^k] so EXPERIMENTS.md can report "measured exponent 1.08 vs
+    predicted 1" instead of eyeballing columns. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val variance : float list -> float
+(** Population variance. *)
+
+val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation.
+    @raise Invalid_argument on an empty list or out-of-range [p]. *)
+
+val median : float list -> float
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination. *)
+}
+
+val linear_fit : (float * float) list -> fit
+(** Ordinary least squares on [(x, y)] pairs.
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val loglog_fit : (float * float) list -> fit
+(** OLS in log-log space: [slope] estimates the power-law exponent.
+    Points with non-positive coordinates are rejected. *)
+
+val growth_ratio : (float * float) list -> float
+(** Average ratio [y_{i+1}/y_i] between consecutive measurements; a quick
+    doubling-behaviour summary.  Requires at least two points. *)

@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 g) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub (Int64.sub r v) (Int64.sub bound64 1L) < 0L && bound > 1 then
+      draw ()
+    else v
+  in
+  Int64.to_int (draw ())
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g =
+  (* 53 random mantissa bits, as in Java's SplittableRandom. *)
+  let r = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let chance g p = float g < p
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list g l =
+  let a = Array.of_list l in
+  shuffle_in_place g a;
+  Array.to_list a
+
+let sample_without_replacement g k n =
+  assert (0 <= k && k <= n);
+  (* Floyd's algorithm. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = n - k to n - 1 do
+    let v = int g (j + 1) in
+    if S.mem v !s then s := S.add j !s else s := S.add v !s
+  done;
+  S.elements !s

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Engine Faults Protocol_intf Scheduler Sync_engine Trace

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Bitio Digraph Faults Format Hashtbl List Printexc Printf Prng Protocol_intf Queue Scheduler Stdlib

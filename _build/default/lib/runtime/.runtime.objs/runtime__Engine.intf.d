@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Digraph Faults Protocol_intf Scheduler

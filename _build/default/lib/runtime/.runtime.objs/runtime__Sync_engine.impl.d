@@ -1,0 +1,1 @@
+lib/runtime/sync_engine.ml: Array Bitio Digraph Engine Hashtbl List Protocol_intf Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/sync_engine.mli: Digraph Engine Protocol_intf

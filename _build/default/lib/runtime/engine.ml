@@ -1,0 +1,273 @@
+type outcome = Terminated | Quiescent | Step_limit
+
+type 'state report = {
+  outcome : outcome;
+  deliveries : int;
+  total_bits : int;
+  max_edge_bits : int;
+  max_message_bits : int;
+  max_state_bits : int;
+  max_in_flight : int;
+  distinct_messages : int;
+  edge_messages : int array;
+  edge_bits : int array;
+  visited : bool array;
+  states : 'state array;
+}
+
+exception Codec_mismatch of string
+
+type event = {
+  step : int;
+  from_vertex : Digraph.vertex;
+  from_port : int;
+  to_vertex : Digraph.vertex;
+  to_port : int;
+  bits : int;
+}
+
+module Make (P : Protocol_intf.PROTOCOL) = struct
+  type flight = {
+    seq : int;
+    fv : Digraph.vertex;
+    fp : int;
+    tv : Digraph.vertex;
+    tp : int;
+    edge : int;
+    msg : P.message;
+  }
+
+  (* In-flight message pool, specialized per scheduling policy. *)
+  let make_pool scheduler =
+    match (scheduler : Scheduler.t) with
+    | Fifo ->
+        let q = Queue.create () in
+        ((fun f -> Queue.add f q), fun () -> Queue.take_opt q)
+    | Lifo ->
+        let st = ref [] in
+        ( (fun f -> st := f :: !st),
+          fun () ->
+            match !st with
+            | [] -> None
+            | f :: rest ->
+                st := rest;
+                Some f )
+    | Random g ->
+        let arr = ref [||] and len = ref 0 in
+        let push f =
+          if !len = Array.length !arr then begin
+            let cap = Stdlib.max 16 (2 * !len) in
+            let bigger = Array.make cap f in
+            Array.blit !arr 0 bigger 0 !len;
+            arr := bigger
+          end;
+          !arr.(!len) <- f;
+          incr len
+        in
+        let pop () =
+          if !len = 0 then None
+          else begin
+            let i = Prng.int g !len in
+            let f = !arr.(i) in
+            decr len;
+            !arr.(i) <- !arr.(!len);
+            Some f
+          end
+        in
+        (push, pop)
+    | Edge_priority prio ->
+        (* Binary min-heap on (priority, seq). *)
+        let arr = ref [||] and len = ref 0 in
+        let key f = (prio f.edge, f.seq) in
+        let swap i j =
+          let t = !arr.(i) in
+          !arr.(i) <- !arr.(j);
+          !arr.(j) <- t
+        in
+        let push f =
+          if !len = Array.length !arr then begin
+            let cap = Stdlib.max 16 (2 * !len) in
+            let bigger = Array.make cap f in
+            Array.blit !arr 0 bigger 0 !len;
+            arr := bigger
+          end;
+          !arr.(!len) <- f;
+          incr len;
+          let i = ref (!len - 1) in
+          while !i > 0 && key !arr.(!i) < key !arr.((!i - 1) / 2) do
+            swap !i ((!i - 1) / 2);
+            i := (!i - 1) / 2
+          done
+        in
+        let pop () =
+          if !len = 0 then None
+          else begin
+            let top = !arr.(0) in
+            decr len;
+            !arr.(0) <- !arr.(!len);
+            let i = ref 0 in
+            let continue = ref (!len > 1) in
+            while !continue do
+              let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+              let smallest = ref !i in
+              if l < !len && key !arr.(l) < key !arr.(!smallest) then smallest := l;
+              if r < !len && key !arr.(r) < key !arr.(!smallest) then smallest := r;
+              if !smallest = !i then continue := false
+              else begin
+                swap !i !smallest;
+                i := !smallest
+              end
+            done;
+            Some top
+          end
+        in
+        (push, pop)
+
+  let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
+      ?(step_limit = 10_000_000) ?(faults = Faults.none) ?(verify_codec = false)
+      ?on_deliver g =
+    let n = Digraph.n_vertices g in
+    let ne = Digraph.n_edges g in
+    let t = Digraph.terminal g in
+    (* Dense edge -> (target vertex, target in-port). *)
+    let target = Array.make (Stdlib.max ne 1) (0, 0) in
+    List.iter
+      (fun u ->
+        for j = 0 to Digraph.out_degree g u - 1 do
+          target.(Digraph.edge_index g u j) <- Digraph.out_port_target_port g u j
+        done)
+      (Digraph.vertices g);
+    let states =
+      Array.init n (fun v ->
+          P.initial_state ~out_degree:(Digraph.out_degree g v)
+            ~in_degree:(Digraph.in_degree g v))
+    in
+    let visited = Array.make n false in
+    let edge_messages = Array.make (Stdlib.max ne 1) 0 in
+    let edge_bits = Array.make (Stdlib.max ne 1) 0 in
+    let total_bits = ref 0 in
+    let max_message_bits = ref 0 in
+    let deliveries = ref 0 in
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let push, pop = make_pool scheduler in
+    let next_seq = ref 0 in
+    let max_state_bits = ref 0 in
+    let in_flight = ref 0 in
+    let max_in_flight = ref 0 in
+    let note_state st =
+      let b = P.state_bits st in
+      if b > !max_state_bits then max_state_bits := b
+    in
+    let send fv fp msg =
+      let edge = Digraph.edge_index g fv fp in
+      let tv, tp = target.(edge) in
+      for _ = 1 to Faults.copies faults do
+        push { seq = !next_seq; fv; fp; tv; tp; edge; msg };
+        incr next_seq;
+        incr in_flight;
+        if !in_flight > !max_in_flight then max_in_flight := !in_flight
+      done
+    in
+    (* The root spontaneously emits sigma0. *)
+    List.iter
+      (fun (j, msg) -> send (Digraph.source g) j msg)
+      (P.root_emit ~out_degree:(Digraph.out_degree g (Digraph.source g)));
+    visited.(Digraph.source g) <- true;
+    let outcome = ref Quiescent in
+    let running = ref true in
+    while !running do
+      if !deliveries >= step_limit then begin
+        outcome := Step_limit;
+        running := false
+      end
+      else begin
+        match pop () with
+        | None ->
+            outcome := (if P.accepting states.(t) then Terminated else Quiescent);
+            running := false
+        | Some f ->
+            incr deliveries;
+            decr in_flight;
+            (* Charge the exact wire size. *)
+            let w = Bitio.Bit_writer.create () in
+            P.encode w f.msg;
+            let bits = Bitio.Bit_writer.length w + payload_bits in
+            if verify_codec then begin
+              let r =
+                Bitio.Bit_reader.of_string
+                  ~length_bits:(Bitio.Bit_writer.length w)
+                  (Bitio.Bit_writer.to_string w)
+              in
+              let decoded =
+                try P.decode r
+                with exn ->
+                  raise
+                    (Codec_mismatch
+                       (Printf.sprintf "%s: decode raised %s" P.name
+                          (Printexc.to_string exn)))
+              in
+              if not (P.equal_message decoded f.msg) then
+                raise
+                  (Codec_mismatch
+                     (Format.asprintf "%s: %a decoded as %a" P.name P.pp_message
+                        f.msg P.pp_message decoded));
+              if not (Bitio.Bit_reader.at_end r) then
+                raise
+                  (Codec_mismatch
+                     (Printf.sprintf "%s: %d trailing bits after decode" P.name
+                        (Bitio.Bit_reader.remaining r)))
+            end;
+            let key =
+              string_of_int (Bitio.Bit_writer.length w)
+              ^ ":"
+              ^ Bitio.Bit_writer.to_string w
+            in
+            if not (Hashtbl.mem seen key) then Hashtbl.add seen key ();
+            total_bits := !total_bits + bits;
+            edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
+            edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
+            if bits > !max_message_bits then max_message_bits := bits;
+            (match on_deliver with
+            | Some hook ->
+                hook
+                  {
+                    step = !deliveries;
+                    from_vertex = f.fv;
+                    from_port = f.fp;
+                    to_vertex = f.tv;
+                    to_port = f.tp;
+                    bits;
+                  }
+                  f.msg
+            | None -> ());
+            visited.(f.tv) <- true;
+            let state', sends =
+              P.receive
+                ~out_degree:(Digraph.out_degree g f.tv)
+                ~in_degree:(Digraph.in_degree g f.tv)
+                states.(f.tv) f.msg ~in_port:f.tp
+            in
+            states.(f.tv) <- state';
+            note_state state';
+            List.iter (fun (j, msg) -> send f.tv j msg) sends;
+            if f.tv = t && P.accepting state' then begin
+              outcome := Terminated;
+              running := false
+            end
+      end
+    done;
+    {
+      outcome = !outcome;
+      deliveries = !deliveries;
+      total_bits = !total_bits;
+      max_edge_bits = Array.fold_left Stdlib.max 0 edge_bits;
+      max_message_bits = !max_message_bits;
+      max_state_bits = !max_state_bits;
+      max_in_flight = !max_in_flight;
+      distinct_messages = Hashtbl.length seen;
+      edge_messages;
+      edge_bits;
+      visited;
+      states;
+    }
+end

@@ -1,0 +1,64 @@
+(** Asynchronous execution of an anonymous protocol over a network.
+
+    The engine injects the protocol's initial emission on the out-edges of
+    [s], then repeatedly asks the {!Scheduler} for an in-flight message,
+    delivers it to its target vertex, applies the protocol's [receive], and
+    puts the produced messages in flight.  It stops as soon as the terminal's
+    state becomes accepting ([Terminated]), when no message is in flight
+    ([Quiescent] — how "the protocol never halts" manifests in a finite
+    simulation of the paper's non-termination cases), or at a step limit.
+
+    Every delivery is charged its exact encoded size in bits (plus
+    [payload_bits], modelling the broadcast message [m] that rides on every
+    protocol message), giving the paper's three complexity measures directly:
+    total communication, required bandwidth (max bits over one edge), and
+    message-size bounds.  Per-vertex memory (the state-space quality measure
+    of Section 2) is tracked as [max_state_bits]. *)
+
+type outcome =
+  | Terminated  (** The terminal's stopping predicate fired. *)
+  | Quiescent  (** No messages in flight and the terminal never accepted. *)
+  | Step_limit  (** Aborted; indicates a diverging protocol or a tiny limit. *)
+
+type 'state report = {
+  outcome : outcome;
+  deliveries : int;  (** Total messages delivered. *)
+  total_bits : int;  (** Total communication complexity, in bits. *)
+  max_edge_bits : int;  (** Required bandwidth: max bits over a single edge. *)
+  max_message_bits : int;  (** Largest single message. *)
+  max_state_bits : int;  (** Largest per-vertex state ever held. *)
+  max_in_flight : int;  (** Channel high-water mark: most messages in flight. *)
+  distinct_messages : int;  (** |Sigma_G|: distinct symbols seen on edges. *)
+  edge_messages : int array;  (** Per dense edge index. *)
+  edge_bits : int array;
+  visited : bool array;  (** Vertices that received at least one message. *)
+  states : 'state array;  (** Final state of every vertex. *)
+}
+
+type event = {
+  step : int;
+  from_vertex : Digraph.vertex;
+  from_port : int;
+  to_vertex : Digraph.vertex;
+  to_port : int;
+  bits : int;
+}
+(** One delivery, as seen by a trace hook. *)
+
+exception Codec_mismatch of string
+(** Raised in [verify_codec] mode when a message does not round-trip
+    through its wire encoding. *)
+
+module Make (P : Protocol_intf.PROTOCOL) : sig
+  val run :
+    ?scheduler:Scheduler.t ->
+    ?payload_bits:int ->
+    ?step_limit:int ->
+    ?faults:Faults.t ->
+    ?verify_codec:bool ->
+    ?on_deliver:(event -> P.message -> unit) ->
+    Digraph.t ->
+    P.state report
+  (** Defaults: [scheduler = Fifo], [payload_bits = 0],
+      [step_limit = 10_000_000], no faults, [verify_codec = false]. *)
+end

@@ -1,0 +1,18 @@
+type t = { drop : float; duplicate : float; prng : Prng.t option }
+
+let none = { drop = 0.0; duplicate = 0.0; prng = None }
+
+let create ?(drop = 0.0) ?(duplicate = 0.0) ~seed () =
+  if drop < 0.0 || drop > 1.0 || duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Faults.create: probabilities must be in [0,1]";
+  { drop; duplicate; prng = Some (Prng.create seed) }
+
+let copies f =
+  match f.prng with
+  | None -> 1
+  | Some prng ->
+      if Prng.chance prng f.drop then 0
+      else if Prng.chance prng f.duplicate then 2
+      else 1
+
+let is_none f = f.prng = None

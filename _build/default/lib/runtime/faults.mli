@@ -1,0 +1,30 @@
+(** Channel fault injection.
+
+    The paper's model assumes reliable (if arbitrarily slow) channels; these
+    knobs let the test-suite probe what actually depends on that assumption:
+
+    - {e drops}: no protocol in the paper retransmits, so any lost message
+      must show up as non-termination, never as a false positive — this
+      safety direction holds for every protocol and is property-tested;
+    - {e duplication}: a re-delivered alpha commodity is indistinguishable
+      from a detected cycle, so the scalar protocols double-count flow and
+      even the interval protocols of Sections 4/5 can beta-flood coverage
+      for values still in flight — both can falsely terminate (the paper's
+      reliance on exactly-once channels is real).  The one exception is the
+      mapping protocol: its termination additionally waits for one
+      adjacency fact per announced out-edge, and facts are only minted by
+      labeled (hence visited) vertices, which restores duplication
+      safety. *)
+
+type t
+
+val none : t
+
+val create : ?drop:float -> ?duplicate:float -> seed:int -> unit -> t
+(** Probabilities per sent message; both default to 0. *)
+
+val copies : t -> int
+(** How many copies of the next sent message actually enter the channel:
+    0 (dropped), 1 (normal) or 2 (duplicated). *)
+
+val is_none : t -> bool

@@ -1,0 +1,57 @@
+(** The anonymous-protocol signature of Section 2.
+
+    A protocol is [(Pi, Sigma, pi0, sigma0, f, g, S)].  Our [receive]
+    fuses [f] and [g]: one incoming message produces the successor state and
+    the batch of outgoing messages ([g = phi] ports simply don't appear in
+    the list).  A vertex is given nothing but its own degrees and the
+    in-port the message arrived on — the full extent of the knowledge the
+    model allows. *)
+
+module type PROTOCOL = sig
+  type state
+  type message
+
+  val name : string
+
+  val initial_state : out_degree:int -> in_degree:int -> state
+  (** The common initial state [pi0] (degree-indexed, since a vertex does
+      know its own degrees). *)
+
+  val root_emit : out_degree:int -> (int * message) list
+  (** The root's spontaneous emission [sigma0].  The paper's base model has
+      a single out-edge at [s]; this hook realizes the extension to roots
+      with several out-edges (Section 2: "our results can be easily
+      extended...") — commodity-based protocols split their unit commodity
+      across the ports rather than duplicating it. *)
+
+  val receive :
+    out_degree:int ->
+    in_degree:int ->
+    state ->
+    message ->
+    in_port:int ->
+    state * (int * message) list
+  (** [receive ~out_degree ~in_degree pi sigma ~in_port] is
+      [(f pi sigma i, [(j, g pi sigma i j); ...])]. *)
+
+  val accepting : state -> bool
+  (** The stopping predicate [S], evaluated by the environment on the
+      terminal's state. *)
+
+  val encode : Bitio.Bit_writer.t -> message -> unit
+  (** Concrete self-delimiting wire encoding; its length is what the
+      instrumentation charges to the edge. *)
+
+  val decode : Bitio.Bit_reader.t -> message
+  (** Inverse of {!encode}; the engine's [verify_codec] mode decodes every
+      message it delivers and checks it round-trips. *)
+
+  val equal_message : message -> message -> bool
+
+  val state_bits : state -> int
+  (** Approximate size of the state in bits — the paper's memory-per-vertex
+      quality measure (Section 2, "Quality"). *)
+
+  val pp_message : Format.formatter -> message -> unit
+  val pp_state : Format.formatter -> state -> unit
+end

@@ -1,0 +1,13 @@
+(** Asynchronous simulation of anonymous protocols (Section 2's model).
+
+    - {!Protocol_intf} — the [(Pi, Sigma, pi0, sigma0, f, g, S)] signature;
+    - {!Engine} — discrete-event executor with bit-exact accounting;
+    - {!Scheduler} — asynchronous delivery orders, including adversarial ones;
+    - {!Trace} — execution recording for tests. *)
+
+module Protocol_intf = Protocol_intf
+module Engine = Engine
+module Sync_engine = Sync_engine
+module Scheduler = Scheduler
+module Faults = Faults
+module Trace = Trace

@@ -1,0 +1,11 @@
+type t =
+  | Fifo
+  | Lifo
+  | Random of Prng.t
+  | Edge_priority of (int -> int)
+
+let describe = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Random _ -> "random"
+  | Edge_priority _ -> "edge-priority"

@@ -1,0 +1,22 @@
+(** Asynchronous delivery schedules.
+
+    The model of Section 2 is fully asynchronous: an adversary may delay any
+    in-flight message arbitrarily.  The paper's correctness claims hold for
+    {e every} schedule, so the engine abstracts delivery order behind this
+    type and the test-suite re-runs protocols under many schedules.  Since
+    the protocols are delta-based and state-monotone, no per-edge FIFO
+    assumption is made — [Lifo] and [Random] freely reorder messages that
+    share an edge. *)
+
+type t =
+  | Fifo  (** Deliver in send order: the "synchronous-looking" schedule. *)
+  | Lifo  (** Always deliver the newest message: depth-first progress. *)
+  | Random of Prng.t
+      (** Uniformly random in-flight message: the schedule used for
+          randomized stress tests. *)
+  | Edge_priority of (int -> int)
+      (** Deliver the in-flight message whose dense edge index minimizes the
+          given function (ties by send order); an adversarial family —
+          e.g. starving the direct edges to [t] for as long as possible. *)
+
+val describe : t -> string

@@ -1,0 +1,51 @@
+type t = { mutable rev_events : Engine.event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let hook tr (ev : Engine.event) _msg =
+  tr.rev_events <- ev :: tr.rev_events;
+  tr.count <- tr.count + 1
+
+let events tr = List.rev tr.rev_events
+
+let length tr = tr.count
+
+let sends_per_vertex tr ~n =
+  let a = Array.make n 0 in
+  List.iter (fun (ev : Engine.event) -> a.(ev.from_vertex) <- a.(ev.from_vertex) + 1) tr.rev_events;
+  a
+
+let receives_per_vertex tr ~n =
+  let a = Array.make n 0 in
+  List.iter (fun (ev : Engine.event) -> a.(ev.to_vertex) <- a.(ev.to_vertex) + 1) tr.rev_events;
+  a
+
+let render ?(limit = 100) tr =
+  let buf = Buffer.create 256 in
+  let rec go shown = function
+    | [] -> ()
+    | _ when shown >= limit ->
+        Buffer.add_string buf
+          (Printf.sprintf "... (%d more deliveries)\n" (tr.count - shown))
+    | (ev : Engine.event) :: rest ->
+        Buffer.add_string buf
+          (Printf.sprintf "#%-5d %d.%d -> %d.%d  %4d bits\n" ev.step
+             ev.from_vertex ev.from_port ev.to_vertex ev.to_port ev.bits);
+        go (shown + 1) rest
+  in
+  go 0 (events tr);
+  Buffer.contents buf
+
+let edge_first_use tr =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (ev : Engine.event) ->
+      let key = (ev.from_vertex, ev.from_port) in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        (key, ev.step) :: acc
+      end)
+    []
+    (events tr)
+  |> List.rev

@@ -1,0 +1,29 @@
+(** Delivery-trace collection, for tests that inspect executions (e.g. the
+    Lemma 3.3 check that on grounded trees every vertex transmits exactly
+    once per out-edge). *)
+
+type t
+
+val create : unit -> t
+
+val hook : t -> Engine.event -> 'msg -> unit
+(** Pass [hook tr] as the engine's [on_deliver]. *)
+
+val events : t -> Engine.event list
+(** In delivery order. *)
+
+val length : t -> int
+
+val sends_per_vertex : t -> n:int -> int array
+(** How many message deliveries originated at each vertex. *)
+
+val receives_per_vertex : t -> n:int -> int array
+
+val render : ?limit:int -> t -> string
+(** Human-readable delivery log, one line per event
+    (["#12  3.0 -> 5.1   17 bits"]); at most [limit] lines
+    (default 100), with a truncation notice beyond that. *)
+
+val edge_first_use : t -> ((Digraph.vertex * int) * int) list
+(** For each (source vertex, out-port) edge that carried traffic, the step
+    of its first delivery — in first-use order. *)

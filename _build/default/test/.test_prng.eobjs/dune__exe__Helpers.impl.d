@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bignat Digraph Exact Format Intervals List Prng QCheck QCheck_alcotest Runtime

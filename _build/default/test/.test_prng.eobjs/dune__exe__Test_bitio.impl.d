@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Bignat Bitio Exact Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_dag_broadcast.ml: Alcotest Anonet Array Digraph Exact Helpers List Prng QCheck Runtime

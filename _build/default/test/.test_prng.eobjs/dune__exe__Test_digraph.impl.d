@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraph Helpers List Prng QCheck String

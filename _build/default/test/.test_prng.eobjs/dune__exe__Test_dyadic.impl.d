@@ -1,0 +1,1 @@
+test/test_dyadic.ml: Alcotest Bignat Exact Helpers QCheck

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Anonet Array Digraph Exact Helpers Intervals List Printf Prng QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_general_broadcast.ml: Alcotest Anonet Array Digraph Helpers Intervals List Prng QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Anonet Array Digraph Exact Helpers Intervals List Prng Runtime

@@ -1,0 +1,1 @@
+test/test_interval_core.ml: Alcotest Anonet Array Exact Helpers Intervals List Printf QCheck

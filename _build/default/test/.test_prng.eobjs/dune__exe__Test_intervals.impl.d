@@ -1,0 +1,1 @@
+test/test_intervals.ml: Alcotest Bignat Bitio Exact Helpers Intervals List QCheck

@@ -1,0 +1,1 @@
+test/test_labeling.ml: Alcotest Anonet Array Bignat Digraph Exact Helpers Intervals List Prng QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_lower_bounds.ml: Alcotest Anonet Array Digraph Exact Helpers Intervals List Printf Prng Runtime

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Anonet Array Digraph Helpers Intervals List Printf Prng QCheck Runtime

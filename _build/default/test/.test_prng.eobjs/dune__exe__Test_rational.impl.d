@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bignat Exact Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Anonet Array Bitio Digraph Format Helpers Int List Prng Runtime String

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Anonet Array Digraph Helpers Intervals List Prng QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_tree_broadcast.ml: Alcotest Anonet Array Bignat Digraph Exact Helpers List Printf Prng QCheck Runtime

@@ -1,0 +1,1 @@
+test/test_undirected.ml: Alcotest Anonet Array Bitio Digraph Helpers List Printf Prng QCheck Runtime

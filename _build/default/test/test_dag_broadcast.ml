@@ -1,0 +1,165 @@
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+module Dy = Exact.Dyadic
+open Helpers
+
+module Dag = Anonet.Dag_broadcast_pow2
+module Dag_engine = Anonet.Dag_engine
+module Dag_naive_engine = Anonet.Dag_naive_engine
+
+let test_terminates_on_dag_families () =
+  List.iter
+    (fun (name, g) ->
+      let st = Anonet.broadcast_dag g in
+      Alcotest.check outcome (name ^ " terminates") E.Terminated st.outcome;
+      Alcotest.(check bool) (name ^ " visits all") true st.all_visited)
+    [
+      ("diamond", F.diamond ());
+      ("grid 3x3", F.grid_dag ~rows:3 ~cols:3);
+      ("grid 1x8", F.grid_dag ~rows:1 ~cols:8);
+      ("comb", F.comb 6);
+      ("full tree", F.full_tree ~height:3 ~degree:2);
+      ("skeleton", F.skeleton ~n:3 ~subset:[| true; false; true |]);
+    ]
+
+let test_one_message_per_edge () =
+  let g = F.grid_dag ~rows:4 ~cols:5 in
+  let r = Dag_engine.run g in
+  Alcotest.check outcome "terminated" E.Terminated r.outcome;
+  Array.iter (fun c -> Alcotest.(check int) "exactly one" 1 c) r.edge_messages;
+  Alcotest.(check int) "deliveries = |E|" (G.n_edges g) r.deliveries
+
+let test_terminal_sums_to_one () =
+  let g = F.grid_dag ~rows:3 ~cols:4 in
+  let r = Dag_engine.run g in
+  Alcotest.check dyadic "conservation at t" Dy.one (Dag.accumulated r.states.(G.terminal g))
+
+let test_deadlock_on_cycles () =
+  List.iter
+    (fun (name, g) ->
+      let st = Anonet.broadcast_dag g in
+      Alcotest.check outcome (name ^ " deadlocks") E.Quiescent st.outcome;
+      Alcotest.(check bool) (name ^ " does not even visit all") false st.all_visited)
+    [
+      ("cycle", F.cycle_with_exit ~k:4);
+      ("figure eight", F.figure_eight ());
+    ]
+
+let test_trap_no_termination () =
+  let g = F.add_trap (F.grid_dag ~rows:3 ~cols:3) ~from_vertex:2 in
+  Alcotest.check outcome "trap blocks" E.Quiescent (Anonet.broadcast_dag g).outcome
+
+let prop_terminates_on_random_dags =
+  qcheck_to_alcotest ~count:100 "terminates on random DAGs, one message per edge"
+    arb_dag (fun g ->
+      let r = Dag_engine.run g in
+      r.outcome = E.Terminated
+      && Array.for_all (fun v -> v) r.visited
+      && r.deliveries = G.n_edges g
+      && Array.for_all (fun c -> c = 1) r.edge_messages)
+
+(* Definition B.1, verified on executions: at every internal vertex the
+   commodity flowing in equals the commodity flowing out (s only emits,
+   t only absorbs). *)
+let prop_commodity_preservation_at_every_vertex =
+  qcheck_to_alcotest ~count:60 "Def B.1: per-vertex flow conservation" arb_dag
+    (fun g ->
+      let n = G.n_vertices g in
+      let inflow = Array.make n Dy.zero and outflow = Array.make n Dy.zero in
+      let hook (ev : E.event) (msg : Dag.message) =
+        outflow.(ev.from_vertex) <- Dy.add outflow.(ev.from_vertex) msg;
+        inflow.(ev.to_vertex) <- Dy.add inflow.(ev.to_vertex) msg
+      in
+      let r = Dag_engine.run ~on_deliver:hook g in
+      r.outcome = E.Terminated
+      && List.for_all
+           (fun v -> Dy.equal inflow.(v) outflow.(v))
+           (G.internal_vertices g)
+      && Dy.equal outflow.(G.source g) Dy.one
+      && Dy.equal inflow.(G.terminal g) Dy.one)
+
+let prop_naive_same_shape =
+  qcheck_to_alcotest ~count:60 "naive rule: same outcome and message count" arb_dag
+    (fun g ->
+      let a = Dag_engine.run g in
+      let b = Dag_naive_engine.run g in
+      a.outcome = b.outcome && a.deliveries = b.deliveries)
+
+let prop_schedule_independent =
+  qcheck_to_alcotest ~count:50 "schedule independent on DAGs"
+    QCheck.(pair arb_dag (int_bound 1000))
+    (fun (g, seed) ->
+      [
+        Runtime.Scheduler.Fifo;
+        Runtime.Scheduler.Lifo;
+        Runtime.Scheduler.Random (Prng.create seed);
+        Runtime.Scheduler.Edge_priority (fun e -> -e);
+      ]
+      |> List.for_all (fun sch ->
+             let st = Anonet.broadcast_dag ~scheduler:sch g in
+             st.outcome = E.Terminated && st.all_visited))
+
+(* Bandwidth shape (Section 3.3): value exponents can reach Theta(|E|), so
+   per-edge bits grow with depth on deep splitting chains. *)
+let test_bandwidth_grows_on_splitting_chains () =
+  let bw k =
+    let subset = Array.make k true in
+    let g = F.skeleton ~n:k ~subset in
+    let r = Dag_engine.run g in
+    Alcotest.check outcome "terminates" E.Terminated r.outcome;
+    r.max_message_bits
+  in
+  let b4 = bw 4 and b16 = bw 16 in
+  Alcotest.(check bool) "bandwidth grows linearly-ish" true (b16 >= b4 + 12)
+
+(* The scalar tree protocol also works on DAGs but sends one message per
+   s->v path; the waiting protocol sends one per edge.  The diamond chain
+   makes the gap exponential. *)
+let test_wait_rule_beats_eager_on_reconverging_dags () =
+  let chain_of_diamonds k =
+    (* s -> d1 -> (a|b) -> d2 -> ... -> t, k diamonds. *)
+    let n = (3 * k) + 1 in
+    (* hub_i = 3i+1; branches 3i+2, 3i+3. *)
+    let t = n + 1 in
+    let edges = ref [ (0, 1) ] in
+    for i = 0 to k - 1 do
+      let hub = (3 * i) + 1 in
+      edges := (hub + 2, hub + 3) :: (hub + 1, hub + 3) :: (hub, hub + 2)
+               :: (hub, hub + 1) :: !edges
+    done;
+    edges := ((3 * k) + 1, t) :: !edges;
+    G.make ~n:(n + 2) ~s:0 ~t (List.rev !edges)
+  in
+  let g = chain_of_diamonds 8 in
+  let waiting = Dag_engine.run g in
+  let eager = Anonet.Tree_engine.run g in
+  Alcotest.check outcome "waiting terminates" E.Terminated waiting.outcome;
+  Alcotest.check outcome "eager also terminates" E.Terminated eager.outcome;
+  Alcotest.(check int) "waiting: one per edge" (G.n_edges g) waiting.deliveries;
+  Alcotest.(check bool) "eager sends one message per path (2^k blowup)" true
+    (eager.deliveries > 250 && eager.deliveries > 4 * waiting.deliveries)
+
+let () =
+  Alcotest.run "dag-broadcast"
+    [
+      ( "termination",
+        [
+          Alcotest.test_case "families terminate" `Quick test_terminates_on_dag_families;
+          Alcotest.test_case "one message per edge" `Quick test_one_message_per_edge;
+          Alcotest.test_case "conservation at t" `Quick test_terminal_sums_to_one;
+          Alcotest.test_case "cycles deadlock" `Quick test_deadlock_on_cycles;
+          Alcotest.test_case "trap blocks" `Quick test_trap_no_termination;
+          prop_terminates_on_random_dags;
+          prop_schedule_independent;
+          prop_commodity_preservation_at_every_vertex;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "bandwidth grows on chains" `Quick
+            test_bandwidth_grows_on_splitting_chains;
+          Alcotest.test_case "wait-rule vs eager blowup" `Quick
+            test_wait_rule_beats_eager_on_reconverging_dags;
+          prop_naive_same_shape;
+        ] );
+    ]

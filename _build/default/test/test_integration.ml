@@ -1,0 +1,159 @@
+(* End-to-end scenarios crossing several subsystems: the protocols compared
+   on the same workloads, the full pipeline from graph generation to
+   topology reconstruction, and cross-protocol consistency. *)
+
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+module Is = Intervals.Iset
+open Helpers
+
+(* On grounded trees, all four broadcasting protocols (tree, naive tree,
+   DAG-wait, general) must agree: terminate, visit everything. *)
+let prop_all_protocols_agree_on_trees =
+  qcheck_to_alcotest ~count:60 "all protocols terminate on grounded trees"
+    arb_grounded_tree (fun g ->
+      let runs =
+        [
+          Anonet.broadcast_tree g;
+          Anonet.broadcast_tree_naive g;
+          Anonet.broadcast_dag g;
+          Anonet.broadcast_general g;
+        ]
+      in
+      List.for_all
+        (fun (st : Anonet.stats) -> st.outcome = E.Terminated && st.all_visited)
+        runs)
+
+(* On DAGs, the three applicable protocols agree. *)
+let prop_dag_protocols_agree =
+  qcheck_to_alcotest ~count:60 "dag + general agree on DAGs" arb_dag (fun g ->
+      let a = Anonet.broadcast_dag g in
+      let b = Anonet.broadcast_general g in
+      a.outcome = E.Terminated && b.outcome = E.Terminated && a.all_visited
+      && b.all_visited)
+
+(* General graphs: general broadcast, labeling and mapping agree on
+   termination; mapping reconstructs the graph the others ran on. *)
+let prop_general_pipeline =
+  qcheck_to_alcotest ~count:40 "broadcast, label, map pipeline" arb_digraph (fun g ->
+      let b = Anonet.broadcast_general g in
+      let l, labels = Anonet.assign_labels g in
+      let m, map = Anonet.map_network g in
+      b.outcome = E.Terminated && l.outcome = E.Terminated
+      && m.outcome = E.Terminated
+      && (match map with
+         | Ok m -> Anonet.Mapping.map_isomorphic m g
+         | Error _ -> false)
+      &&
+      let internal = List.map (fun v -> labels.(v)) (G.internal_vertices g) in
+      pairwise_disjoint internal
+      && List.for_all (fun l -> not (Is.is_empty l)) internal)
+
+(* Protocol cost ordering on the same workload: the richer the protocol, the
+   more it communicates. *)
+let test_cost_ordering () =
+  let prng = Prng.create 1234 in
+  let g = F.random_dag prng ~n:60 ~extra_edges:40 ~t_edge_prob:0.2 in
+  let dag = Anonet.broadcast_dag g in
+  let general = Anonet.broadcast_general g in
+  let label, _ = Anonet.assign_labels g in
+  let mapping, _ = Anonet.map_network g in
+  Alcotest.(check bool) "dag <= general" true (dag.total_bits <= general.total_bits);
+  Alcotest.(check bool) "general <= labeling" true
+    (general.total_bits <= label.total_bits);
+  Alcotest.(check bool) "labeling <= mapping" true
+    (label.total_bits <= mapping.total_bits)
+
+(* The engine's quiescence captures the paper's non-termination exactly:
+   adding a single trap flips every protocol from Terminated to Quiescent. *)
+let test_trap_flips_everything () =
+  let g = F.grid_dag ~rows:3 ~cols:3 in
+  let trapped = F.add_trap g ~from_vertex:1 in
+  let check name before after =
+    Alcotest.check outcome (name ^ " before") E.Terminated before;
+    Alcotest.check outcome (name ^ " after") E.Quiescent after
+  in
+  check "tree" (Anonet.broadcast_tree g).outcome
+    (Anonet.broadcast_tree trapped).outcome;
+  check "dag" (Anonet.broadcast_dag g).outcome (Anonet.broadcast_dag trapped).outcome;
+  check "general" (Anonet.broadcast_general g).outcome
+    (Anonet.broadcast_general trapped).outcome;
+  check "labeling" (fst (Anonet.assign_labels g)).outcome
+    (fst (Anonet.assign_labels trapped)).outcome;
+  check "mapping" (fst (Anonet.map_network g)).outcome
+    (fst (Anonet.map_network trapped)).outcome
+
+(* A realistic composite: label a network, then use the labels as routing
+   identities — the promise of the paper's conclusion.  We verify that the
+   reconstructed map can answer reachability queries identically to the
+   ground truth. *)
+let test_map_supports_queries () =
+  let prng = Prng.create 77 in
+  let g =
+    F.random_digraph prng ~n:25 ~extra_edges:15 ~back_edges:6 ~t_edge_prob:0.2
+  in
+  match Anonet.map_network g with
+  | _, Error e -> Alcotest.fail e
+  | _, Ok m ->
+      let reach_truth = G.reachable_from_s g in
+      let reach_map = G.reachable_from_s m.Anonet.Mapping.graph in
+      Alcotest.(check int) "same reachable count"
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 reach_truth)
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 reach_map);
+      let comp_truth = snd (G.scc g) in
+      let comp_map = snd (G.scc m.Anonet.Mapping.graph) in
+      Alcotest.(check int) "same scc count" comp_truth comp_map
+
+(* Stress: a larger network exercising bignum endpoints deep enough to leave
+   the native int range. *)
+let test_deep_chain_precision () =
+  let g = F.path 200 in
+  let st = Anonet.broadcast_tree g in
+  Alcotest.check outcome "deep path terminates" E.Terminated st.outcome;
+  let stl, labels = Anonet.assign_labels g in
+  Alcotest.check outcome "deep labeling terminates" E.Terminated stl.outcome;
+  (* 200 nested halvings: endpoints far beyond 64-bit precision. *)
+  let deepest = labels.(200) in
+  Alcotest.(check bool) "deep label non-empty" false (Is.is_empty deepest);
+  Alcotest.(check bool) "deep label tiny but exact" true
+    (Exact.Dyadic.compare (Is.measure deepest) (Exact.Dyadic.pow2 (-150)) < 0)
+
+let test_wide_fanout () =
+  (* One vertex with out-degree 64 feeding t through 64 relays. *)
+  let d = 64 in
+  let hub = 1 in
+  let t = d + 2 in
+  let edges =
+    ((0, hub) :: List.init d (fun i -> (hub, 2 + i)))
+    @ List.init d (fun i -> (2 + i, t))
+  in
+  let g = G.make ~n:(d + 3) ~s:0 ~t edges in
+  List.iter
+    (fun (name, (st : Anonet.stats)) ->
+      Alcotest.check outcome (name ^ " wide fanout") E.Terminated st.outcome)
+    [
+      ("tree", Anonet.broadcast_tree g);
+      ("naive", Anonet.broadcast_tree_naive g);
+      ("dag", Anonet.broadcast_dag g);
+      ("general", Anonet.broadcast_general g);
+    ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cross-protocol",
+        [
+          prop_all_protocols_agree_on_trees;
+          prop_dag_protocols_agree;
+          prop_general_pipeline;
+          Alcotest.test_case "cost ordering" `Quick test_cost_ordering;
+          Alcotest.test_case "trap flips everything" `Quick test_trap_flips_everything;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "map answers queries" `Quick test_map_supports_queries;
+          Alcotest.test_case "deep chain precision" `Quick test_deep_chain_precision;
+          Alcotest.test_case "wide fanout" `Quick test_wide_fanout;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+module LB = Anonet.Lower_bounds
+module Is = Intervals.Iset
+open Helpers
+
+(* {1 Theorem 3.2: comb alphabet} *)
+
+let test_comb_symbols_grow_linearly () =
+  List.iter
+    (fun n ->
+      let r = LB.comb_symbols n in
+      Alcotest.(check int) "edge count" (2 * n) r.LB.edges;
+      (* Lemma 3.7 separates the n chain edges pairwise (the paper states
+         n+1, an off-by-one: v_n has out-degree 1).  Our protocol uses
+         exactly the n values 1, 1/2, ..., 1/2^(n-1). *)
+      Alcotest.(check int) (Printf.sprintf "distinct symbols at n=%d" n) n
+        r.LB.distinct_symbols)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_comb_total_bits_superlinear () =
+  (* Omega(|E| log |E|): bits per n strictly outgrow linear scaling. *)
+  let r16 = LB.comb_symbols 16 and r256 = LB.comb_symbols 256 in
+  let per_edge16 = float_of_int r16.LB.total_bits /. float_of_int r16.LB.edges in
+  let per_edge256 = float_of_int r256.LB.total_bits /. float_of_int r256.LB.edges in
+  Alcotest.(check bool) "per-edge cost grows with |E|" true (per_edge256 > per_edge16)
+
+let test_comb_bandwidth_logarithmic () =
+  (* O(log |E|) bandwidth: doubling n adds O(1) bits to the widest edge. *)
+  let b64 = (LB.comb_symbols 64).LB.max_edge_bits in
+  let b128 = (LB.comb_symbols 128).LB.max_edge_bits in
+  Alcotest.(check bool) "log growth" true (b128 - b64 <= 8 && b128 >= b64)
+
+(* {1 Theorem 3.8: skeleton quantities} *)
+
+let test_skeleton_all_subsets_distinct_pow2 () =
+  List.iter
+    (fun n ->
+      let r = LB.skeleton_quantities_pow2 ~n in
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d distinct quantities" n)
+        r.LB.subsets r.LB.distinct_quantities)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_skeleton_all_subsets_distinct_naive () =
+  List.iter
+    (fun n ->
+      let r = LB.skeleton_quantities_naive ~n in
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d distinct (naive)" n)
+        r.LB.subsets r.LB.distinct_quantities)
+    [ 1; 2; 3; 4; 5 ]
+
+(* Appendix B, inequality chain (1): on the skeleton the quantities entering
+   the spine and hang-off vertices satisfy
+   q(u_{2i+2}) < q(v_{2i+2}) <= q(v_{2i+1})/2 <= q(u_{2i})/2. *)
+let test_skeleton_inequality_chain () =
+  let module Dy = Exact.Dyadic in
+  let n = 5 in
+  let subset = Array.make n true in
+  let g = Digraph.Families.skeleton ~n ~subset in
+  let nv = Digraph.n_vertices g in
+  let inflow = Array.make nv Dy.zero in
+  let module P = Anonet.Dag_broadcast_pow2 in
+  let module E2 = Anonet.Dag_engine in
+  let hook (ev : Runtime.Engine.event) (msg : P.message) =
+    inflow.(ev.to_vertex) <- Dy.add inflow.(ev.to_vertex) msg
+  in
+  let r = E2.run ~on_deliver:hook g in
+  Alcotest.(check bool) "terminated" true (r.outcome = Runtime.Engine.Terminated);
+  (* Vertex ids per the family: v_i = 1+i, u_i = 1+2n+i. *)
+  let v i = 1 + i and u i = 1 + (2 * n) + i in
+  let q x = inflow.(x) in
+  let lt a b = Dy.compare a b < 0 and le a b = Dy.compare a b <= 0 in
+  for i = 0 to n - 3 do
+    Alcotest.(check bool) "q(u_{2i+2}) < q(v_{2i+2})" true
+      (lt (q (u ((2 * i) + 2))) (q (v ((2 * i) + 2))));
+    Alcotest.(check bool) "q(v_{2i+2}) <= q(v_{2i+1})/2" true
+      (le (q (v ((2 * i) + 2))) (Dy.div_pow2 (q (v ((2 * i) + 1))) 1));
+    Alcotest.(check bool) "q(v_{2i+1}) <= q(u_{2i})" true
+      (le (q (v ((2 * i) + 1))) (q (u (2 * i))))
+  done
+
+let test_skeleton_bandwidth_linear () =
+  (* The largest w->t quantity needs Omega(n) bits. *)
+  let r4 = LB.skeleton_quantities_pow2 ~n:4 in
+  let r8 = LB.skeleton_quantities_pow2 ~n:8 in
+  Alcotest.(check bool) "max quantity bits grow linearly" true
+    (r8.LB.max_quantity_bits >= r4.LB.max_quantity_bits + 6)
+
+(* {1 Linear cuts: the Appendix A machinery, verified on executions} *)
+
+module Dy = Exact.Dyadic
+
+let test_linear_cuts_of_path () =
+  (* On a path with n internal vertices there are exactly n+1 linear cuts
+     (one per prefix). *)
+  let g = Digraph.Families.path 4 in
+  Alcotest.(check int) "cut count" 5 (List.length (LB.linear_cuts g))
+
+let test_linear_cut_conservation () =
+  (* Lemma 3.5 via flow conservation: the termination values crossing any
+     linear cut sum to exactly 1 — i.e. every cut snapshot is terminating. *)
+  List.iter
+    (fun (name, g) ->
+      let cuts = LB.linear_cuts g in
+      Alcotest.(check bool) (name ^ " has cuts") true (List.length cuts >= 2);
+      List.iter
+        (fun cut ->
+          let values = LB.cut_crossing_values g cut in
+          Alcotest.check Helpers.dyadic (name ^ ": cut sums to one") Dy.one
+            (Dy.sum values))
+        cuts)
+    [
+      ("comb 5", Digraph.Families.comb 5);
+      ("full tree", Digraph.Families.full_tree ~height:2 ~degree:3);
+      ("random tree", Digraph.Families.random_grounded_tree (Prng.create 5) ~n:8 ~t_edge_prob:0.4);
+    ]
+
+let test_theorem_3_6_no_strict_subset () =
+  (* Theorem 3.6: crossing multisets of two linear cuts — even from
+     different grounded trees — are never in strict inclusion. *)
+  let graphs =
+    [
+      Digraph.Families.comb 4;
+      Digraph.Families.comb 6;
+      Digraph.Families.full_tree ~height:2 ~degree:2;
+      Digraph.Families.random_grounded_tree (Prng.create 9) ~n:7 ~t_edge_prob:0.4;
+    ]
+  in
+  let multisets =
+    List.concat_map
+      (fun g -> List.map (LB.cut_crossing_values g) (LB.linear_cuts g))
+      graphs
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "no strict multiset inclusion" false
+            (LB.multiset_strict_subset a b))
+        multisets)
+    multisets
+
+let test_linear_cut_conservation_on_dags () =
+  (* The remark after Lemma 3.5: the cut machinery applies to DAGs too —
+     under the wait-for-all-ports protocol every cut snapshot still carries
+     total flow exactly 1. *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun cut ->
+          let values = LB.cut_crossing_values_dag g cut in
+          Alcotest.check Helpers.dyadic (name ^ ": DAG cut sums to one") Dy.one
+            (Dy.sum values))
+        (LB.linear_cuts g))
+    [
+      ("diamond", Digraph.Families.diamond ());
+      ("grid 2x3", Digraph.Families.grid_dag ~rows:2 ~cols:3);
+      ("skeleton", Digraph.Families.skeleton ~n:2 ~subset:[| true; false |]);
+      ("random dag", Digraph.Families.random_dag (Prng.create 12) ~n:7 ~extra_edges:5 ~t_edge_prob:0.4);
+    ]
+
+let test_multiset_subset_primitive () =
+  let one = Dy.one and half = Dy.half in
+  Alcotest.(check bool) "strict" true
+    (LB.multiset_strict_subset [ half ] [ half; one ]);
+  Alcotest.(check bool) "equal not strict" false
+    (LB.multiset_strict_subset [ half; one ] [ half; one ]);
+  Alcotest.(check bool) "multiplicity respected" false
+    (LB.multiset_strict_subset [ half; half ] [ half; one ]);
+  Alcotest.(check bool) "empty strict subset" true
+    (LB.multiset_strict_subset [] [ one ])
+
+(* {1 Theorem 5.2: label lower bound} *)
+
+let test_pruned_label_grows_with_height () =
+  let l2 = (LB.pruned_label ~height:2 ~degree:3).LB.label_bits in
+  let l8 = (LB.pruned_label ~height:8 ~degree:3).LB.label_bits in
+  let l16 = (LB.pruned_label ~height:16 ~degree:3).LB.label_bits in
+  Alcotest.(check bool) "monotone in height" true (l2 < l8 && l8 < l16);
+  (* Linear in height: the per-level increment is about log2(degree+1). *)
+  Alcotest.(check bool) "roughly linear" true (l16 - l8 >= (l8 - l2) / 2)
+
+let test_pruned_label_grows_with_degree () =
+  let d2 = (LB.pruned_label ~height:6 ~degree:2).LB.label_bits in
+  let d16 = (LB.pruned_label ~height:6 ~degree:16).LB.label_bits in
+  Alcotest.(check bool) "monotone in degree" true (d2 < d16)
+
+let test_pruned_has_few_vertices () =
+  let r = LB.pruned_label ~height:10 ~degree:8 in
+  Alcotest.(check int) "h+3 vertices" 13 r.LB.vertices;
+  (* ... yet the label already needs many bits: the exponential gap. *)
+  Alcotest.(check bool) "label bits >> log2(vertices)" true (r.LB.label_bits > 30)
+
+let test_full_equals_pruned () =
+  List.iter
+    (fun (height, degree) ->
+      let full_label, pruned_label = LB.full_vs_pruned_leaf_labels ~height ~degree in
+      Alcotest.check iset
+        (Printf.sprintf "h=%d d=%d: identical execution along the path" height degree)
+        full_label pruned_label;
+      Alcotest.(check bool) "non-empty" false (Is.is_empty pruned_label))
+    [ (1, 2); (2, 2); (3, 2); (2, 3); (3, 3); (4, 2); (2, 4) ]
+
+let () =
+  Alcotest.run "lower-bounds"
+    [
+      ( "comb (Thm 3.2)",
+        [
+          Alcotest.test_case "distinct symbols linear" `Quick
+            test_comb_symbols_grow_linearly;
+          Alcotest.test_case "total bits superlinear" `Quick
+            test_comb_total_bits_superlinear;
+          Alcotest.test_case "bandwidth logarithmic" `Quick
+            test_comb_bandwidth_logarithmic;
+        ] );
+      ( "linear-cuts (App A)",
+        [
+          Alcotest.test_case "path cut count" `Quick test_linear_cuts_of_path;
+          Alcotest.test_case "Lemma 3.5: cuts are terminating" `Quick
+            test_linear_cut_conservation;
+          Alcotest.test_case "Thm 3.6: no strict inclusion" `Quick
+            test_theorem_3_6_no_strict_subset;
+          Alcotest.test_case "Lemma 3.5 on DAGs" `Quick
+            test_linear_cut_conservation_on_dags;
+          Alcotest.test_case "multiset primitive" `Quick test_multiset_subset_primitive;
+        ] );
+      ( "skeleton (Thm 3.8)",
+        [
+          Alcotest.test_case "2^n distinct (pow2)" `Quick
+            test_skeleton_all_subsets_distinct_pow2;
+          Alcotest.test_case "2^n distinct (naive)" `Quick
+            test_skeleton_all_subsets_distinct_naive;
+          Alcotest.test_case "bandwidth linear" `Quick test_skeleton_bandwidth_linear;
+          Alcotest.test_case "inequality chain (1)" `Quick
+            test_skeleton_inequality_chain;
+        ] );
+      ( "pruning (Thm 5.2)",
+        [
+          Alcotest.test_case "label grows with height" `Quick
+            test_pruned_label_grows_with_height;
+          Alcotest.test_case "label grows with degree" `Quick
+            test_pruned_label_grows_with_degree;
+          Alcotest.test_case "few vertices, long label" `Quick
+            test_pruned_has_few_vertices;
+          Alcotest.test_case "full = pruned along path" `Quick test_full_equals_pruned;
+        ] );
+    ]

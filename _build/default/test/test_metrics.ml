@@ -1,0 +1,100 @@
+open Helpers
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_var () =
+  feq "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
+  feq "variance" (2.0 /. 3.0) (Metrics.variance [ 1.0; 2.0; 3.0 ]);
+  feq "stddev of constant" 0.0 (Metrics.stddev [ 4.0; 4.0; 4.0 ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Metrics.mean: empty")
+    (fun () -> ignore (Metrics.mean []))
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  feq "median interp" 2.5 (Metrics.median xs);
+  feq "p0" 1.0 (Metrics.percentile 0.0 xs);
+  feq "p100" 4.0 (Metrics.percentile 100.0 xs);
+  feq "p25" 1.75 (Metrics.percentile 25.0 xs);
+  feq "singleton" 7.0 (Metrics.percentile 60.0 [ 7.0 ]);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Metrics.percentile: p out of range") (fun () ->
+      ignore (Metrics.percentile 120.0 xs))
+
+let test_linear_fit_exact () =
+  let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  let f = Metrics.linear_fit pts in
+  feq "slope" 2.0 f.slope;
+  feq "intercept" 1.0 f.intercept;
+  feq "r2" 1.0 f.r2
+
+let test_linear_fit_errors () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Metrics.linear_fit: need at least two points") (fun () ->
+      ignore (Metrics.linear_fit [ (1.0, 1.0) ]));
+  Alcotest.check_raises "vertical"
+    (Invalid_argument "Metrics.linear_fit: x values are all equal") (fun () ->
+      ignore (Metrics.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_loglog_power_law () =
+  (* y = 3 x^2 exactly. *)
+  let pts = List.map (fun x -> (x, 3.0 *. x *. x)) [ 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let f = Metrics.loglog_fit pts in
+  feq "exponent" 2.0 f.slope;
+  feq "r2" 1.0 f.r2;
+  Alcotest.check_raises "nonpositive rejected"
+    (Invalid_argument "Metrics.loglog_fit: needs positive coordinates") (fun () ->
+      ignore (Metrics.loglog_fit [ (0.0, 1.0); (1.0, 2.0) ]))
+
+let test_growth_ratio () =
+  feq "doubling" 2.0 (Metrics.growth_ratio [ (1.0, 1.0); (2.0, 2.0); (3.0, 4.0) ])
+
+let prop_fit_recovers_line =
+  qcheck_to_alcotest "linear_fit recovers arbitrary lines"
+    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-5.0) 5.0) (int_range 3 20))
+    (fun (a, b, n) ->
+      let pts = List.init n (fun i -> (float_of_int i, a +. (b *. float_of_int i))) in
+      let f = Metrics.linear_fit pts in
+      Float.abs (f.slope -. b) < 1e-6 && Float.abs (f.intercept -. a) < 1e-6)
+
+let prop_loglog_recovers_exponent =
+  qcheck_to_alcotest "loglog_fit recovers power laws"
+    QCheck.(pair (float_range 0.2 3.0) (float_range 0.1 10.0))
+    (fun (k, c) ->
+      let pts = List.map (fun x -> (x, c *. (x ** k))) [ 1.0; 2.0; 4.0; 8.0 ] in
+      let f = Metrics.loglog_fit pts in
+      Float.abs (f.slope -. k) < 1e-6)
+
+let prop_percentile_monotone =
+  qcheck_to_alcotest "percentile monotone in p"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let p25 = Metrics.percentile 25.0 xs in
+      let p50 = Metrics.percentile 50.0 xs in
+      let p75 = Metrics.percentile 75.0 xs in
+      p25 <= p50 && p50 <= p75)
+
+let prop_stddev_nonneg =
+  qcheck_to_alcotest "variance non-negative"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-50.0) 50.0))
+    (fun xs -> Metrics.variance xs >= 0.0)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_var;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
+          Alcotest.test_case "fit errors" `Quick test_linear_fit_errors;
+          Alcotest.test_case "loglog power law" `Quick test_loglog_power_law;
+          Alcotest.test_case "growth ratio" `Quick test_growth_ratio;
+        ] );
+      ( "properties",
+        [
+          prop_fit_recovers_line;
+          prop_loglog_recovers_exponent;
+          prop_percentile_monotone;
+          prop_stddev_nonneg;
+        ] );
+    ]

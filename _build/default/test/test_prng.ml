@@ -1,0 +1,128 @@
+let test_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.create 3 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_diverges () =
+  let a = Prng.create 11 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_one () =
+  let g = Prng.create 5 in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Prng.int g 1)
+  done
+
+let test_int_in () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_covers_range () =
+  let g = Prng.create 13 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    seen.(Prng.int g 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_float_range () =
+  let g = Prng.create 21 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_chance_extremes () =
+  let g = Prng.create 23 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.chance g 0.0);
+    Alcotest.(check bool) "p=1 always" true (Prng.chance g 1.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let g = Prng.create 31 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_list () =
+  let g = Prng.create 37 in
+  let l = List.init 30 (fun i -> i) in
+  let l' = Prng.shuffle_list g l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare l')
+
+let test_sample_without_replacement () =
+  let g = Prng.create 41 in
+  for _ = 1 to 50 do
+    let k = Prng.int_in g 0 10 in
+    let s = Prng.sample_without_replacement g k 10 in
+    Alcotest.(check int) "size k" k (List.length s);
+    Alcotest.(check bool) "distinct sorted in range" true
+      (List.sort_uniq compare s = s && List.for_all (fun v -> v >= 0 && v < 10) s)
+  done
+
+let test_pick () =
+  let g = Prng.create 43 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Prng.pick g a) a)
+  done;
+  Alcotest.(check bool) "pick_list" true
+    (List.mem (Prng.pick_list g [ 1; 2; 3 ]) [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_diverges;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bound=1" `Quick test_int_one;
+          Alcotest.test_case "int_in range" `Quick test_int_in;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle list" `Quick test_shuffle_list;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+module B = Bignat
+module Q = Exact.Rational
+open Helpers
+
+(* {1 Unit tests} *)
+
+let test_normalization () =
+  Alcotest.check rational "6/8 = 3/4" (Q.of_ints 3 4) (Q.of_ints 6 8);
+  Alcotest.check rational "0/5 = 0" Q.zero (Q.of_ints 0 5);
+  Alcotest.check rational "neg/neg" (Q.of_ints 1 2) (Q.of_ints (-1) (-2));
+  Alcotest.(check string) "reduced printing" "3/4" (Q.to_string (Q.of_ints 6 8));
+  Alcotest.(check string) "integer printing" "5" (Q.to_string (Q.of_int 5));
+  Alcotest.(check string) "negative printing" "-2/3" (Q.to_string (Q.of_ints 2 (-3)))
+
+let test_zero_canonical () =
+  let z = Q.sub (Q.of_ints 1 3) (Q.of_ints 1 3) in
+  Alcotest.(check bool) "is_zero" true (Q.is_zero z);
+  Alcotest.(check bool) "not negative" false (Q.is_negative z);
+  Alcotest.(check int) "sign" 0 (Q.sign z)
+
+let test_arith_known () =
+  Alcotest.check rational "1/2+1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rational "1/2-1/3" (Q.of_ints 1 6) (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rational "1/3-1/2" (Q.of_ints (-1) 6) (Q.sub (Q.of_ints 1 3) (Q.of_ints 1 2));
+  Alcotest.check rational "2/3*3/4" (Q.of_ints 1 2) (Q.mul (Q.of_ints 2 3) (Q.of_ints 3 4));
+  Alcotest.check rational "(1/2)/(1/3)" (Q.of_ints 3 2) (Q.div (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rational "div_int" (Q.of_ints 1 6) (Q.div_int (Q.of_ints 1 2) 3)
+
+let test_div_errors () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.check_raises "div_int 0" Division_by_zero (fun () ->
+      ignore (Q.div_int Q.one 0));
+  Alcotest.check_raises "make den 0" Division_by_zero (fun () ->
+      ignore (Q.make B.one B.zero))
+
+let test_flow_split_sums_to_one () =
+  (* The naive tree protocol's core identity: sum of d copies of x/d is x. *)
+  List.iter
+    (fun d ->
+      let x = Q.of_ints 3 7 in
+      let part = Q.div_int x d in
+      Alcotest.check rational
+        (Printf.sprintf "d=%d" d)
+        x
+        (Q.sum (List.init d (fun _ -> part))))
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let test_compare_known () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.compare (Q.of_ints 1 3) (Q.of_ints 1 2) < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Q.compare (Q.of_ints (-1) 2) (Q.of_ints 1 3) < 0);
+  Alcotest.(check bool) "-1/3 > -1/2" true (Q.compare (Q.of_ints (-1) 3) (Q.of_ints (-1) 2) > 0)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Q.to_float (Q.of_ints 3 4));
+  Alcotest.(check (float 1e-9)) "-1/8" (-0.125) (Q.to_float (Q.of_ints (-1) 8))
+
+(* {1 Properties} *)
+
+let prop_add_comm =
+  qcheck_to_alcotest "add commutative"
+    QCheck.(pair arb_rational arb_rational)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_add_assoc =
+  qcheck_to_alcotest "add associative"
+    QCheck.(triple arb_rational arb_rational arb_rational)
+    (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_add_neg =
+  qcheck_to_alcotest "x + (-x) = 0" arb_rational (fun a ->
+      Q.is_zero (Q.add a (Q.neg a)))
+
+let prop_sub_add =
+  qcheck_to_alcotest "(a-b)+b = a"
+    QCheck.(pair arb_rational arb_rational)
+    (fun (a, b) -> Q.equal (Q.add (Q.sub a b) b) a)
+
+let prop_mul_assoc =
+  qcheck_to_alcotest "mul associative"
+    QCheck.(triple arb_rational arb_rational arb_rational)
+    (fun (a, b, c) -> Q.equal (Q.mul (Q.mul a b) c) (Q.mul a (Q.mul b c)))
+
+let prop_distrib =
+  qcheck_to_alcotest "distributivity"
+    QCheck.(triple arb_rational arb_rational arb_rational)
+    (fun (a, b, c) -> Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_inv =
+  qcheck_to_alcotest "x * 1/x = 1" arb_rational (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Q.equal (Q.mul a (Q.inv a)) Q.one)
+
+let prop_reduced =
+  qcheck_to_alcotest "always reduced" arb_rational (fun a ->
+      Q.is_zero a || B.is_one (B.gcd (Q.num a) (Q.den a)))
+
+let prop_compare_antisym =
+  qcheck_to_alcotest "compare antisymmetric"
+    QCheck.(pair arb_rational arb_rational)
+    (fun (a, b) -> Q.compare a b = -Q.compare b a)
+
+let prop_compare_add_monotone =
+  qcheck_to_alcotest "compare invariant under translation"
+    QCheck.(triple arb_rational arb_rational arb_rational)
+    (fun (a, b, c) -> Q.compare a b = Q.compare (Q.add a c) (Q.add b c))
+
+let prop_abs_sign =
+  qcheck_to_alcotest "abs and sign consistent" arb_rational (fun a ->
+      (Q.sign (Q.abs a) >= 0)
+      && Q.equal (Q.abs a) (if Q.is_negative a then Q.neg a else a))
+
+let prop_sum_matches_folds =
+  qcheck_to_alcotest "sum = fold add"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 10) arb_rational)
+    (fun l -> Q.equal (Q.sum l) (List.fold_left Q.add Q.zero l))
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero canonical" `Quick test_zero_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_arith_known;
+          Alcotest.test_case "division errors" `Quick test_div_errors;
+          Alcotest.test_case "flow split sums" `Quick test_flow_split_sums_to_one;
+          Alcotest.test_case "compare" `Quick test_compare_known;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ( "properties",
+        [
+          prop_add_comm;
+          prop_add_assoc;
+          prop_add_neg;
+          prop_sub_add;
+          prop_mul_assoc;
+          prop_distrib;
+          prop_inv;
+          prop_reduced;
+          prop_compare_antisym;
+          prop_compare_add_monotone;
+          prop_abs_sign;
+          prop_sum_matches_folds;
+        ] );
+    ]

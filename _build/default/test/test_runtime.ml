@@ -1,0 +1,193 @@
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+open Helpers
+
+(* A tiny counting protocol used to exercise the engine itself: every vertex
+   forwards an incrementing hop counter once per receipt; nothing accepts. *)
+module Hops = struct
+  type state = { hops_seen : int list }
+  type message = int
+
+  let name = "hops"
+  let initial_state ~out_degree:_ ~in_degree:_ = { hops_seen = [] }
+  let root_emit ~out_degree = List.init out_degree (fun j -> (j, 0))
+
+  let receive ~out_degree ~in_degree:_ st h ~in_port:_ =
+    ( { hops_seen = h :: st.hops_seen },
+      List.init out_degree (fun j -> (j, h + 1)) )
+
+  let accepting _ = false
+  let encode w h = Bitio.Codes.write_gamma0 w h
+  let decode = Bitio.Codes.read_gamma0
+  let equal_message = Int.equal
+  let state_bits st = 32 * List.length st.hops_seen
+  let pp_message = Format.pp_print_int
+  let pp_state fmt st = Format.fprintf fmt "%d msgs" (List.length st.hops_seen)
+end
+
+module Hops_engine = E.Make (Hops)
+module Flood_engine = Runtime.Engine.Make (Anonet.Flood)
+
+let test_flood_visits_everything () =
+  let g = F.grid_dag ~rows:3 ~cols:3 in
+  let r = Flood_engine.run g in
+  Alcotest.check outcome "flood cannot detect termination" E.Quiescent r.outcome;
+  Alcotest.(check bool) "but visits every vertex" true
+    (Array.for_all (fun v -> v) r.visited)
+
+let test_flood_one_message_per_edge_on_tree () =
+  let g = F.comb 6 in
+  let r = Flood_engine.run g in
+  Alcotest.(check int) "deliveries = edges" (G.n_edges g) r.deliveries;
+  Array.iter (fun c -> Alcotest.(check int) "one per edge" 1 c) r.edge_messages
+
+let test_hop_counts_on_path () =
+  let g = F.path 4 in
+  let r = Hops_engine.run g in
+  (* s -> v1 -> ... -> v4 -> t: t hears hop count 4. *)
+  Alcotest.(check (list int)) "t heard hop 4" [ 4 ]
+    r.states.(G.terminal g).Hops.hops_seen
+
+let test_stats_accounting () =
+  let g = F.path 3 in
+  let r = Hops_engine.run g in
+  Alcotest.(check int) "deliveries" 4 r.deliveries;
+  Alcotest.(check int) "total = sum edge bits" r.total_bits
+    (Array.fold_left ( + ) 0 r.edge_bits);
+  Alcotest.(check int) "messages = sum edge messages" r.deliveries
+    (Array.fold_left ( + ) 0 r.edge_messages);
+  Alcotest.(check bool) "bandwidth <= total" true (r.max_edge_bits <= r.total_bits);
+  Alcotest.(check bool) "max message <= bandwidth" true
+    (r.max_message_bits <= r.max_edge_bits);
+  (* Hop counters 0..3 are pairwise distinct symbols. *)
+  Alcotest.(check int) "distinct messages" 4 r.distinct_messages
+
+let test_payload_bits_charged () =
+  let g = F.path 3 in
+  let base = Hops_engine.run g in
+  let loaded = Hops_engine.run ~payload_bits:100 g in
+  Alcotest.(check int) "each delivery charged |m|"
+    (base.total_bits + (100 * base.deliveries))
+    loaded.total_bits
+
+let test_step_limit () =
+  let g = F.grid_dag ~rows:4 ~cols:4 in
+  let r = Hops_engine.run ~step_limit:5 g in
+  Alcotest.check outcome "limit reported" E.Step_limit r.outcome;
+  Alcotest.(check int) "stopped at limit" 5 r.deliveries
+
+let test_trace_hook () =
+  let g = F.path 3 in
+  let tr = Runtime.Trace.create () in
+  let _ = Hops_engine.run ~on_deliver:(Runtime.Trace.hook tr) g in
+  Alcotest.(check int) "all deliveries traced" 4 (Runtime.Trace.length tr);
+  let sends = Runtime.Trace.sends_per_vertex tr ~n:(G.n_vertices g) in
+  Alcotest.(check int) "s sent once" 1 sends.(G.source g);
+  Alcotest.(check int) "t sent nothing" 0 sends.(G.terminal g);
+  let recvs = Runtime.Trace.receives_per_vertex tr ~n:(G.n_vertices g) in
+  Alcotest.(check int) "t received once" 1 recvs.(G.terminal g);
+  (* Events are ordered and carry consistent ports. *)
+  List.iter
+    (fun (ev : E.event) ->
+      Alcotest.(check int) "edge target consistent"
+        ev.to_vertex
+        (G.out_neighbor g ev.from_vertex ev.from_port))
+    (Runtime.Trace.events tr)
+
+let test_in_flight_highwater () =
+  let g = F.path 3 in
+  let r = Hops_engine.run g in
+  (* On a path only one message is ever in flight. *)
+  Alcotest.(check int) "path keeps one in flight" 1 r.max_in_flight;
+  let wide = F.comb 6 in
+  let rw = Hops_engine.run ~scheduler:Runtime.Scheduler.Lifo wide in
+  Alcotest.(check bool) "comb holds several in flight" true (rw.max_in_flight >= 2)
+
+let test_trace_render () =
+  let g = F.path 3 in
+  let tr = Runtime.Trace.create () in
+  let _ = Hops_engine.run ~on_deliver:(Runtime.Trace.hook tr) g in
+  let s = Runtime.Trace.render tr in
+  Alcotest.(check bool) "render has one line per delivery" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 4);
+  let short = Runtime.Trace.render ~limit:2 tr in
+  Alcotest.(check bool) "truncation notice" true
+    (String.length short > 0
+    && String.split_on_char '\n' (String.trim short) |> List.length = 3);
+  let first_uses = Runtime.Trace.edge_first_use tr in
+  Alcotest.(check int) "four edges used" 4 (List.length first_uses);
+  Alcotest.(check bool) "steps increasing" true
+    (List.map snd first_uses = List.sort compare (List.map snd first_uses))
+
+(* Scheduler behaviour: every scheduler must deliver everything on a DAG —
+   the flood reaches all vertices regardless of order. *)
+let schedulers () =
+  [
+    ("fifo", Runtime.Scheduler.Fifo);
+    ("lifo", Runtime.Scheduler.Lifo);
+    ("random-1", Runtime.Scheduler.Random (Prng.create 1));
+    ("random-2", Runtime.Scheduler.Random (Prng.create 99));
+    ("prio-reverse", Runtime.Scheduler.Edge_priority (fun e -> -e));
+    ("prio-forward", Runtime.Scheduler.Edge_priority (fun e -> e));
+  ]
+
+let test_schedulers_all_deliver () =
+  let g = F.grid_dag ~rows:3 ~cols:4 in
+  List.iter
+    (fun (name, sch) ->
+      let r = Flood_engine.run ~scheduler:sch g in
+      Alcotest.(check bool) (name ^ " visits all") true
+        (Array.for_all (fun v -> v) r.visited);
+      Alcotest.(check int) (name ^ " delivers all floods") (G.n_edges g) r.deliveries)
+    (schedulers ())
+
+let test_scheduler_describe () =
+  List.iter
+    (fun (name, sch) ->
+      let d = Runtime.Scheduler.describe sch in
+      Alcotest.(check bool) (name ^ " described") true (String.length d > 0))
+    (schedulers ())
+
+let prop_flood_visits_all_digraphs =
+  qcheck_to_alcotest ~count:80 "flood visits every vertex of any network"
+    arb_digraph (fun g ->
+      let r = Flood_engine.run g in
+      Array.for_all (fun v -> v) r.visited)
+
+let prop_scheduler_invariant_visits =
+  qcheck_to_alcotest ~count:50 "visited set is schedule-independent" arb_digraph
+    (fun g ->
+      let runs =
+        List.map (fun (_, sch) -> (Flood_engine.run ~scheduler:sch g).visited)
+          (schedulers ())
+      in
+      match runs with
+      | first :: rest -> List.for_all (fun v -> v = first) rest
+      | [] -> true)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "flood visits everything" `Quick
+            test_flood_visits_everything;
+          Alcotest.test_case "one message per tree edge" `Quick
+            test_flood_one_message_per_edge_on_tree;
+          Alcotest.test_case "hop counts" `Quick test_hop_counts_on_path;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "payload bits" `Quick test_payload_bits_charged;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "trace hook" `Quick test_trace_hook;
+          Alcotest.test_case "in-flight high water" `Quick test_in_flight_highwater;
+          Alcotest.test_case "trace render" `Quick test_trace_render;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "all deliver" `Quick test_schedulers_all_deliver;
+          Alcotest.test_case "describe" `Quick test_scheduler_describe;
+          prop_flood_visits_all_digraphs;
+          prop_scheduler_invariant_visits;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Cross-protocol consistency and larger-scale stress scenarios. *)
+
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+module Is = Intervals.Iset
+module I = Intervals.Interval
+open Helpers
+
+(* The mapping protocol embeds the labeling protocol unchanged: under the
+   same deterministic schedule both must assign the same interval to every
+   vertex. *)
+let prop_mapping_labels_match_labeling =
+  qcheck_to_alcotest ~count:50 "mapping labels = labeling labels under FIFO"
+    arb_digraph (fun g ->
+      let lr = Anonet.Labeling_engine.run g in
+      let mr = Anonet.Mapping_engine.run g in
+      lr.outcome = E.Terminated && mr.outcome = E.Terminated
+      && List.for_all
+           (fun v ->
+             let from_labeling = Is.first_interval (Anonet.Labeling.label lr.states.(v)) in
+             let from_mapping = Anonet.Mapping.vertex_label mr.states.(v) in
+             match (from_labeling, from_mapping) with
+             | Some a, Some b -> I.equal a b
+             | None, None -> true
+             | _ -> false)
+           (G.internal_vertices g))
+
+(* The general broadcast is the labeling protocol with d instead of d+1
+   parts: their coverage at the terminal must both be the whole interval,
+   and labeling can only cost more. *)
+let prop_labeling_costs_more_than_broadcast =
+  qcheck_to_alcotest ~count:50 "labeling costs at least broadcast" arb_digraph
+    (fun g ->
+      let b = Anonet.broadcast_general g in
+      let l, _ = Anonet.assign_labels g in
+      b.outcome = E.Terminated && l.outcome = E.Terminated
+      && l.total_bits >= b.total_bits)
+
+(* The reconstructed map is itself a valid network: re-running the mapping
+   protocol on the reconstruction reproduces it again (a fixpoint). *)
+let prop_mapping_fixpoint =
+  qcheck_to_alcotest ~count:25 "mapping its own output is a fixpoint" arb_digraph
+    (fun g ->
+      match Anonet.map_network g with
+      | _, Error _ -> false
+      | _, Ok m -> (
+          match Anonet.map_network m.Anonet.Mapping.graph with
+          | _, Ok m2 -> G.isomorphic m.Anonet.Mapping.graph m2.Anonet.Mapping.graph
+          | _, Error _ -> false))
+
+(* Engine determinism: identical runs produce identical reports. *)
+let prop_engine_deterministic =
+  qcheck_to_alcotest ~count:40 "identical runs are bit-identical" arb_digraph
+    (fun g ->
+      let a = Anonet.broadcast_general g in
+      let b = Anonet.broadcast_general g in
+      a = b)
+
+(* Same-seed random schedules are also reproducible. *)
+let prop_random_schedule_reproducible =
+  qcheck_to_alcotest ~count:40 "same-seed random schedule reproduces"
+    QCheck.(pair arb_digraph (int_bound 1000))
+    (fun (g, seed) ->
+      let run () =
+        Anonet.broadcast_general
+          ~scheduler:(Runtime.Scheduler.Random (Prng.create seed))
+          g
+      in
+      run () = run ())
+
+(* {1 Stress at larger scale} *)
+
+let test_stress_tree_2000 () =
+  let g = F.random_grounded_tree (Prng.create 424242) ~n:2000 ~t_edge_prob:0.3 in
+  let st = Anonet.broadcast_tree g in
+  Alcotest.check outcome "big tree terminates" E.Terminated st.outcome;
+  Alcotest.(check int) "one message per edge" (G.n_edges g) st.deliveries
+
+let test_stress_general_300 () =
+  let g =
+    F.random_digraph (Prng.create 777) ~n:300 ~extra_edges:300 ~back_edges:75
+      ~t_edge_prob:0.2
+  in
+  let st = Anonet.broadcast_general g in
+  Alcotest.check outcome "n=300 cyclic digraph terminates" E.Terminated st.outcome;
+  Alcotest.(check bool) "all visited" true st.all_visited
+
+let test_stress_mapping_120 () =
+  let g =
+    F.random_digraph (Prng.create 909) ~n:120 ~extra_edges:60 ~back_edges:30
+      ~t_edge_prob:0.2
+  in
+  let _, map = Anonet.map_network g in
+  match map with
+  | Ok m ->
+      Alcotest.(check bool) "n=120 reconstruction isomorphic" true
+        (Anonet.Mapping.map_isomorphic m g)
+  | Error e -> Alcotest.fail e
+
+let test_stress_deep_labels () =
+  (* 400 sequential halvings: endpoints with hundreds of bits. *)
+  let r = Anonet.Lower_bounds.pruned_label ~height:400 ~degree:2 in
+  Alcotest.(check bool) "400-level label exact and large" true (r.label_bits > 800)
+
+let test_stress_undirected_500 () =
+  let g = F.bidirected_random (Prng.create 31337) ~n:500 ~extra_edges:400 in
+  let st, ids = Anonet.assign_labels_undirected g in
+  Alcotest.check outcome "n=500 token DFS terminates" E.Terminated st.outcome;
+  let assigned = List.filter_map (fun v -> ids.(v)) (G.internal_vertices g) in
+  Alcotest.(check int) "all 500 labeled" 500 (List.length assigned);
+  Alcotest.(check (list int)) "consecutive" (List.init 500 (fun i -> i))
+    (List.sort compare assigned)
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "consistency",
+        [
+          prop_mapping_labels_match_labeling;
+          prop_labeling_costs_more_than_broadcast;
+          prop_mapping_fixpoint;
+          prop_engine_deterministic;
+          prop_random_schedule_reproducible;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "tree n=2000" `Slow test_stress_tree_2000;
+          Alcotest.test_case "general n=300" `Slow test_stress_general_300;
+          Alcotest.test_case "mapping n=120" `Slow test_stress_mapping_120;
+          Alcotest.test_case "labels depth 400" `Slow test_stress_deep_labels;
+          Alcotest.test_case "undirected n=500" `Slow test_stress_undirected_500;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+module Dy = Exact.Dyadic
+module B = Bignat
+open Helpers
+
+module Tree = Anonet.Tree_broadcast
+module Naive = Anonet.Tree_broadcast_naive
+module Tree_engine = Anonet.Tree_engine
+module Naive_engine = Anonet.Tree_naive_engine
+
+let schedulers seed =
+  [
+    Runtime.Scheduler.Fifo;
+    Runtime.Scheduler.Lifo;
+    Runtime.Scheduler.Random (Prng.create seed);
+    Runtime.Scheduler.Edge_priority (fun e -> -e);
+  ]
+
+(* {1 The splitting rule itself} *)
+
+let test_pow2_split_counts () =
+  (* (d, ceil(log2 d), edges carrying x/2^c). *)
+  List.iter
+    (fun (d, c, small) ->
+      let c', small', big' = Anonet.Commodity.pow2_split_counts d in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "d=%d" d)
+        (c, small, d - small) (c', small', big'))
+    [ (1, 0, 1); (2, 1, 2); (3, 2, 2); (4, 2, 4); (5, 3, 2); (6, 3, 4); (8, 3, 8) ]
+
+let prop_pow2_split_preserves =
+  qcheck_to_alcotest "pow2 split is commodity preserving"
+    QCheck.(pair (int_range 1 16) (int_bound 40))
+    (fun (d, e) ->
+      let x = Dy.pow2 (-e) in
+      let parts = Anonet.Commodity.Pow2_dyadic.split x d in
+      List.length parts = d && Dy.equal (Dy.sum parts) x)
+
+let prop_pow2_split_values_are_powers =
+  qcheck_to_alcotest "pow2 split values are powers of two"
+    QCheck.(pair (int_range 1 16) (int_bound 40))
+    (fun (d, e) ->
+      let x = Dy.pow2 (-e) in
+      Anonet.Commodity.Pow2_dyadic.split x d
+      |> List.for_all (fun v -> B.is_one (Dy.mantissa v)))
+
+let prop_naive_split_preserves =
+  qcheck_to_alcotest "naive split is commodity preserving"
+    QCheck.(pair (int_range 1 16) arb_rational)
+    (fun (d, x) ->
+      let parts = Anonet.Commodity.Even_rational.split x d in
+      Exact.Rational.equal (Exact.Rational.sum parts) x)
+
+(* {1 Termination on grounded trees} *)
+
+let test_terminates_on_families () =
+  List.iter
+    (fun (name, g) ->
+      let st = Anonet.broadcast_tree g in
+      Alcotest.check outcome (name ^ " terminates") E.Terminated st.outcome;
+      Alcotest.(check bool) (name ^ " visits all") true st.all_visited)
+    [
+      ("path", F.path 6);
+      ("comb", F.comb 9);
+      ("full tree", F.full_tree ~height:3 ~degree:3);
+      ("pruned tree", F.pruned_tree ~height:5 ~degree:4);
+    ]
+
+let test_terminal_accumulates_exactly_one () =
+  let g = F.comb 7 in
+  let r = Tree_engine.run g in
+  Alcotest.check dyadic "sum of flows is one" Dy.one
+    (Tree.accumulated r.states.(G.terminal g))
+
+let test_non_termination_with_trap () =
+  let g = F.add_trap (F.comb 5) ~from_vertex:3 in
+  let st = Anonet.broadcast_tree g in
+  Alcotest.check outcome "trap prevents termination" E.Quiescent st.outcome
+
+let test_non_termination_trap_is_deficit () =
+  let g = F.add_trap (F.comb 5) ~from_vertex:3 in
+  let r = Tree_engine.run g in
+  let acc = Tree.accumulated r.states.(G.terminal g) in
+  Alcotest.(check bool) "terminal strictly below one" true (Dy.compare acc Dy.one < 0)
+
+(* Lemma 3.3: on grounded trees every vertex transmits a single message per
+   out-edge — equivalently, exactly one message crosses each edge. *)
+let test_lemma_3_3_single_message () =
+  let g = F.comb 8 in
+  let r = Tree_engine.run g in
+  Array.iter (fun c -> Alcotest.(check int) "one message per edge" 1 c) r.edge_messages;
+  Alcotest.(check int) "deliveries = |E|" (G.n_edges g) r.deliveries
+
+(* All values transmitted on a grounded tree are powers of two with exponent
+   at most O(|E|) (Theorem 3.1's encoding argument). *)
+let test_values_are_small_powers_of_two () =
+  let g = F.full_tree ~height:4 ~degree:3 in
+  let seen_bad = ref 0 in
+  let hook (_ : E.event) (msg : Tree.message) =
+    if not (B.is_one (Dy.mantissa msg)) then incr seen_bad;
+    if Dy.exponent msg > 2 * G.n_edges g then incr seen_bad
+  in
+  let r = Tree_engine.run ~on_deliver:hook g in
+  Alcotest.check outcome "terminated" E.Terminated r.outcome;
+  Alcotest.(check int) "all values power-of-two and small" 0 !seen_bad
+
+let prop_terminates_on_random_grounded_trees =
+  qcheck_to_alcotest ~count:100 "terminates on random grounded trees"
+    arb_grounded_tree (fun g ->
+      let st = Anonet.broadcast_tree g in
+      st.outcome = E.Terminated && st.all_visited)
+
+let prop_naive_agrees_on_outcome =
+  qcheck_to_alcotest ~count:60 "naive rule reaches the same outcome"
+    arb_grounded_tree (fun g ->
+      let a = Anonet.broadcast_tree g in
+      let b = Anonet.broadcast_tree_naive g in
+      a.outcome = b.outcome && a.deliveries = b.deliveries)
+
+let prop_schedule_independent =
+  qcheck_to_alcotest ~count:50 "outcome is schedule independent"
+    QCheck.(pair arb_grounded_tree (int_bound 1000))
+    (fun (g, seed) ->
+      schedulers seed
+      |> List.for_all (fun sch ->
+             let st = Anonet.broadcast_tree ~scheduler:sch g in
+             st.outcome = E.Terminated && st.all_visited))
+
+let prop_trap_never_terminates =
+  qcheck_to_alcotest ~count:60 "any trap prevents termination"
+    QCheck.(pair arb_grounded_tree (int_bound 1000))
+    (fun (g, seed) ->
+      (* Hang the trap off a random internal vertex. *)
+      let internals = G.internal_vertices g in
+      QCheck.assume (internals <> []);
+      let v = List.nth internals (seed mod List.length internals) in
+      let trapped = F.add_trap g ~from_vertex:v in
+      (Anonet.broadcast_tree trapped).outcome = E.Quiescent)
+
+(* The ablation of Section 3.1: the power-of-two rule beats x/d encoding on
+   combs (where naive denominators pick up non-dyadic factors). *)
+let test_pow2_beats_naive_on_fanout_trees () =
+  let prng = Prng.create 7 in
+  let g = F.random_grounded_tree prng ~n:120 ~t_edge_prob:0.3 in
+  let opt = Anonet.broadcast_tree g in
+  let naive = Anonet.broadcast_tree_naive g in
+  Alcotest.(check bool) "same deliveries" true (opt.deliveries = naive.deliveries);
+  Alcotest.(check bool) "pow2 total bits no worse" true
+    (opt.total_bits <= naive.total_bits)
+
+let () =
+  Alcotest.run "tree-broadcast"
+    [
+      ( "splitting-rule",
+        [
+          Alcotest.test_case "pow2 split counts" `Quick test_pow2_split_counts;
+          prop_pow2_split_preserves;
+          prop_pow2_split_values_are_powers;
+          prop_naive_split_preserves;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "families terminate" `Quick test_terminates_on_families;
+          Alcotest.test_case "terminal sums to one" `Quick
+            test_terminal_accumulates_exactly_one;
+          Alcotest.test_case "trap: no termination" `Quick test_non_termination_with_trap;
+          Alcotest.test_case "trap: flow deficit" `Quick
+            test_non_termination_trap_is_deficit;
+          prop_terminates_on_random_grounded_trees;
+          prop_schedule_independent;
+          prop_trap_never_terminates;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "Lemma 3.3: single message" `Quick
+            test_lemma_3_3_single_message;
+          Alcotest.test_case "values are powers of two" `Quick
+            test_values_are_small_powers_of_two;
+          Alcotest.test_case "pow2 vs naive bits" `Quick
+            test_pow2_beats_naive_on_fanout_trees;
+          prop_naive_agrees_on_outcome;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* The undirected-anonymous baseline (token-DFS labeling) and the
+   exponential label-length gap of the paper's conclusion. *)
+
+module G = Digraph
+module F = Digraph.Families
+module E = Runtime.Engine
+open Helpers
+
+module U = Anonet.Undirected_labeling
+
+let gen_bidirected =
+  QCheck.Gen.(
+    map2
+      (fun seed n ->
+        let prng = Prng.create seed in
+        let n = n + 1 in
+        F.bidirected_random prng ~n ~extra_edges:(Prng.int prng (n + 1)))
+      (int_bound 10_000) (int_bound 40))
+
+let arb_bidirected = QCheck.make ~print:graph_print gen_bidirected
+
+let ids_of g (r : U.state E.report) =
+  List.filter_map (fun v -> U.vertex_id r.states.(v)) (G.internal_vertices g)
+
+let is_consecutive ids n =
+  List.sort_uniq compare ids = List.init n (fun i -> i)
+
+let test_ring_labels_exact () =
+  List.iter
+    (fun n ->
+      let g = F.bidirected_ring ~n in
+      let r = Anonet.Undirected_engine.run g in
+      Alcotest.check outcome "terminates" E.Terminated r.outcome;
+      let ids = ids_of g r in
+      Alcotest.(check bool)
+        (Printf.sprintf "ring %d consecutive ids" n)
+        true
+        (is_consecutive ids n);
+      Alcotest.(check (option int)) "terminal learns the count" (Some n)
+        (U.total_count r.states.(G.terminal g)))
+    [ 1; 2; 3; 5; 9; 20 ]
+
+let test_port_alignment_of_family () =
+  (* The protocol's network contract: bidirected ports aligned, last
+     out-port to t. *)
+  let prng = Prng.create 3 in
+  let g = F.bidirected_random prng ~n:12 ~extra_edges:8 in
+  List.iter
+    (fun v ->
+      let k = G.out_degree g v - 1 in
+      Alcotest.(check int) "last out-port to t" (G.terminal g) (G.out_neighbor g v k);
+      for j = 0 to k - 1 do
+        let u, _ = G.in_origin g v j in
+        Alcotest.(check int)
+          (Printf.sprintf "vertex %d port %d aligned" v j)
+          (G.out_neighbor g v j) u
+      done)
+    (G.internal_vertices g)
+
+let prop_random_bidirected_labeled =
+  qcheck_to_alcotest ~count:100 "token DFS labels every vertex consecutively"
+    arb_bidirected (fun g ->
+      let r = Anonet.Undirected_engine.run g in
+      let n = List.length (G.internal_vertices g) in
+      r.outcome = E.Terminated
+      && is_consecutive (ids_of g r) n
+      && U.total_count r.states.(G.terminal g) = Some n)
+
+let prop_schedule_independent =
+  qcheck_to_alcotest ~count:40 "correct under every schedule"
+    QCheck.(pair arb_bidirected (int_bound 1000))
+    (fun (g, seed) ->
+      let n = List.length (G.internal_vertices g) in
+      [
+        Runtime.Scheduler.Fifo;
+        Runtime.Scheduler.Lifo;
+        Runtime.Scheduler.Random (Prng.create seed);
+      ]
+      |> List.for_all (fun scheduler ->
+             let r = Anonet.Undirected_engine.run ~scheduler g in
+             r.outcome = E.Terminated && is_consecutive (ids_of g r) n))
+
+let prop_label_bits_logarithmic =
+  qcheck_to_alcotest ~count:60 "labels are O(log |V|) bits" arb_bidirected (fun g ->
+      let r = Anonet.Undirected_engine.run g in
+      let max_bits =
+        List.fold_left
+          (fun acc i -> max acc (Bitio.Codes.gamma0_size i))
+          0 (ids_of g r)
+      in
+      let n = List.length (G.internal_vertices g) in
+      let log2n =
+        let rec lg acc k = if k <= 1 then acc else lg (acc + 1) (k / 2) in
+        lg 0 n + 1
+      in
+      r.outcome = E.Terminated && max_bits <= (2 * log2n) + 3)
+
+let prop_message_count_linear =
+  qcheck_to_alcotest ~count:60 "token traversal uses O(|E|) messages"
+    arb_bidirected (fun g ->
+      let r = Anonet.Undirected_engine.run g in
+      (* Token+Return cross each bidirected edge at most twice; Done floods
+         once per edge; Start once. *)
+      r.outcome = E.Terminated && r.deliveries <= (3 * G.n_edges g) + 2)
+
+let prop_codec_roundtrips =
+  qcheck_to_alcotest ~count:40 "wire codec verified in situ" arb_bidirected (fun g ->
+      (Anonet.Undirected_engine.run ~verify_codec:true g).outcome = E.Terminated)
+
+(* The conclusion's gap, as one assertion: at equal vertex count, directed
+   labels (pruned family) are an order of magnitude longer than undirected
+   ones, and the ratio widens with size. *)
+let test_exponential_gap () =
+  let undirected_bits n =
+    let g = F.bidirected_random (Prng.create (77 + n)) ~n ~extra_edges:n in
+    let r = Anonet.Undirected_engine.run g in
+    List.fold_left (fun acc i -> max acc (Bitio.Codes.gamma0_size i)) 0 (ids_of g r)
+  in
+  let directed_bits n =
+    (* Same vertex count: pruned tree has h + 3 vertices. *)
+    (Anonet.Lower_bounds.pruned_label ~height:(n - 3) ~degree:2).label_bits
+  in
+  let ratio n = float_of_int (directed_bits n) /. float_of_int (undirected_bits n) in
+  Alcotest.(check bool) "directed labels much longer at |V|=32" true (ratio 32 > 5.0);
+  Alcotest.(check bool) "gap widens with size" true (ratio 64 > ratio 16)
+
+let () =
+  Alcotest.run "undirected-baseline"
+    [
+      ( "token-dfs",
+        [
+          Alcotest.test_case "ring labels" `Quick test_ring_labels_exact;
+          Alcotest.test_case "family port alignment" `Quick
+            test_port_alignment_of_family;
+          prop_random_bidirected_labeled;
+          prop_schedule_independent;
+          prop_codec_roundtrips;
+        ] );
+      ( "complexity",
+        [
+          prop_label_bits_logarithmic;
+          prop_message_count_linear;
+          Alcotest.test_case "exponential gap vs directed" `Quick
+            test_exponential_gap;
+        ] );
+    ]
