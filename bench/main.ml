@@ -3,9 +3,10 @@
    wall-clock benchmarks of each protocol.
 
    Usage:
-     dune exec bench/main.exe            # all experiment tables + timing
-     dune exec bench/main.exe -- e4 e7   # selected tables
-     dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks only *)
+     dune exec bench/main.exe              # all experiment tables + timing
+     dune exec bench/main.exe -- e4 e7     # selected tables
+     dune exec bench/main.exe -- timing    # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- campaign  # fault campaign, JSON on stdout *)
 
 module G = Digraph
 module F = Digraph.Families
@@ -494,6 +495,70 @@ let timing () =
     (fun (name, est) -> pf "%45s %16.1f\n" name est)
     (List.sort compare !rows)
 
+(* {1 Fault campaign (JSON)} *)
+
+(* Machine-readable counterpart of E12: each broadcast protocol, bare and
+   behind Redundant(3), swept on its own graph family over a full drop x
+   duplicate x delay x corruption grid, 20 seeds per cell.  Prints a JSON
+   array (one Campaign result per family) on stdout — no table header, so
+   the output can be piped straight into a JSON consumer. *)
+let campaign () =
+  let module C = Runtime.Campaign in
+  let module K3 = struct
+    let k = 3
+  end in
+  let module Tree_r3 = Anonet.Redundant.Make (K3) (Anonet.Tree_broadcast) in
+  let module Dag_r3 = Anonet.Redundant.Make (K3) (Anonet.Dag_broadcast_pow2) in
+  let module General_r3 = Anonet.Redundant.Make (K3) (Anonet.General_broadcast) in
+  let module Tree_runner = C.Of_protocol (Anonet.Tree_broadcast) in
+  let module Dag_runner = C.Of_protocol (Anonet.Dag_broadcast_pow2) in
+  let module General_runner = C.Of_protocol (Anonet.General_broadcast) in
+  let module Tree_r3_runner = C.Of_protocol (Tree_r3) in
+  let module Dag_r3_runner = C.Of_protocol (Dag_r3) in
+  let module General_r3_runner = C.Of_protocol (General_r3) in
+  let grid =
+    C.grid ~drops:[ 0.0; 0.05; 0.15 ] ~duplicates:[ 0.0; 0.2 ]
+      ~max_delays:[ 0; 2 ] ~corrupts:[ 0.0; 0.02 ] ()
+  in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let sweeps =
+    [
+      ( [ Tree_runner.runner (); Tree_r3_runner.runner () ],
+        {
+          C.g_name = "random-tree-16";
+          build =
+            (fun ~seed ->
+              F.random_grounded_tree (Prng.create seed) ~n:16 ~t_edge_prob:0.3);
+        } );
+      ( [ Dag_runner.runner (); Dag_r3_runner.runner () ],
+        {
+          C.g_name = "random-dag-16";
+          build =
+            (fun ~seed ->
+              F.random_dag (Prng.create seed) ~n:16 ~extra_edges:16
+                ~t_edge_prob:0.25);
+        } );
+      ( [ General_runner.runner (); General_r3_runner.runner () ],
+        {
+          C.g_name = "random-digraph-16";
+          build =
+            (fun ~seed ->
+              F.random_digraph (Prng.create seed) ~n:16 ~extra_edges:10
+                ~back_edges:4 ~t_edge_prob:0.25);
+        } );
+    ]
+  in
+  pf "[";
+  List.iteri
+    (fun i (runners, graph) ->
+      let res =
+        C.run ~step_limit:300_000 ~runners ~graphs:[ graph ] ~grid ~seeds ()
+      in
+      if i > 0 then pf ",";
+      pf "\n%s" (C.to_json res))
+    sweeps;
+  pf "\n]\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -511,8 +576,10 @@ let () =
       List.iter
         (fun a ->
           if a = "timing" then timing ()
+          else if a = "campaign" then campaign ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
-            | None -> pf "unknown table %s (known: e1..e10, timing)\n" a)
+            | None ->
+                pf "unknown table %s (known: e1..e13, fits, campaign, timing)\n" a)
         args

@@ -326,12 +326,128 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Print the generated network in Graphviz DOT syntax.")
     Term.(const run $ family_t)
 
+let faults_cmd =
+  let protocol_of_name :
+      string -> (module Runtime.Protocol_intf.PROTOCOL) option = function
+    | "flood" -> Some (module Anonet.Flood)
+    | "tree" -> Some (module Anonet.Tree_broadcast)
+    | "tree-naive" -> Some (module Anonet.Tree_broadcast_naive)
+    | "dag" -> Some (module Anonet.Dag_broadcast_pow2)
+    | "general" -> Some (module Anonet.General_broadcast)
+    | "labeling" -> Some (module Anonet.Labeling)
+    | "mapping" -> Some (module Anonet.Mapping)
+    | _ -> None
+  in
+  let protocol_t =
+    Arg.(
+      value & opt string "general"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"flood | tree | tree-naive | dag | general | labeling | mapping")
+  in
+  let fprob name doc =
+    Arg.(value & opt float 0.0 & info [ name ] ~docv:"P" ~doc)
+  in
+  let drop_t = fprob "drop" "Per-copy drop probability." in
+  let duplicate_t =
+    fprob "duplicate" "Geometric duplication parameter (mean 1/(1-P) copies)."
+  in
+  let corrupt_t = fprob "corrupt" "Per-copy single-bit corruption probability." in
+  let kill_t = fprob "kill" "Per-edge permanent kill probability." in
+  let delay_t =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"D" ~doc:"Max per-copy delivery delay (uniform 0..D).")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds to sweep (1..N).")
+  in
+  let redundancy_t =
+    Arg.(
+      value & opt int 1
+      & info [ "r"; "redundancy" ] ~docv:"K"
+          ~doc:
+            "Wrap the protocol in the Redundant(K) resilience layer: K-repetition \
+             sends, receive-side dedup, and a checksum that turns bit corruption \
+             into detected drops.")
+  in
+  let run g protocol scheduler drop duplicate delay corrupt kill seeds k =
+    match protocol_of_name protocol with
+    | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
+    | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
+        try
+          (* Validate the plan before any output so a bad rate yields a clean
+             one-line error instead of a half-printed table. *)
+          let (_ : Runtime.Faults.plan) =
+            Runtime.Faults.plan ~drop ~duplicate ~max_delay:delay ~corrupt ~kill
+              ()
+          in
+          let (module Q : Runtime.Protocol_intf.PROTOCOL) =
+            if k <= 1 then (module P)
+            else
+              (module Anonet.Redundant.Make
+                        (struct
+                          let k = k
+                        end)
+                        (P))
+          in
+          let module En = Runtime.Engine.Make (Q) in
+          describe_graph g;
+          pf "protocol: %s, scheduler: %s\n" Q.name
+            (Runtime.Scheduler.describe scheduler);
+          pf "faults  : drop=%.3f duplicate=%.3f delay<=%d corrupt=%.3f kill=%.3f\n\n"
+            drop duplicate delay corrupt kill;
+          let n = G.n_vertices g in
+          pf "%5s %12s %9s %9s %9s | %7s %6s %7s %7s %7s %5s\n" "seed" "outcome"
+            "visited" "delivered" "in-flight" "dropped" "extra" "delayed" "corrupt"
+            "garbled" "dead";
+          let sound = ref 0 and false_term = ref 0 in
+          for seed = 1 to seeds do
+            let faults =
+              Runtime.Faults.create ~drop ~duplicate ~max_delay:delay ~corrupt
+                ~kill ~seed ()
+            in
+            let r = En.run ~scheduler ~faults g in
+            let visited =
+              Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 r.visited
+            in
+            let all = Array.for_all (fun v -> v) r.visited in
+            (match r.outcome with
+            | E.Terminated -> if all then incr sound else incr false_term
+            | E.Quiescent | E.Step_limit -> ());
+            let f = r.fault_stats in
+            pf "%5d %12s %6d/%-2d %9d %9d | %7d %6d %7d %7d %7d %5d\n" seed
+              (match r.outcome with
+              | E.Terminated -> if all then "terminated" else "FALSE-TERM"
+              | E.Quiescent -> "quiescent"
+              | E.Step_limit -> "step-limit")
+              visited n r.deliveries r.final_in_flight f.dropped_copies
+              f.extra_copies f.delayed_copies f.corrupted_deliveries
+              f.garbled_drops
+              (List.length f.dead_edges)
+          done;
+          pf "\nsound terminations: %d/%d   false terminations: %d\n" !sound seeds
+            !false_term;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Sweep fault seeds over one protocol/network/fault-plan combination \
+          and print a per-seed outcome table with fault counters.")
+    Term.(
+      ret
+        (const run $ family_t $ protocol_t $ scheduler_t $ drop_t $ duplicate_t
+       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t))
+
 let main_cmd =
   let doc =
     "Distributed broadcasting and mapping protocols in directed anonymous \
      networks (Langberg, Schwartz & Bruck, PODC 2007)"
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
-    [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd ]
+    [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

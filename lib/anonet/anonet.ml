@@ -25,6 +25,7 @@ module Labeling = Labeling
 module Mapping = Mapping
 module Undirected_labeling = Undirected_labeling
 module Lower_bounds = Lower_bounds
+module Redundant = Redundant
 
 module Tree_broadcast = Scalar_broadcast.Make (Commodity.Pow2_dyadic)
 (** Section 3.1's grounded-tree protocol: power-of-two flow splitting. *)

@@ -34,6 +34,10 @@ module Mapping = Mapping
 module Undirected_labeling = Undirected_labeling
 module Lower_bounds = Lower_bounds
 
+module Redundant = Redundant
+(** k-repetition resilience wrapper for any protocol — the feedback-free
+    defense against lossy channels (see {!Redundant.Make}). *)
+
 module Tree_broadcast : module type of Scalar_broadcast.Make (Commodity.Pow2_dyadic)
 (** Section 3.1's grounded-tree protocol: power-of-two flow splitting. *)
 

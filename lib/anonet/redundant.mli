@@ -1,0 +1,56 @@
+(** Redundant-broadcast resilience layer: k-repetition coding with
+    receive-side idempotence.
+
+    The paper's edges are one-way and anonymous — a receiver cannot NACK,
+    so retransmission-on-demand is impossible and the only feedback-free
+    defense against message loss is repetition: send every protocol message
+    [k] times and make the receiver idempotent.  {!Make} wraps any
+    {!Runtime.Protocol_intf.PROTOCOL} that way: each emission (including the
+    root's) is repeated [k] times, and a receiver processes at most one copy
+    of each distinct (in-port, wire-encoding) pair, dropping the rest
+    unprocessed (and unanswered).
+
+    Consequences, measurable with the engine's fault injection:
+
+    - a per-copy drop probability [p] becomes a per-logical-message loss of
+      [p^k] — the wrapper restores broadcast at drop rates where the bare
+      protocol reliably starves, at a cost of [k]x the bits plus the
+      receiver-side dedup memory (charged honestly via [state_bits]);
+    - channel {e duplication} is neutralized outright: the re-delivered
+      copy is recognized and ignored, so the false-termination attacks on
+      the bare protocols (a duplicated alpha commodity is indistinguishable
+      from a detected cycle) no longer apply;
+    - single-bit {e corruption} is detected: the wrapper's codec prefixes
+      the base encoding with a 16-bit checksum over the encoded bits and
+      their length, so a flipped wire bit makes [decode] fail instead of
+      silently yielding a different valid message (a corrupted commodity
+      amount can otherwise inflate the terminal's flow past 1 and falsely
+      terminate the bare protocol).  The engine degrades the failed decode
+      into a drop, which the [k] repetitions then heal.
+
+    The codec guard assumes the base codec is canonical — [encode (decode
+    bits) = bits] — which {!Runtime.Protocol_intf.verify_codec} checks for
+    every protocol in this library.
+
+    The wrapper assumes the base protocol never legitimately sends the same
+    wire encoding twice over one edge.  The paper's protocols satisfy this:
+    the commodity protocols send once per out-edge (Lemma 3.3), and the
+    interval protocols only ever emit deltas covering fresh sub-intervals,
+    so two equal encodings on one edge are necessarily the same logical
+    message.  For a protocol without this property the dedup layer would
+    suppress genuine repeats. *)
+
+module Make (_ : sig
+  val k : int
+  (** Copies per logical message; must be >= 1. *)
+end)
+(P : Runtime.Protocol_intf.PROTOCOL) : sig
+  include
+    Runtime.Protocol_intf.PROTOCOL with type message = P.message
+
+  val inner : state -> P.state
+  (** The wrapped protocol's state, e.g. for extracting results. *)
+
+  val dedup_entries : state -> int
+  (** Distinct (in-port, encoding) pairs remembered so far. *)
+end

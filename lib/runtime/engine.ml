@@ -1,5 +1,24 @@
 type outcome = Terminated | Quiescent | Step_limit
 
+type fault_stats = {
+  dropped_copies : int;
+  extra_copies : int;
+  delayed_copies : int;
+  corrupted_deliveries : int;
+  garbled_drops : int;
+  dead_edges : int list;
+}
+
+let no_faults_stats =
+  {
+    dropped_copies = 0;
+    extra_copies = 0;
+    delayed_copies = 0;
+    corrupted_deliveries = 0;
+    garbled_drops = 0;
+    dead_edges = [];
+  }
+
 type 'state report = {
   outcome : outcome;
   deliveries : int;
@@ -8,11 +27,13 @@ type 'state report = {
   max_message_bits : int;
   max_state_bits : int;
   max_in_flight : int;
+  final_in_flight : int;
   distinct_messages : int;
   edge_messages : int array;
   edge_bits : int array;
   visited : bool array;
   states : 'state array;
+  fault_stats : fault_stats;
 }
 
 exception Codec_mismatch of string
@@ -34,6 +55,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     tv : Digraph.vertex;
     tp : int;
     edge : int;
+    corrupt : bool;
     msg : P.message;
   }
 
@@ -77,51 +99,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         (push, pop)
     | Edge_priority prio ->
         (* Binary min-heap on (priority, seq). *)
-        let arr = ref [||] and len = ref 0 in
-        let key f = (prio f.edge, f.seq) in
-        let swap i j =
-          let t = !arr.(i) in
-          !arr.(i) <- !arr.(j);
-          !arr.(j) <- t
-        in
-        let push f =
-          if !len = Array.length !arr then begin
-            let cap = Stdlib.max 16 (2 * !len) in
-            let bigger = Array.make cap f in
-            Array.blit !arr 0 bigger 0 !len;
-            arr := bigger
-          end;
-          !arr.(!len) <- f;
-          incr len;
-          let i = ref (!len - 1) in
-          while !i > 0 && key !arr.(!i) < key !arr.((!i - 1) / 2) do
-            swap !i ((!i - 1) / 2);
-            i := (!i - 1) / 2
-          done
-        in
-        let pop () =
-          if !len = 0 then None
-          else begin
-            let top = !arr.(0) in
-            decr len;
-            !arr.(0) <- !arr.(!len);
-            let i = ref 0 in
-            let continue = ref (!len > 1) in
-            while !continue do
-              let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-              let smallest = ref !i in
-              if l < !len && key !arr.(l) < key !arr.(!smallest) then smallest := l;
-              if r < !len && key !arr.(r) < key !arr.(!smallest) then smallest := r;
-              if !smallest = !i then continue := false
-              else begin
-                swap !i !smallest;
-                i := !smallest
-              end
-            done;
-            Some top
-          end
-        in
-        (push, pop)
+        let h = Binheap.create () in
+        ( (fun f -> Binheap.push h (prio f.edge, f.seq) f),
+          fun () -> Option.map snd (Binheap.pop h) )
+
+  (* Flip stream-bit [b] of the MSB-first packing produced by Bit_writer. *)
+  let flip_bit s b =
+    let bytes = Bytes.of_string s in
+    let i = b / 8 in
+    Bytes.set bytes i
+      (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (7 - (b mod 8)))));
+    Bytes.to_string bytes
 
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none) ?(verify_codec = false)
@@ -148,8 +136,15 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let total_bits = ref 0 in
     let max_message_bits = ref 0 in
     let deliveries = ref 0 in
+    let corrupted_deliveries = ref 0 in
+    let garbled_drops = ref 0 in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     let push, pop = make_pool scheduler in
+    let faulty = not (Faults.is_none faults) in
+    let fi = Faults.Instance.start faults in
+    (* Copies held back by a delay fault, keyed by (release step, seq); they
+       still count as in flight. *)
+    let delayed : ((int * int), flight) Binheap.t = Binheap.create () in
     let next_seq = ref 0 in
     let max_state_bits = ref 0 in
     let in_flight = ref 0 in
@@ -158,14 +153,35 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       let b = P.state_bits st in
       if b > !max_state_bits then max_state_bits := b
     in
+    let enter f ~delay =
+      incr in_flight;
+      if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+      if delay = 0 then push f else Binheap.push delayed (!deliveries + delay, f.seq) f
+    in
     let send fv fp msg =
       let edge = Digraph.edge_index g fv fp in
       let tv, tp = target.(edge) in
-      for _ = 1 to Faults.copies faults do
-        push { seq = !next_seq; fv; fp; tv; tp; edge; msg };
-        incr next_seq;
-        incr in_flight;
-        if !in_flight > !max_in_flight then max_in_flight := !in_flight
+      if not faulty then begin
+        enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; msg } ~delay:0;
+        incr next_seq
+      end
+      else
+        List.iter
+          (fun ({ delay; flip_bit = corrupt } : Faults.copy_fate) ->
+            enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt; msg } ~delay;
+            incr next_seq)
+          (Faults.Instance.on_send fi ~edge)
+    in
+    (* Move every delay-expired copy back into the scheduler's pool. *)
+    let release_due () =
+      let continue = ref true in
+      while !continue do
+        match Binheap.peek delayed with
+        | Some ((release, _), _) when release <= !deliveries -> (
+            match Binheap.pop delayed with
+            | Some (_, f) -> push f
+            | None -> continue := false)
+        | _ -> continue := false
       done
     in
     (* The root spontaneously emits sigma0. *)
@@ -181,11 +197,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         running := false
       end
       else begin
+        release_due ();
         match pop () with
-        | None ->
-            outcome := (if P.accepting states.(t) then Terminated else Quiescent);
-            running := false
-        | Some f ->
+        | None -> (
+            (* Nothing deliverable; fast-forward idle time to the next
+               delayed copy, if any. *)
+            match Binheap.pop delayed with
+            | Some (_, f) -> push f
+            | None ->
+                outcome :=
+                  (if P.accepting states.(t) then Terminated else Quiescent);
+                running := false)
+        | Some f -> (
             incr deliveries;
             decr in_flight;
             (* Charge the exact wire size. *)
@@ -227,35 +250,76 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
             edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
             if bits > !max_message_bits then max_message_bits := bits;
-            (match on_deliver with
-            | Some hook ->
-                hook
-                  {
-                    step = !deliveries;
-                    from_vertex = f.fv;
-                    from_port = f.fp;
-                    to_vertex = f.tv;
-                    to_port = f.tp;
-                    bits;
-                  }
-                  f.msg
-            | None -> ());
-            visited.(f.tv) <- true;
-            let state', sends =
-              P.receive
-                ~out_degree:(Digraph.out_degree g f.tv)
-                ~in_degree:(Digraph.in_degree g f.tv)
-                states.(f.tv) f.msg ~in_port:f.tp
+            (* A corrupted copy flows through the real decode path: what the
+               vertex processes is whatever the flipped encoding decodes to,
+               and an unparseable encoding is consumed undelivered. *)
+            let delivered =
+              if not f.corrupt then Some f.msg
+              else
+                let len = Bitio.Bit_writer.length w in
+                if len = 0 then Some f.msg
+                else begin
+                  let b = Faults.Instance.corrupt_bit fi ~edge:f.edge ~length_bits:len in
+                  let s = flip_bit (Bitio.Bit_writer.to_string w) b in
+                  let r = Bitio.Bit_reader.of_string ~length_bits:len s in
+                  match P.decode r with
+                  | decoded ->
+                      if not (P.equal_message decoded f.msg) then
+                        incr corrupted_deliveries;
+                      Some decoded
+                  | exception _ ->
+                      incr garbled_drops;
+                      None
+                end
             in
-            states.(f.tv) <- state';
-            note_state state';
-            List.iter (fun (j, msg) -> send f.tv j msg) sends;
-            if f.tv = t && P.accepting state' then begin
-              outcome := Terminated;
-              running := false
-            end
+            match delivered with
+            | None -> ()
+            | Some msg ->
+                (match on_deliver with
+                | Some hook ->
+                    hook
+                      {
+                        step = !deliveries;
+                        from_vertex = f.fv;
+                        from_port = f.fp;
+                        to_vertex = f.tv;
+                        to_port = f.tp;
+                        bits;
+                      }
+                      msg
+                | None -> ());
+                visited.(f.tv) <- true;
+                let state', sends =
+                  P.receive
+                    ~out_degree:(Digraph.out_degree g f.tv)
+                    ~in_degree:(Digraph.in_degree g f.tv)
+                    states.(f.tv) msg ~in_port:f.tp
+                in
+                states.(f.tv) <- state';
+                note_state state';
+                List.iter (fun (j, msg) -> send f.tv j msg) sends;
+                if f.tv = t && P.accepting state' then begin
+                  outcome := Terminated;
+                  running := false
+                end)
       end
     done;
+    let fault_stats =
+      if not faulty then
+        { no_faults_stats with
+          corrupted_deliveries = !corrupted_deliveries;
+          garbled_drops = !garbled_drops;
+        }
+      else
+        {
+          dropped_copies = Faults.Instance.dropped_copies fi;
+          extra_copies = Faults.Instance.extra_copies fi;
+          delayed_copies = Faults.Instance.delayed_copies fi;
+          corrupted_deliveries = !corrupted_deliveries;
+          garbled_drops = !garbled_drops;
+          dead_edges = Faults.Instance.dead_edges fi;
+        }
+    in
     {
       outcome = !outcome;
       deliveries = !deliveries;
@@ -264,10 +328,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       max_message_bits = !max_message_bits;
       max_state_bits = !max_state_bits;
       max_in_flight = !max_in_flight;
+      final_in_flight = !in_flight;
       distinct_messages = Hashtbl.length seen;
       edge_messages;
       edge_bits;
       visited;
       states;
+      fault_stats;
     }
 end

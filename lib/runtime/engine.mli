@@ -13,12 +13,38 @@
     protocol message), giving the paper's three complexity measures directly:
     total communication, required bandwidth (max bits over one edge), and
     message-size bounds.  Per-vertex memory (the state-space quality measure
-    of Section 2) is tracked as [max_state_bits]. *)
+    of Section 2) is tracked as [max_state_bits].
+
+    When a {!Faults} specification is supplied, every send is filtered
+    through its per-edge plan: copies may be dropped, duplicated, held back
+    ([delay] — re-entering the pool at a later step, which reorders even the
+    [Fifo] schedule), corrupted (one bit of the wire encoding flipped, then
+    pushed through the protocol's real [decode] — an unparseable encoding is
+    consumed undelivered and counted in [garbled_drops], a parseable-but-
+    different one is delivered and counted in [corrupted_deliveries]), or
+    lost to a permanently killed edge.  Faulty runs are reproducible: all
+    draws come from per-edge PRNG streams derived from the fault seed. *)
 
 type outcome =
   | Terminated  (** The terminal's stopping predicate fired. *)
   | Quiescent  (** No messages in flight and the terminal never accepted. *)
   | Step_limit  (** Aborted; indicates a diverging protocol or a tiny limit. *)
+
+type fault_stats = {
+  dropped_copies : int;
+      (** Copies lost to the drop coin or to a dead edge. *)
+  extra_copies : int;  (** Duplicates materialized beyond the originals. *)
+  delayed_copies : int;  (** Copies held back at least one step. *)
+  corrupted_deliveries : int;
+      (** Deliveries whose decoded message differed from what was sent. *)
+  garbled_drops : int;
+      (** Corrupted copies whose encoding no longer decoded; consumed
+          undelivered. *)
+  dead_edges : int list;  (** Dense indices of permanently killed edges. *)
+}
+
+val no_faults_stats : fault_stats
+(** All-zero counters, as reported by fault-free runs. *)
 
 type 'state report = {
   outcome : outcome;
@@ -28,11 +54,17 @@ type 'state report = {
   max_message_bits : int;  (** Largest single message. *)
   max_state_bits : int;  (** Largest per-vertex state ever held. *)
   max_in_flight : int;  (** Channel high-water mark: most messages in flight. *)
+  final_in_flight : int;
+      (** Messages still pooled (or delay-held) when the run stopped: 0 for
+          genuine quiescence, positive under [Step_limit] or early
+          termination — distinguishing starvation from true quiescence. *)
   distinct_messages : int;  (** |Sigma_G|: distinct symbols seen on edges. *)
   edge_messages : int array;  (** Per dense edge index. *)
   edge_bits : int array;
-  visited : bool array;  (** Vertices that received at least one message. *)
+  visited : bool array;
+      (** Vertices that processed at least one (parseable) message. *)
   states : 'state array;  (** Final state of every vertex. *)
+  fault_stats : fault_stats;  (** What the fault plan actually did. *)
 }
 
 type event = {

@@ -1,18 +1,143 @@
-type t = { drop : float; duplicate : float; prng : Prng.t option }
+type plan = {
+  drop : float;
+  duplicate : float;
+  max_delay : int;
+  corrupt : float;
+  kill : float;
+}
 
-let none = { drop = 0.0; duplicate = 0.0; prng = None }
+let reliable = { drop = 0.0; duplicate = 0.0; max_delay = 0; corrupt = 0.0; kill = 0.0 }
 
-let create ?(drop = 0.0) ?(duplicate = 0.0) ~seed () =
-  if drop < 0.0 || drop > 1.0 || duplicate < 0.0 || duplicate > 1.0 then
-    invalid_arg "Faults.create: probabilities must be in [0,1]";
-  { drop; duplicate; prng = Some (Prng.create seed) }
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Faults: %s must be in [0,1]" name)
 
-let copies f =
-  match f.prng with
-  | None -> 1
-  | Some prng ->
-      if Prng.chance prng f.drop then 0
-      else if Prng.chance prng f.duplicate then 2
-      else 1
+let validate p =
+  check_prob "drop" p.drop;
+  check_prob "corrupt" p.corrupt;
+  check_prob "kill" p.kill;
+  if p.duplicate < 0.0 || p.duplicate >= 1.0 then
+    invalid_arg "Faults: duplicate must be in [0,1)";
+  if p.max_delay < 0 then invalid_arg "Faults: max_delay must be >= 0";
+  p
 
-let is_none f = f.prng = None
+let plan ?(drop = 0.0) ?(duplicate = 0.0) ?(max_delay = 0) ?(corrupt = 0.0)
+    ?(kill = 0.0) () =
+  validate { drop; duplicate; max_delay; corrupt; kill }
+
+let is_reliable p = p = reliable
+
+type t = No_faults | Spec of { plan_of : int -> plan; seed : int }
+
+let none = No_faults
+
+let uniform p ~seed =
+  let p = validate p in
+  if is_reliable p then No_faults else Spec { plan_of = (fun _ -> p); seed }
+
+let create ?drop ?duplicate ?max_delay ?corrupt ?kill ~seed () =
+  uniform (plan ?drop ?duplicate ?max_delay ?corrupt ?kill ()) ~seed
+
+let per_edge f ~seed = Spec { plan_of = (fun e -> validate (f e)); seed }
+
+let is_none = function No_faults -> true | Spec _ -> false
+
+type copy_fate = { delay : int; flip_bit : bool }
+
+module Instance = struct
+  type faults = t
+
+  type edge_state = { prng : Prng.t; plan : plan; mutable dead : bool }
+
+  type t = {
+    spec : faults;
+    edges : (int, edge_state) Hashtbl.t;
+    mutable dead_edges : int list;
+    mutable dropped : int;
+    mutable extra : int;
+    mutable delayed : int;
+  }
+
+  let start spec =
+    { spec; edges = Hashtbl.create 16; dead_edges = []; dropped = 0; extra = 0; delayed = 0 }
+
+  (* Each edge draws from its own PRNG stream, derived from (seed, edge), so
+     the faults an edge sees do not depend on traffic elsewhere. *)
+  let edge_state inst ~edge =
+    match Hashtbl.find_opt inst.edges edge with
+    | Some st -> st
+    | None ->
+        let seed, plan_of =
+          match inst.spec with
+          | No_faults -> invalid_arg "Faults.Instance: no faults"
+          | Spec { seed; plan_of } -> (seed, plan_of)
+        in
+        let st =
+          {
+            prng = Prng.create (seed lxor ((edge + 1) * 0x9E3779B9));
+            plan = plan_of edge;
+            dead = false;
+          }
+        in
+        Hashtbl.add inst.edges edge st;
+        st
+
+  let clean_copy = { delay = 0; flip_bit = false }
+
+  let on_send inst ~edge =
+    match inst.spec with
+    | No_faults -> [ clean_copy ]
+    | Spec _ ->
+        let st = edge_state inst ~edge in
+        if st.dead then begin
+          inst.dropped <- inst.dropped + 1;
+          []
+        end
+        else begin
+          let p = st.plan in
+          if p.kill > 0.0 && Prng.chance st.prng p.kill then begin
+            st.dead <- true;
+            inst.dead_edges <- edge :: inst.dead_edges;
+            inst.dropped <- inst.dropped + 1;
+            []
+          end
+          else begin
+            let copies = ref 1 in
+            while p.duplicate > 0.0 && Prng.chance st.prng p.duplicate do
+              incr copies
+            done;
+            inst.extra <- inst.extra + (!copies - 1);
+            let fates = ref [] in
+            for _ = 1 to !copies do
+              if p.drop > 0.0 && Prng.chance st.prng p.drop then
+                inst.dropped <- inst.dropped + 1
+              else begin
+                let delay =
+                  if p.max_delay = 0 then 0 else Prng.int st.prng (p.max_delay + 1)
+                in
+                if delay > 0 then inst.delayed <- inst.delayed + 1;
+                let flip_bit = p.corrupt > 0.0 && Prng.chance st.prng p.corrupt in
+                fates := { delay; flip_bit } :: !fates
+              end
+            done;
+            List.rev !fates
+          end
+        end
+
+  let corrupt_bit inst ~edge ~length_bits =
+    if length_bits <= 0 then invalid_arg "Faults.Instance.corrupt_bit";
+    Prng.int (edge_state inst ~edge).prng length_bits
+
+  let edge_dead inst ~edge =
+    match inst.spec with
+    | No_faults -> false
+    | Spec _ -> (
+        match Hashtbl.find_opt inst.edges edge with
+        | Some st -> st.dead
+        | None -> false)
+
+  let dead_edges inst = List.sort compare inst.dead_edges
+  let dropped_copies inst = inst.dropped
+  let extra_copies inst = inst.extra
+  let delayed_copies inst = inst.delayed
+end

@@ -1,7 +1,8 @@
-(** Channel fault injection.
+(** Per-edge channel fault plans.
 
-    The paper's model assumes reliable (if arbitrarily slow) channels; these
-    knobs let the test-suite probe what actually depends on that assumption:
+    The paper's model assumes reliable, exactly-once (if arbitrarily slow)
+    channels; these knobs let the test-suite and the {!Campaign} harness
+    probe what actually depends on that assumption:
 
     - {e drops}: no protocol in the paper retransmits, so any lost message
       must show up as non-termination, never as a false positive — this
@@ -13,18 +14,120 @@
       reliance on exactly-once channels is real).  The one exception is the
       mapping protocol: its termination additionally waits for one
       adjacency fact per announced out-edge, and facts are only minted by
-      labeled (hence visited) vertices, which restores duplication
-      safety. *)
+      labeled (hence visited) vertices, which restores duplication safety;
+    - {e delay}: a bounded hold on individual copies, which reorders
+      messages sharing an edge even under the [Fifo] scheduler — the
+      protocols are delta-based and must tolerate this;
+    - {e corruption}: a single flipped bit on the encoded wire message,
+      pushed through the real [decode] path by the engine;
+    - {e kill}: a permanent edge failure — the adversary of the paper's
+      non-termination direction made concrete.
+
+    {2 Distribution of one send}
+
+    For a send on a live edge the draws are {e independent}, in this order,
+    all from a per-edge PRNG stream derived from the plan seed (so a run is
+    reproducible from [(seed, schedule)] and the stream of one edge does not
+    depend on traffic elsewhere):
+
+    + with probability [kill], the edge dies permanently; the killing send
+      and everything after it on that edge is lost;
+    + [1 + Geometric(duplicate)] copies are materialized: the count of
+      extra copies is the number of leading successes of a [duplicate]-coin,
+      so [P(extra = j) = duplicate^j * (1 - duplicate)] — unbounded, unlike
+      the former implementation which (a) only sampled duplication when the
+      drop coin failed and (b) capped the count at 2;
+    + each copy is {e independently} dropped with probability [drop];
+    + each surviving copy is held for [Uniform{0..max_delay}] delivery
+      steps and has one uniformly chosen bit of its wire encoding flipped
+      with probability [corrupt].
+
+    Duplication and drop compose the obvious way: a send materializes
+    [Binomial(1 + Geometric(duplicate), 1 - drop)] deliverable copies. *)
+
+type plan = {
+  drop : float;  (** Per-copy Bernoulli loss probability, in [\[0,1\]]. *)
+  duplicate : float;
+      (** Geometric extra-copy parameter, in [\[0,1)]; expected extra copies
+          [duplicate / (1 - duplicate)]. *)
+  max_delay : int;
+      (** Max hold per copy, in delivery steps; 0 = deliverable at once. *)
+  corrupt : float;  (** Per-copy single-bit-flip probability, in [\[0,1\]]. *)
+  kill : float;  (** Per-send permanent edge-death probability, in [\[0,1\]]. *)
+}
+
+val reliable : plan
+(** The all-zero plan: the paper's channel. *)
+
+val plan :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?max_delay:int ->
+  ?corrupt:float ->
+  ?kill:float ->
+  unit ->
+  plan
+(** [reliable] with the given fields overridden; validates ranges. *)
 
 type t
+(** An immutable fault specification: a plan per dense edge index plus a
+    seed.  Start a fresh {!Instance} per run. *)
 
 val none : t
+(** No faults; the engine takes a fast path. *)
 
-val create : ?drop:float -> ?duplicate:float -> seed:int -> unit -> t
-(** Probabilities per sent message; both default to 0. *)
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?max_delay:int ->
+  ?corrupt:float ->
+  ?kill:float ->
+  seed:int ->
+  unit ->
+  t
+(** Uniform plan on every edge.  All fields default to the reliable value. *)
 
-val copies : t -> int
-(** How many copies of the next sent message actually enter the channel:
-    0 (dropped), 1 (normal) or 2 (duplicated). *)
+val uniform : plan -> seed:int -> t
+
+val per_edge : (int -> plan) -> seed:int -> t
+(** [per_edge f ~seed] applies plan [f e] to dense edge index [e].  [f] is
+    consulted once per edge per instance and must be pure. *)
 
 val is_none : t -> bool
+
+type copy_fate = { delay : int; flip_bit : bool }
+(** One materialized copy: hold it [delay] delivery steps, and flip one
+    random bit of its encoding iff [flip_bit]. *)
+
+(** Mutable per-run state: per-edge PRNG streams, dead-edge set and fault
+    counters.  The engine creates one per [run]. *)
+module Instance : sig
+  type faults := t
+  type t
+
+  val start : faults -> t
+
+  val on_send : t -> edge:int -> copy_fate list
+  (** Fates of the copies that actually enter the channel for one send on
+      [edge]; [[]] means everything was lost (drop or dead edge).  Updates
+      the counters. *)
+
+  val corrupt_bit : t -> edge:int -> length_bits:int -> int
+  (** Which bit of a [length_bits]-bit encoding to flip, uniform; drawn at
+      delivery time because the wire length is unknown at send time.
+      Requires [length_bits > 0]. *)
+
+  val edge_dead : t -> edge:int -> bool
+
+  val dead_edges : t -> int list
+  (** Dense indices of edges killed so far, sorted. *)
+
+  val dropped_copies : t -> int
+  (** Copies lost to the drop coin or to a dead edge. *)
+
+  val extra_copies : t -> int
+  (** Duplicate copies materialized beyond the one original per send. *)
+
+  val delayed_copies : t -> int
+  (** Copies held for at least one step. *)
+end

@@ -3,6 +3,11 @@
     - {!Protocol_intf} — the [(Pi, Sigma, pi0, sigma0, f, g, S)] signature;
     - {!Engine} — discrete-event executor with bit-exact accounting;
     - {!Scheduler} — asynchronous delivery orders, including adversarial ones;
+    - {!Faults} — per-edge channel fault plans (drop / duplicate / delay /
+      corrupt / kill), all seeded;
+    - {!Campaign} — deterministic fault-campaign harness with soundness
+      checking and witness shrinking;
+    - {!Binheap} — the min-heap behind [Edge_priority] and the delay queue;
     - {!Trace} — execution recording for tests. *)
 
 module Protocol_intf = Protocol_intf
@@ -10,4 +15,6 @@ module Engine = Engine
 module Sync_engine = Sync_engine
 module Scheduler = Scheduler
 module Faults = Faults
+module Campaign = Campaign
+module Binheap = Binheap
 module Trace = Trace

@@ -122,11 +122,13 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           max_message_bits = !max_message_bits;
           max_state_bits = !max_state_bits;
           max_in_flight = !max_in_flight;
+          final_in_flight = List.length !current;
           distinct_messages = Hashtbl.length seen;
           edge_messages;
           edge_bits;
           visited;
           states;
+          fault_stats = Engine.no_faults_stats;
         };
       rounds = !rounds;
     }

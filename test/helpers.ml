@@ -18,15 +18,29 @@ let dyadic = Alcotest.testable Dy.pp Dy.equal
 let interval = Alcotest.testable I.pp I.equal
 let iset = Alcotest.testable Is.pp Is.equal
 
+let outcome_string (o : Runtime.Engine.outcome) =
+  match o with
+  | Runtime.Engine.Terminated -> "terminated"
+  | Runtime.Engine.Quiescent -> "quiescent"
+  | Runtime.Engine.Step_limit -> "step-limit"
+
 let outcome =
-  let pp fmt (o : Runtime.Engine.outcome) =
-    Format.pp_print_string fmt
-      (match o with
-      | Runtime.Engine.Terminated -> "terminated"
-      | Runtime.Engine.Quiescent -> "quiescent"
-      | Runtime.Engine.Step_limit -> "step-limit")
-  in
+  let pp fmt o = Format.pp_print_string fmt (outcome_string o) in
   Alcotest.testable pp ( = )
+
+(* One-line run report for assertion messages: outcome, deliveries, what is
+   still in flight (starvation vs true quiescence), and the fault counters. *)
+let report_summary (r : _ Runtime.Engine.report) =
+  let f = r.Runtime.Engine.fault_stats in
+  Printf.sprintf
+    "%s after %d deliveries (in-flight %d; dropped %d, extra %d, delayed %d, \
+     corrupted %d, garbled %d, dead edges %d)"
+    (outcome_string r.Runtime.Engine.outcome)
+    r.Runtime.Engine.deliveries r.Runtime.Engine.final_in_flight
+    f.Runtime.Engine.dropped_copies f.Runtime.Engine.extra_copies
+    f.Runtime.Engine.delayed_copies f.Runtime.Engine.corrupted_deliveries
+    f.Runtime.Engine.garbled_drops
+    (List.length f.Runtime.Engine.dead_edges)
 
 (* {1 QCheck generators} *)
 

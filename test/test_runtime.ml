@@ -149,6 +149,87 @@ let test_scheduler_describe () =
       Alcotest.(check bool) (name ^ " described") true (String.length d > 0))
     (schedulers ())
 
+(* {1 Binheap (the Edge_priority pool and the fault-delay queue)} *)
+
+let prop_binheap_order =
+  qcheck_to_alcotest ~count:300 "heap-order under randomized push/pop"
+    QCheck.(list (pair (pair small_int small_int) bool))
+    (fun ops ->
+      (* Model: a sorted list of keys.  [bool] selects push vs pop; pops on
+         the empty heap must return None. *)
+      let h = Runtime.Binheap.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (key, is_pop) ->
+          if is_pop then begin
+            match (Runtime.Binheap.pop h, !model) with
+            | None, [] -> ()
+            | Some (k, v), m :: rest ->
+                if k <> m || v <> snd k then ok := false;
+                model := rest
+            | Some _, [] | None, _ :: _ -> ok := false
+          end
+          else begin
+            Runtime.Binheap.push h key (snd key);
+            model := List.sort compare (key :: !model)
+          end;
+          if Runtime.Binheap.length h <> List.length !model then ok := false)
+        ops;
+      (* Drain what's left: must come out in sorted order. *)
+      let rec drain acc =
+        match Runtime.Binheap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      !ok && drain [] = !model)
+
+let test_binheap_ties_fifo_by_seq () =
+  (* Equal priorities fall back to the sequence number, exactly what the
+     Edge_priority scheduler relies on for stable tie-breaks. *)
+  let h = Runtime.Binheap.create () in
+  List.iter (fun seq -> Runtime.Binheap.push h (0, seq) seq) [ 3; 1; 2; 0 ];
+  let order =
+    List.init 4 (fun _ ->
+        match Runtime.Binheap.pop h with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo among ties" [ 0; 1; 2; 3 ] order
+
+(* {1 Trace.edge_first_use} *)
+
+let test_edge_first_use () =
+  let g = F.grid_dag ~rows:3 ~cols:3 in
+  let tr = Runtime.Trace.create () in
+  let _ = Flood_engine.run ~scheduler:Runtime.Scheduler.Lifo ~on_deliver:(Runtime.Trace.hook tr) g in
+  let first_uses = Runtime.Trace.edge_first_use tr in
+  let events = Runtime.Trace.events tr in
+  (* Every traced edge appears exactly once... *)
+  let keys = List.map fst first_uses in
+  Alcotest.(check int) "no duplicate edges" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun (ev : E.event) ->
+      Alcotest.(check bool) "every used edge listed" true
+        (List.mem_assoc (ev.from_vertex, ev.from_port) first_uses))
+    events;
+  (* ...with the step of its earliest delivery... *)
+  List.iter
+    (fun ((fv, fp), step) ->
+      let min_step =
+        List.fold_left
+          (fun acc (ev : E.event) ->
+            if ev.from_vertex = fv && ev.from_port = fp then min acc ev.step
+            else acc)
+          max_int events
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "first use of %d.%d" fv fp)
+        min_step step)
+    first_uses;
+  (* ...in first-use order. *)
+  Alcotest.(check bool) "steps increasing" true
+    (List.map snd first_uses = List.sort compare (List.map snd first_uses))
+
 let prop_flood_visits_all_digraphs =
   qcheck_to_alcotest ~count:80 "flood visits every vertex of any network"
     arb_digraph (fun g ->
@@ -190,4 +271,11 @@ let () =
           prop_flood_visits_all_digraphs;
           prop_scheduler_invariant_visits;
         ] );
+      ( "binheap",
+        [
+          prop_binheap_order;
+          Alcotest.test_case "ties break by seq" `Quick test_binheap_ties_fifo_by_seq;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "edge_first_use" `Quick test_edge_first_use ] );
     ]
