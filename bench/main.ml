@@ -6,7 +6,8 @@
      dune exec bench/main.exe              # all experiment tables + timing
      dune exec bench/main.exe -- e4 e7     # selected tables
      dune exec bench/main.exe -- timing    # Bechamel micro-benchmarks only
-     dune exec bench/main.exe -- campaign  # fault campaign, JSON on stdout *)
+     dune exec bench/main.exe -- campaign  # fault campaign, JSON on stdout
+     dune exec bench/main.exe -- check     # model-checking sweep, JSON on stdout *)
 
 module G = Digraph
 module F = Digraph.Families
@@ -559,6 +560,46 @@ let campaign () =
     sweeps;
   pf "\n]\n"
 
+(* {1 Model-checking benchmark (JSON)} *)
+
+(* Machine-readable counterpart of [anonet check] (E14): exhaustively
+   explores every suite case and prints one JSON object per case — states,
+   transitions, the three pruning counters, pruned fraction, wall time and
+   any violations — as a JSON array on stdout. *)
+let check () =
+  let module X = Runtime.Explore in
+  let module J = Runtime.Json in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (c : Anonet.Check_suite.case) ->
+      let t0 = Sys.time () in
+      let r = c.c_explore () in
+      let dt = Sys.time () -. t0 in
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n{\"protocol\":";
+      J.buf_string b c.c_protocol;
+      Buffer.add_string b ",\"family\":";
+      J.buf_string b c.c_family;
+      Printf.bprintf b
+        ",\"edges\":%d,\"states\":%d,\"transitions\":%d,\"pruned_sleep\":%d,\"pruned_memo\":%d,\"pruned_dup\":%d,\"pruned_fraction\":%.4f,\"peak_depth\":%d,\"max_in_flight\":%d,\"truncated\":%b,\"cpu_s\":%.3f,\"violations\":"
+        c.c_edges r.stats.states r.stats.transitions r.stats.pruned_sleep
+        r.stats.pruned_memo r.stats.pruned_dup
+        (X.pruned_fraction r.stats)
+        r.stats.peak_depth r.stats.max_in_flight r.stats.truncated dt;
+      J.buf_list b
+        (fun b (v : X.violation) ->
+          Buffer.add_string b "{\"kind\":";
+          J.buf_string b (X.describe_kind v.kind);
+          Buffer.add_string b ",\"schedule\":";
+          J.buf_int_list b v.schedule;
+          Buffer.add_string b "}")
+        r.violations;
+      Buffer.add_string b "}")
+    (Anonet.Check_suite.cases ());
+  Buffer.add_string b "\n]\n";
+  print_string (Buffer.contents b)
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -577,9 +618,13 @@ let () =
         (fun a ->
           if a = "timing" then timing ()
           else if a = "campaign" then campaign ()
+          else if a = "check" then check ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
             | None ->
-                pf "unknown table %s (known: e1..e13, fits, campaign, timing)\n" a)
+                pf
+                  "unknown table %s (known: e1..e13, fits, campaign, check, \
+                   timing)\n"
+                  a)
         args

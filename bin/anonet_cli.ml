@@ -8,7 +8,13 @@
      anonet run --family random:50:7 --protocol general --scheduler lifo
      anonet label --family cycle:9
      anonet map --family random:20:42 --dot
-     anonet dot --family skeleton:4 *)
+     anonet dot --family skeleton:4
+     anonet check                        # model-check the whole suite
+     anonet check --sabotage             # negative control; must exit 1
+
+   Exit status: [run] is nonzero when the protocol fails to terminate or
+   terminates with unvisited vertices; [faults] when any seed produces a
+   false termination; [check] when any invariant violation is found. *)
 
 module G = Digraph
 module F = Digraph.Families
@@ -160,6 +166,19 @@ let describe_stats (st : Anonet.stats) =
   pf "distinct symbols : %d\n" st.distinct_messages;
   pf "all visited      : %b\n" st.all_visited
 
+(* Exit status of [run]: 1 on non-termination, 2 on a soundness violation
+   (terminated with unvisited vertices), 0 on a sound termination. *)
+let finish (st : Anonet.stats) =
+  describe_stats st;
+  match st.outcome with
+  | E.Terminated when st.all_visited -> `Ok 0
+  | E.Terminated ->
+      pf "\nerror: terminated with unvisited vertices (soundness violation)\n";
+      `Ok 2
+  | E.Quiescent | E.Step_limit ->
+      pf "\nerror: protocol did not terminate\n";
+      `Ok 1
+
 (* {1 Commands} *)
 
 let run_cmd =
@@ -178,30 +197,20 @@ let run_cmd =
       payload;
     match protocol with
     | "flood" ->
-        describe_stats
-          (Anonet.stats_of_report (Anonet.Flood_engine.run ~scheduler ~payload_bits:payload g));
-        `Ok ()
+        finish
+          (Anonet.stats_of_report (Anonet.Flood_engine.run ~scheduler ~payload_bits:payload g))
     | "undirected" ->
-        describe_stats (fst (Anonet.assign_labels_undirected ~scheduler ~payload_bits:payload g));
-        `Ok ()
-    | "tree" ->
-        describe_stats (Anonet.broadcast_tree ~scheduler ~payload_bits:payload g);
-        `Ok ()
+        finish (fst (Anonet.assign_labels_undirected ~scheduler ~payload_bits:payload g))
+    | "tree" -> finish (Anonet.broadcast_tree ~scheduler ~payload_bits:payload g)
     | "tree-naive" ->
-        describe_stats (Anonet.broadcast_tree_naive ~scheduler ~payload_bits:payload g);
-        `Ok ()
-    | "dag" ->
-        describe_stats (Anonet.broadcast_dag ~scheduler ~payload_bits:payload g);
-        `Ok ()
+        finish (Anonet.broadcast_tree_naive ~scheduler ~payload_bits:payload g)
+    | "dag" -> finish (Anonet.broadcast_dag ~scheduler ~payload_bits:payload g)
     | "general" ->
-        describe_stats (Anonet.broadcast_general ~scheduler ~payload_bits:payload g);
-        `Ok ()
+        finish (Anonet.broadcast_general ~scheduler ~payload_bits:payload g)
     | "labeling" ->
-        describe_stats (fst (Anonet.assign_labels ~scheduler ~payload_bits:payload g));
-        `Ok ()
+        finish (fst (Anonet.assign_labels ~scheduler ~payload_bits:payload g))
     | "mapping" ->
-        describe_stats (fst (Anonet.map_network ~scheduler ~payload_bits:payload g));
-        `Ok ()
+        finish (fst (Anonet.map_network ~scheduler ~payload_bits:payload g))
     | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
   in
   Cmd.v
@@ -216,7 +225,8 @@ let label_cmd =
     pf "\nlabels:\n";
     List.iter
       (fun v -> pf "  %4d : %s\n" v (Intervals.Iset.to_string labels.(v)))
-      (G.internal_vertices g)
+      (G.internal_vertices g);
+    0
   in
   Cmd.v
     (Cmd.info "label" ~doc:"Assign unique labels (Section 5) and print them.")
@@ -244,23 +254,23 @@ let sync_cmd =
     | "tree" ->
         let r = ST.run ~payload_bits:payload g in
         show r.rounds r.base;
-        `Ok ()
+        `Ok 0
     | "dag" ->
         let r = SD.run ~payload_bits:payload g in
         show r.rounds r.base;
-        `Ok ()
+        `Ok 0
     | "general" ->
         let r = SG.run ~payload_bits:payload g in
         show r.rounds r.base;
-        `Ok ()
+        `Ok 0
     | "labeling" ->
         let r = SL.run ~payload_bits:payload g in
         show r.rounds r.base;
-        `Ok ()
+        `Ok 0
     | "mapping" ->
         let r = SM.run ~payload_bits:payload g in
         show r.rounds r.base;
-        `Ok ()
+        `Ok 0
     | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
   in
   Cmd.v
@@ -277,7 +287,9 @@ let map_cmd =
     let st, map = Anonet.map_network ~scheduler g in
     describe_stats st;
     match map with
-    | Error e -> pf "\nmap extraction: %s\n" e
+    | Error e ->
+        pf "\nmap extraction: %s\n" e;
+        1
     | Ok m ->
         pf "\nreconstruction: |V|=%d |E|=%d isomorphic-to-input=%b\n"
           (G.n_vertices m.Anonet.Mapping.graph)
@@ -290,7 +302,8 @@ let map_cmd =
                  match m.Anonet.Mapping.labels.(v) with
                  | Some iv -> Intervals.Interval.to_string iv
                  | None -> if v = 0 then "s" else "t")
-               m.Anonet.Mapping.graph)
+               m.Anonet.Mapping.graph);
+        0
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Extract the full topology (mapping protocol).")
@@ -313,7 +326,8 @@ let trace_cmd =
       | E.Quiescent -> "quiescent"
       | E.Step_limit -> "step limit")
       r.deliveries;
-    print_string (Runtime.Trace.render ~limit tr)
+    print_string (Runtime.Trace.render ~limit tr);
+    0
   in
   Cmd.v
     (Cmd.info "trace"
@@ -321,7 +335,10 @@ let trace_cmd =
     Term.(const run $ family_t $ scheduler_t $ limit_t)
 
 let dot_cmd =
-  let run g = print_string (G.Dot.to_dot g) in
+  let run g =
+    print_string (G.Dot.to_dot g);
+    0
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Print the generated network in Graphviz DOT syntax.")
     Term.(const run $ family_t)
@@ -429,7 +446,7 @@ let faults_cmd =
           done;
           pf "\nsound terminations: %d/%d   false terminations: %d\n" !sound seeds
             !false_term;
-          `Ok ()
+          `Ok (if !false_term > 0 then 1 else 0)
         with Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
@@ -442,12 +459,111 @@ let faults_cmd =
         (const run $ family_t $ protocol_t $ scheduler_t $ drop_t $ duplicate_t
        $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t))
 
+let check_cmd =
+  let max_edges_t =
+    Arg.(
+      value & opt int 8
+      & info [ "max-edges" ] ~docv:"E"
+          ~doc:"Only check suite instances with at most $(docv) edges.")
+  in
+  let protocol_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "Only check this protocol (tree | tree-naive | dag | general | \
+             labeling | mapping).")
+  in
+  let max_states_t =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Distinct-state budget per instance; beyond it the search degrades \
+             to seeded bounded random walks.")
+  in
+  let sabotage_t =
+    Arg.(
+      value & flag
+      & info [ "sabotage" ]
+          ~doc:
+            "Check the sabotaged-split negative control instead of the suite.  \
+             Its split ships the whole commodity on one out-edge, so this must \
+             find a false-termination counterexample and exit 1.")
+  in
+  let run max_edges protocol max_states sabotage =
+    let module X = Runtime.Explore in
+    let module CS = Anonet.Check_suite in
+    let cases =
+      if sabotage then [ CS.sabotaged () ]
+      else
+        List.filter
+          (fun (c : CS.case) ->
+            match protocol with None -> true | Some p -> p = c.c_protocol)
+          (CS.cases ~max_edges ())
+    in
+    match cases with
+    | [] -> `Error (false, "no suite case matches the given filters")
+    | _ ->
+        pf "%-12s %-16s %3s %8s %8s %8s %6s %s\n" "protocol" "family" "|E|"
+          "states" "transit" "pruned" "walks" "status";
+        let bad = ref 0 in
+        let failures = ref [] in
+        List.iter
+          (fun (c : CS.case) ->
+            let r = c.c_explore ~max_states () in
+            let status =
+              match r.violations with
+              | [] -> if r.stats.truncated then "ok (bounded)" else "ok"
+              | v :: _ ->
+                  incr bad;
+                  failures := (c, v) :: !failures;
+                  "VIOLATION"
+            in
+            pf "%-12s %-16s %3d %8d %8d %7.1f%% %6d %s\n" c.c_protocol c.c_family
+              c.c_edges r.stats.states r.stats.transitions
+              (100.0 *. X.pruned_fraction r.stats)
+              r.stats.walks status)
+          cases;
+        List.iter
+          (fun ((c : CS.case), (v : X.violation)) ->
+            pf "\n%s on %s: %s\n" c.c_protocol c.c_family (X.describe_kind v.kind);
+            pf "schedule: [%s]\n"
+              (String.concat "; " (List.map string_of_int v.schedule));
+            let rep = c.c_replay v.schedule in
+            pf "replayed through the engine: %s, %d deliveries, unvisited: [%s]\n"
+              (match rep.r_outcome with
+              | E.Terminated -> "terminated"
+              | E.Quiescent -> "quiescent"
+              | E.Step_limit -> "step limit")
+              rep.r_deliveries
+              (String.concat "; " (List.map string_of_int rep.r_unreached));
+            print_string rep.r_trace)
+          (List.rev !failures);
+        pf "\n%d/%d instances clean\n" (List.length cases - !bad)
+          (List.length cases);
+        `Ok (if !bad > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check every protocol against every asynchronous schedule on \
+          the small-instance suite: exhaustive DFS over delivery \
+          interleavings with sleep-set partial-order reduction, checking \
+          conservation laws, broadcast soundness and quiescence at every \
+          state.  Violations are replayed through the real engine and exit \
+          with status 1.")
+    Term.(
+      ret (const run $ max_edges_t $ protocol_t $ max_states_t $ sabotage_t))
+
 let main_cmd =
   let doc =
     "Distributed broadcasting and mapping protocols in directed anonymous \
      networks (Langberg, Schwartz & Bruck, PODC 2007)"
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
-    [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd ]
+    [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd;
+      check_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

@@ -26,6 +26,7 @@ module Mapping = Mapping
 module Undirected_labeling = Undirected_labeling
 module Lower_bounds = Lower_bounds
 module Redundant = Redundant
+module Check_suite = Check_suite
 
 module Tree_broadcast = Scalar_broadcast.Make (Commodity.Pow2_dyadic)
 (** Section 3.1's grounded-tree protocol: power-of-two flow splitting. *)

@@ -38,6 +38,11 @@ module Redundant = Redundant
 (** k-repetition resilience wrapper for any protocol — the feedback-free
     defense against lossy channels (see {!Redundant.Make}). *)
 
+module Check_suite = Check_suite
+(** The model-checking suite for [anonet check] / [bench -- check]: every
+    protocol on every small family it must be correct on, plus the
+    sabotaged-split negative control (see {!Runtime.Explore}). *)
+
 module Tree_broadcast : module type of Scalar_broadcast.Make (Commodity.Pow2_dyadic)
 (** Section 3.1's grounded-tree protocol: power-of-two flow splitting. *)
 

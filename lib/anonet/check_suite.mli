@@ -1,0 +1,40 @@
+(** The model-checking suite: every library protocol paired with every
+    deterministic small family its correctness theorem quantifies over
+    (grounded trees for Section 3.1, DAGs for Section 3.3, arbitrary
+    digraphs for Sections 4–6), sized so exhaustive schedule-space
+    exploration is feasible (default [|E| <= 8]).
+
+    Consumed by the [anonet check] CLI subcommand, [bench -- check] and the
+    test-suite; the protocol's state/message types are hidden behind
+    closures so callers need no functor plumbing. *)
+
+type case = {
+  c_protocol : string;  (** Short protocol name ([tree], [general], ...). *)
+  c_family : string;
+  c_edges : int;
+  c_graph : Digraph.t;
+  c_explore :
+    ?max_states:int ->
+    ?max_depth:int ->
+    ?walks:int ->
+    unit ->
+    Runtime.Explore.result;
+  c_replay : int list -> Runtime.Explore.replay;
+      (** Replay a recorded schedule through the real engine. *)
+}
+
+val make :
+  (module Runtime.Protocol_intf.CHECKABLE) ->
+  family:string ->
+  Digraph.t ->
+  case
+(** Wrap an arbitrary checkable protocol on an arbitrary graph. *)
+
+val cases : ?max_edges:int -> unit -> case list
+(** The full suite, deterministic and in stable order. *)
+
+val sabotaged : unit -> case
+(** The negative control: the tree protocol over a commodity whose [split]
+    ships the whole value on the first out-edge.  Conservation holds but a
+    sibling subtree starves, so exploring it must produce a
+    [False_termination] counterexample. *)

@@ -32,6 +32,31 @@ module Make (C : Commodity.S) = struct
   let pp_state fmt st =
     Format.fprintf fmt "acc=%s heard=%d" (C.to_string st.acc) st.heard
 
+  (* [heard] gates forwarding, so it is behavioral and must fingerprint. *)
+  let digest st = C.to_string st.acc ^ "@" ^ string_of_int st.heard
+
+  (* The Section 3.3 cut: a vertex holds its accumulated commodity until the
+     [heard = in_degree] flush re-emits all of it; sinks absorb forever. *)
+  let conservation =
+    Some
+      (Runtime.Protocol_intf.Conservation
+         {
+           zero = C.zero;
+           add = C.add;
+           of_message = (fun x -> x);
+           retained =
+             (fun ~out_degree ~in_degree st ->
+               if out_degree = 0 || st.heard < in_degree then st.acc else C.zero);
+           check =
+             (fun total ->
+               if C.is_unit total then Ok ()
+               else Error (Printf.sprintf "cut total %s <> 1" (C.to_string total)));
+         })
+
+  (* On a DAG each in-edge carries exactly one message. *)
+  let vertex_invariant =
+    Some (fun ~out_degree:_ ~in_degree st -> st.heard <= in_degree)
+
   let accumulated st = st.acc
   let heard st = st.heard
 end

@@ -10,7 +10,7 @@
     precisely why Section 4 needs the interval machinery. *)
 
 module Make (C : Commodity.S) : sig
-  include Runtime.Protocol_intf.PROTOCOL with type message = C.t
+  include Runtime.Protocol_intf.CHECKABLE with type message = C.t
 
   val accumulated : state -> C.t
   val heard : state -> int

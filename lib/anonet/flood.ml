@@ -28,4 +28,11 @@ let pp_message fmt Token = Format.pp_print_string fmt "token"
 let pp_state fmt st =
   Format.pp_print_string fmt (if st.received then "received" else "idle")
 
+let digest st = if st.received then "1" else "0"
+
+(* Flooding duplicates the token freely: there is no conserved commodity,
+   and (by design) no termination — [accepting] is constantly false. *)
+let conservation = None
+let vertex_invariant = None
+
 let received st = st.received

@@ -9,7 +9,7 @@
     demonstrate, in runnable form, why the paper's commodity machinery is
     necessary. *)
 
-include Runtime.Protocol_intf.PROTOCOL
+include Runtime.Protocol_intf.CHECKABLE
 
 val received : state -> bool
 (** Whether the vertex had been visited when the run stopped. *)

@@ -91,6 +91,21 @@ let step ~assign_label state ~alpha:alpha' ~beta:beta' =
     ({ state with alpha; beta; seen_alpha }, sends)
   end
 
+(* Canonical fingerprint for the model checker: every field is behavioral
+   ([alpha] gates cycle detection, [seen_alpha] only feeds [covered] at
+   absorbing vertices but is cheap and keeps the digest obviously
+   injective).  [Is.to_string] prints the normal form, so equal sets print
+   equally. *)
+let digest state =
+  let c = Runtime.Canonical.create () in
+  Runtime.Canonical.add_bool c state.initialized;
+  Runtime.Canonical.add_int c (Array.length state.alpha);
+  Array.iter (fun a -> Runtime.Canonical.add_string c (Is.to_string a)) state.alpha;
+  Runtime.Canonical.add_string c (Is.to_string state.beta);
+  Runtime.Canonical.add_string c (Is.to_string state.label);
+  Runtime.Canonical.add_string c (Is.to_string state.seen_alpha);
+  Runtime.Canonical.contents c
+
 let covered state = Is.union state.seen_alpha state.beta
 
 let accepting state = Is.is_unit (covered state)

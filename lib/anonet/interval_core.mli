@@ -50,6 +50,9 @@ val accepting : t -> bool
 val covered : t -> Intervals.Iset.t
 (** [seen_alpha union beta], the quantity [S] tests. *)
 
+val digest : t -> string
+(** Canonical fingerprint of the whole state, for {!Runtime.Explore}. *)
+
 val invariant : ?prev:t -> t -> bool
 (** Structural invariants: [alpha.(j)] pairwise disjoint and disjoint from
     the label; with [?prev], state-monotonicity w.r.t. that earlier state. *)

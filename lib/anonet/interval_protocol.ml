@@ -58,6 +58,38 @@ struct
       (Is.to_string st.beta) (Is.to_string st.label)
       (Is.to_string (Interval_core.covered st))
 
+  let digest = Interval_core.digest
+
+  (* The Section 4 analogue of the linear cut is a {e linearity} law, not a
+     sum: each point of [0,1) lives in at most one place — an in-flight
+     alpha, an internal vertex's kept label, or an absorbing (out-degree-0)
+     vertex's [seen_alpha].  Cycle detection moves alpha into beta (which
+     floods and duplicates freely), so completeness cannot be asserted
+     mid-run, but an overlap is exactly the duplication bug the checker
+     hunts: the accumulator carries the running union plus a disjointness
+     flag. *)
+  let conservation =
+    Some
+      (Runtime.Protocol_intf.Conservation
+         {
+           zero = (Is.empty, true);
+           add =
+             (fun (a, ok) (b, ok') ->
+               (Is.union a b, ok && ok' && Is.disjoint a b));
+           of_message = (fun (alpha, _beta) -> (alpha, true));
+           retained =
+             (fun ~out_degree ~in_degree:_ (st : state) ->
+               if out_degree = 0 then (st.Interval_core.seen_alpha, true)
+               else (st.Interval_core.label, true));
+           check =
+             (fun (_total, ok) ->
+               if ok then Ok ()
+               else Error "alpha commodity duplicated across the cut");
+         })
+
+  let vertex_invariant =
+    Some (fun ~out_degree:_ ~in_degree:_ st -> Interval_core.invariant st)
+
   let label (st : state) = st.label
   let covered = Interval_core.covered
 end

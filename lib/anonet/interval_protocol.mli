@@ -6,7 +6,7 @@ module Make (M : sig
   val assign_label : bool
 end) : sig
   include
-    Runtime.Protocol_intf.PROTOCOL
+    Runtime.Protocol_intf.CHECKABLE
       with type state = Interval_core.t
        and type message = Intervals.Iset.t * Intervals.Iset.t
 

@@ -321,6 +321,69 @@ let pp_state fmt st =
     (Ann_set.cardinal st.anns) (Fact_set.cardinal st.facts)
     (Is.to_string (Interval_core.covered st.core))
 
+let sender_id_key = function
+  | Root -> "R"
+  | Labeled iv -> "L" ^ I.to_string iv
+
+let digest st =
+  let c = Runtime.Canonical.create () in
+  Runtime.Canonical.add_string c (Interval_core.digest st.core);
+  Runtime.Canonical.add_string c
+    (match st.my_label with None -> "-" | Some iv -> I.to_string iv);
+  Runtime.Canonical.add_int c (Array.length st.in_info);
+  Array.iter
+    (fun info ->
+      Runtime.Canonical.add_string c
+        (match info with
+        | None -> "-"
+        | Some (sid, port) -> sender_id_key sid ^ "@" ^ string_of_int port))
+    st.in_info;
+  (* Set iteration is already canonical (element order); [local_ends] is a
+     cons-order list, so sort its rendering. *)
+  Runtime.Canonical.add_int c (Ann_set.cardinal st.anns);
+  Ann_set.iter
+    (fun a ->
+      Runtime.Canonical.add_string c
+        (Printf.sprintf "%s/%d/%d" (sender_id_key a.ann_who) a.ann_out a.ann_in))
+    st.anns;
+  Runtime.Canonical.add_int c (Fact_set.cardinal st.facts);
+  Fact_set.iter
+    (fun f ->
+      Runtime.Canonical.add_string c
+        (Printf.sprintf "%s/%d>%s/%d" (sender_id_key f.src) f.src_port
+           (I.to_string f.dst) f.dst_port))
+    st.facts;
+  Runtime.Canonical.add_sorted_strings c
+    (List.map
+       (fun (sid, sp, ip) ->
+         Printf.sprintf "%s/%d/%d" (sender_id_key sid) sp ip)
+       st.local_ends);
+  Runtime.Canonical.contents c
+
+(* Same linearity law as {!Interval_protocol}: the alpha commodity rides the
+   labeling core unchanged; announcements and facts flood like beta and are
+   exempt. *)
+let conservation =
+  Some
+    (Runtime.Protocol_intf.Conservation
+       {
+         zero = (Is.empty, true);
+         add =
+           (fun (a, ok) (b, ok') -> (Is.union a b, ok && ok' && Is.disjoint a b));
+         of_message = (fun m -> (m.m_alpha, true));
+         retained =
+           (fun ~out_degree ~in_degree:_ st ->
+             if out_degree = 0 then (st.core.Interval_core.seen_alpha, true)
+             else (st.core.Interval_core.label, true));
+         check =
+           (fun (_total, ok) ->
+             if ok then Ok ()
+             else Error "alpha commodity duplicated across the cut");
+       })
+
+let vertex_invariant =
+  Some (fun ~out_degree:_ ~in_degree:_ st -> Interval_core.invariant st.core)
+
 let vertex_label st = st.my_label
 let announcements st = Ann_set.elements st.anns
 let facts st = Fact_set.elements st.facts

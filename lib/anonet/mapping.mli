@@ -33,7 +33,7 @@ type announcement = { ann_who : sender_id; ann_out : int; ann_in : int }
 
 type fact = { src : sender_id; src_port : int; dst : I.t; dst_port : int }
 
-include Runtime.Protocol_intf.PROTOCOL
+include Runtime.Protocol_intf.CHECKABLE
 
 val vertex_label : state -> I.t option
 (** The single-interval label this vertex kept, once initialized. *)

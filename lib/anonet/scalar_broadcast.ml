@@ -33,6 +33,32 @@ module Make (C : Commodity.S) = struct
   let pp_state fmt st =
     Format.fprintf fmt "acc=%s after %d messages" (C.to_string st.acc) st.times
 
+  (* [times] is pure bookkeeping — it never influences [receive] or
+     [accepting] — so the digest omits it and behaviorally equal states
+     share one model-checking fingerprint. *)
+  let digest st = C.to_string st.acc
+
+  (* Lemma 3.5's linear cut: in-flight commodity plus what the sinks
+     absorbed is exactly the unit injected at [s] (internal vertices forward
+     everything the instant it arrives, so they retain nothing). *)
+  let conservation =
+    Some
+      (Runtime.Protocol_intf.Conservation
+         {
+           zero = C.zero;
+           add = C.add;
+           of_message = (fun x -> x);
+           retained =
+             (fun ~out_degree ~in_degree:_ st ->
+               if out_degree = 0 then st.acc else C.zero);
+           check =
+             (fun total ->
+               if C.is_unit total then Ok ()
+               else Error (Printf.sprintf "cut total %s <> 1" (C.to_string total)));
+         })
+
+  let vertex_invariant = None
+
   let accumulated st = st.acc
   let times_received st = st.times
 end

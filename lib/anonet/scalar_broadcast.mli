@@ -14,7 +14,7 @@
     baseline). *)
 
 module Make (C : Commodity.S) : sig
-  include Runtime.Protocol_intf.PROTOCOL with type message = C.t
+  include Runtime.Protocol_intf.CHECKABLE with type message = C.t
 
   val accumulated : state -> C.t
   (** Total commodity received by the vertex so far. *)

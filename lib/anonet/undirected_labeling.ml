@@ -98,5 +98,18 @@ let pp_state fmt st =
     st.is_root
     (match st.done_count with Some c -> string_of_int c | None -> "-")
 
+let digest st =
+  Printf.sprintf "%s|%s|%d|%c|%s"
+    (match st.id with None -> "-" | Some i -> string_of_int i)
+    (match st.parent with None -> "-" | Some p -> string_of_int p)
+    st.next_port
+    (if st.is_root then 'r' else '.')
+    (match st.done_count with None -> "-" | Some c -> string_of_int c)
+
+(* The single DFS token is conserved until the Done flood duplicates it;
+   no whole-run linear law to state. *)
+let conservation = None
+let vertex_invariant = None
+
 let vertex_id st = st.id
 let total_count st = st.done_count

@@ -22,7 +22,7 @@
     internal vertex's last out-port leads to [t] and its remaining ports are
     aligned bidirected edges; the DFS root is whoever receives [Start]. *)
 
-include Runtime.Protocol_intf.PROTOCOL
+include Runtime.Protocol_intf.CHECKABLE
 
 val vertex_id : state -> int option
 (** The integer label assigned by the traversal. *)

@@ -275,30 +275,11 @@ let sound res = res.violations = []
 
 (* {1 JSON} *)
 
-let buf_json_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 32 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-let buf_list b f xs =
-  Buffer.add_char b '[';
-  List.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      f b x)
-    xs;
-  Buffer.add_char b ']'
-
-let buf_int_list b xs = buf_list b (fun b i -> Buffer.add_string b (string_of_int i)) xs
+(* All string escaping goes through the shared {!Json} helper so every JSON
+   producer in the tree agrees on the escaping rules. *)
+let buf_json_string = Json.buf_string
+let buf_list = Json.buf_list
+let buf_int_list = Json.buf_int_list
 
 let buf_plan b (p : Faults.plan) =
   Buffer.add_string b

@@ -1,0 +1,68 @@
+type t = Buffer.t
+
+let create () = Buffer.create 256
+
+let add_string b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_int b i =
+  Buffer.add_char b 'i';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_bool b v = Buffer.add_char b (if v then '1' else '0')
+
+let add_bool_array b arr =
+  Buffer.add_char b 'b';
+  Buffer.add_string b (string_of_int (Array.length arr));
+  Buffer.add_char b ':';
+  Array.iter (add_bool b) arr
+
+let add_sorted_strings b xs =
+  let xs = List.sort String.compare xs in
+  add_int b (List.length xs);
+  List.iter (add_string b) xs
+
+let contents = Buffer.contents
+
+module Memo = struct
+  type key = string
+
+  type t = (string, string list list ref) Hashtbl.t
+
+  let create () = Hashtbl.create 4096
+
+  let size = Hashtbl.length
+
+  (* [visit] returns [(stored, fresh)]: the (mutable) list of sleep sets the
+     state has already been fully expanded under, and whether this is the
+     first time the key is seen at all. *)
+  let visit t key =
+    match Hashtbl.find_opt t key with
+    | Some stored -> (stored, false)
+    | None ->
+        let stored = ref [] in
+        Hashtbl.add t key stored;
+        (stored, true)
+
+  (* Sleep sets are kept as sorted tkey lists; [subset a b] assumes both
+     sorted. *)
+  let rec subset a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' ->
+        let c = String.compare x y in
+        if c = 0 then subset a' b'
+        else if c > 0 then subset a b'
+        else false
+
+  let covered stored sleep = List.exists (fun s -> subset s sleep) !stored
+
+  let record stored sleep =
+    (* A stored superset of [sleep] is now redundant: [sleep] covers every
+       future visit it would have. *)
+    stored := sleep :: List.filter (fun s -> not (subset sleep s)) !stored
+end

@@ -1,0 +1,51 @@
+(** Unambiguous fingerprints of global protocol configurations.
+
+    A model-checking state is (per-vertex protocol states, visited flags,
+    multiset of in-flight messages).  Two configurations reached along
+    different interleavings are behaviorally equal iff these components
+    agree — in particular the engine's send sequence numbers must {e not}
+    enter the key, since independent deliveries permute them.  The builder
+    below makes injectivity easy: every variable-length component is
+    length-prefixed, so distinct component lists can never concatenate to
+    the same key. *)
+
+type t
+
+val create : unit -> t
+val add_string : t -> string -> unit
+(** Length-prefixed: ["ab"+"c"] and ["a"+"bc"] produce different keys. *)
+
+val add_int : t -> int -> unit
+val add_bool : t -> bool -> unit
+val add_bool_array : t -> bool array -> unit
+
+val add_sorted_strings : t -> string list -> unit
+(** Appends the count, then the elements in sorted order — the canonical
+    form of a multiset of encoded messages. *)
+
+val contents : t -> string
+
+(** The visited-state table of the sleep-set search: each canonical key maps
+    to the sleep sets under which the state has already been fully expanded.
+    Re-expansion is skipped only when a {e stored} sleep set is a subset of
+    the current one — the classical sound combination of sleep sets with
+    state caching (a smaller sleep set explored strictly more, so its
+    subtree subsumes the current visit). *)
+module Memo : sig
+  type key = string
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val visit : t -> key -> string list list ref * bool
+  (** [(stored, fresh)]: the stored sleep sets (mutable; extend via
+      {!record}) and whether the key was never seen before. *)
+
+  val covered : string list list ref -> string list -> bool
+  (** Does some stored sleep set subset the given (sorted) one? *)
+
+  val record : string list list ref -> string list -> unit
+  (** Store a (sorted) sleep set the state is about to be expanded under,
+      dropping stored supersets it makes redundant. *)
+end

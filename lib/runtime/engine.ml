@@ -102,6 +102,27 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         let h = Binheap.create () in
         ( (fun f -> Binheap.push h (prio f.edge, f.seq) f),
           fun () -> Option.map snd (Binheap.pop h) )
+    | Replay order ->
+        (* Deliver exactly the listed seq numbers, in order; a listed seq
+           that is not (or not yet) in flight is skipped — with a faithfully
+           recorded schedule this never happens.  When the list runs out the
+           pool reports empty and the run stops where the schedule left it,
+           even if messages remain in flight. *)
+        let pool : (int, flight) Hashtbl.t = Hashtbl.create 32 in
+        let remaining = ref order in
+        let push f = Hashtbl.replace pool f.seq f in
+        let rec pop () =
+          match !remaining with
+          | [] -> None
+          | s :: rest -> (
+              remaining := rest;
+              match Hashtbl.find_opt pool s with
+              | Some f ->
+                  Hashtbl.remove pool s;
+                  Some f
+              | None -> pop ())
+        in
+        (push, pop)
 
   (* Flip stream-bit [b] of the MSB-first packing produced by Bit_writer. *)
   let flip_bit s b =

@@ -55,3 +55,51 @@ module type PROTOCOL = sig
   val pp_message : Format.formatter -> message -> unit
   val pp_state : Format.formatter -> state -> unit
 end
+
+(** {1 Model-checking hooks}
+
+    {!Explore} verifies protocols against machine-checkable invariants.  The
+    central one is the paper's linear-cut argument (Lemma 3.5 and its
+    Section 4 analogue): at {e every} instant, the commodity spread over the
+    in-flight messages plus what the vertices retain is exactly the unit the
+    root injected.  The law is packaged with an existential accumulator type
+    so scalar protocols can sum exact commodities while interval protocols
+    accumulate union-plus-disjointness — the checker itself stays generic
+    (and this library dependency-free). *)
+
+type ('state, 'message, 'acc) conservation = {
+  zero : 'acc;
+  add : 'acc -> 'acc -> 'acc;
+  of_message : 'message -> 'acc;
+      (** The commodity a message carries across the cut. *)
+  retained : out_degree:int -> in_degree:int -> 'state -> 'acc;
+      (** The commodity a vertex currently holds (not yet re-emitted). *)
+  check : 'acc -> (unit, string) result;
+      (** Is the whole-network total lawful?  [Error] describes the breach. *)
+}
+
+type ('state, 'message) conservation_law =
+  | Conservation :
+      ('state, 'message, 'acc) conservation
+      -> ('state, 'message) conservation_law
+
+(** A protocol the {!Explore} model checker can drive.  Everything in
+    {!PROTOCOL} plus a canonical state fingerprint and optional invariants. *)
+module type CHECKABLE = sig
+  include PROTOCOL
+
+  val digest : state -> string
+  (** A canonical fingerprint: two states behave identically under [receive]
+      and [accepting] iff their digests are equal.  Pure bookkeeping fields
+      (delivery counters and other statistics) should be {e omitted} so that
+      behaviorally equal states are memoized together. *)
+
+  val conservation : (state, message) conservation_law option
+  (** The protocol's linear-cut law, if it has one ([None] for protocols —
+      like plain flooding — that duplicate rather than split). *)
+
+  val vertex_invariant :
+    (out_degree:int -> in_degree:int -> state -> bool) option
+  (** A per-vertex structural invariant checked at every explored state
+      (e.g. pairwise disjointness of an interval vertex's port sets). *)
+end

@@ -7,8 +7,12 @@
       corrupt / kill), all seeded;
     - {!Campaign} — deterministic fault-campaign harness with soundness
       checking and witness shrinking;
+    - {!Explore} — exhaustive schedule-space model checker with sleep-set
+      partial-order reduction and replayable counterexamples;
+    - {!Canonical} — configuration fingerprints and the visited-state table;
     - {!Binheap} — the min-heap behind [Edge_priority] and the delay queue;
-    - {!Trace} — execution recording for tests. *)
+    - {!Trace} — execution recording for tests;
+    - {!Json} — shared JSON emission helpers. *)
 
 module Protocol_intf = Protocol_intf
 module Engine = Engine
@@ -16,5 +20,8 @@ module Sync_engine = Sync_engine
 module Scheduler = Scheduler
 module Faults = Faults
 module Campaign = Campaign
+module Explore = Explore
+module Canonical = Canonical
 module Binheap = Binheap
 module Trace = Trace
+module Json = Json

@@ -3,9 +3,11 @@ type t =
   | Lifo
   | Random of Prng.t
   | Edge_priority of (int -> int)
+  | Replay of int list
 
 let describe = function
   | Fifo -> "fifo"
   | Lifo -> "lifo"
   | Random _ -> "random"
   | Edge_priority _ -> "edge-priority"
+  | Replay _ -> "replay"

