@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- e4 e7     # selected tables
      dune exec bench/main.exe -- timing    # Bechamel micro-benchmarks only
      dune exec bench/main.exe -- campaign  # fault campaign, JSON on stdout
-     dune exec bench/main.exe -- check     # model-checking sweep, JSON on stdout *)
+     dune exec bench/main.exe -- check     # model-checking sweep, JSON on stdout
+     dune exec bench/main.exe -- throughput        # E15 multicore sweep, JSON
+     dune exec bench/main.exe -- throughput:small  # CI-sized variant *)
 
 module G = Digraph
 module F = Digraph.Families
@@ -600,6 +602,62 @@ let check () =
   Buffer.add_string b "\n]\n";
   print_string (Buffer.contents b)
 
+(* {1 E15 — multicore throughput (JSON)} *)
+
+(* Wall-clock sweep of the sharded engine over domain counts on one large
+   layered digraph, flooding (1-bit messages, one delivery per edge) so the
+   measurement is engine overhead rather than protocol arithmetic.  Emits a
+   JSON object with the median/p90 wall time, deliveries/sec and the speedup
+   against 1 domain, plus what the hardware actually offers — on a
+   single-core host the speedup is honestly ~1.0 and the numbers mostly
+   price the sharding overhead. *)
+let throughput ~small () =
+  let target_edges = if small then 30_000 else 120_000 in
+  let repeats = if small then 3 else 5 in
+  let g = F.random_layered_large (Prng.create 42) ~target_edges in
+  let module Pn = Par.Engine.Make (Anonet.Flood) in
+  let series =
+    List.map
+      (fun domains ->
+        let runs =
+          List.init repeats (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              let r = Pn.run ~domains g in
+              assert (r.E.outcome = E.Quiescent);
+              (Unix.gettimeofday () -. t0, r.E.deliveries))
+        in
+        let med, p90 =
+          match Metrics.percentiles [ 50.0; 90.0 ] (List.map fst runs) with
+          | [ m; p ] -> (m, p)
+          | _ -> assert false
+        in
+        (domains, snd (List.hd runs), med, p90))
+      [ 1; 2; 4 ]
+  in
+  let base_med =
+    match series with (_, _, m, _) :: _ -> m | [] -> assert false
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E15-throughput\",\n";
+  pf "  \"protocol\": \"flood\",\n";
+  pf "  \"graph\": {\"vertices\": %d, \"edges\": %d},\n" (G.n_vertices g)
+    (G.n_edges g);
+  pf "  \"repeats\": %d,\n" repeats;
+  pf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ());
+  pf "  \"series\": [";
+  List.iteri
+    (fun i (domains, deliveries, med, p90) ->
+      if i > 0 then pf ",";
+      pf
+        "\n\
+        \    {\"domains\": %d, \"deliveries\": %d, \"median_s\": %.6f, \
+         \"p90_s\": %.6f, \"deliveries_per_s\": %.0f, \"speedup_vs_1\": %.3f}"
+        domains deliveries med p90
+        (float_of_int deliveries /. med)
+        (base_med /. med))
+    series;
+  pf "\n  ]\n}\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -619,12 +677,14 @@ let () =
           if a = "timing" then timing ()
           else if a = "campaign" then campaign ()
           else if a = "check" then check ()
+          else if a = "throughput" then throughput ~small:false ()
+          else if a = "throughput:small" then throughput ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
             | None ->
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
-                   timing)\n"
+                   timing, throughput[:small])\n"
                   a)
         args

@@ -166,6 +166,28 @@ let describe_stats (st : Anonet.stats) =
   pf "distinct symbols : %d\n" st.distinct_messages;
   pf "all visited      : %b\n" st.all_visited
 
+let protocol_of_name : string -> (module Runtime.Protocol_intf.PROTOCOL) option
+    = function
+  | "flood" -> Some (module Anonet.Flood)
+  | "tree" -> Some (module Anonet.Tree_broadcast)
+  | "tree-naive" -> Some (module Anonet.Tree_broadcast_naive)
+  | "dag" -> Some (module Anonet.Dag_broadcast_pow2)
+  | "general" -> Some (module Anonet.General_broadcast)
+  | "labeling" -> Some (module Anonet.Labeling)
+  | "mapping" -> Some (module Anonet.Mapping)
+  | "undirected" -> Some (module Anonet.Undirected_labeling)
+  | _ -> None
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Execute on $(docv) domains with the sharded multicore engine (1 = \
+           the sequential engine).  The parallel delivery order is one more \
+           legal asynchronous schedule, so the outcome and visited set match \
+           the sequential run; the --scheduler policy does not apply.")
+
 (* Exit status of [run]: 1 on non-termination, 2 on a soundness violation
    (terminated with unvisited vertices), 0 on a sound termination. *)
 let finish (st : Anonet.stats) =
@@ -190,7 +212,19 @@ let run_cmd =
             "flood | tree | tree-naive | dag | general | labeling | mapping | \
              undirected (the last expects a ring:N / bidirected:N:SEED family)")
   in
-  let run g protocol scheduler payload =
+  let run g protocol scheduler payload domains =
+    if domains < 1 then `Error (false, "--domains must be at least 1")
+    else if domains > 1 then
+      match protocol_of_name protocol with
+      | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
+      | Some (module P : Runtime.Protocol_intf.PROTOCOL) ->
+          describe_graph g;
+          pf "protocol: %s, domains: %d (sharded engine), payload: %d bits\n\n"
+            protocol domains payload;
+          let module En = Par.Engine.Make (P) in
+          finish
+            (Anonet.stats_of_report (En.run ~domains ~payload_bits:payload g))
+    else begin
     describe_graph g;
     pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
       (Runtime.Scheduler.describe scheduler)
@@ -212,10 +246,13 @@ let run_cmd =
     | "mapping" ->
         finish (fst (Anonet.map_network ~scheduler ~payload_bits:payload g))
     | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated network and print stats.")
-    Term.(ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t))
+    Term.(
+      ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
+         $ domains_t))
 
 let label_cmd =
   let run g scheduler =
@@ -344,17 +381,6 @@ let dot_cmd =
     Term.(const run $ family_t)
 
 let faults_cmd =
-  let protocol_of_name :
-      string -> (module Runtime.Protocol_intf.PROTOCOL) option = function
-    | "flood" -> Some (module Anonet.Flood)
-    | "tree" -> Some (module Anonet.Tree_broadcast)
-    | "tree-naive" -> Some (module Anonet.Tree_broadcast_naive)
-    | "dag" -> Some (module Anonet.Dag_broadcast_pow2)
-    | "general" -> Some (module Anonet.General_broadcast)
-    | "labeling" -> Some (module Anonet.Labeling)
-    | "mapping" -> Some (module Anonet.Mapping)
-    | _ -> None
-  in
   let protocol_t =
     Arg.(
       value & opt string "general"
@@ -389,7 +415,8 @@ let faults_cmd =
              sends, receive-side dedup, and a checksum that turns bit corruption \
              into detected drops.")
   in
-  let run g protocol scheduler drop duplicate delay corrupt kill seeds k =
+  let run g protocol scheduler drop duplicate delay corrupt kill seeds k domains
+      =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -409,10 +436,19 @@ let faults_cmd =
                         end)
                         (P))
           in
+          if domains < 1 then invalid_arg "--domains must be at least 1";
           let module En = Runtime.Engine.Make (Q) in
+          let module Pn = Par.Engine.Make (Q) in
+          let engine_run ~faults g =
+            if domains > 1 then Pn.run ~domains ~faults g
+            else En.run ~scheduler ~faults g
+          in
           describe_graph g;
-          pf "protocol: %s, scheduler: %s\n" Q.name
-            (Runtime.Scheduler.describe scheduler);
+          if domains > 1 then
+            pf "protocol: %s, domains: %d (sharded engine)\n" Q.name domains
+          else
+            pf "protocol: %s, scheduler: %s\n" Q.name
+              (Runtime.Scheduler.describe scheduler);
           pf "faults  : drop=%.3f duplicate=%.3f delay<=%d corrupt=%.3f kill=%.3f\n\n"
             drop duplicate delay corrupt kill;
           let n = G.n_vertices g in
@@ -425,7 +461,7 @@ let faults_cmd =
               Runtime.Faults.create ~drop ~duplicate ~max_delay:delay ~corrupt
                 ~kill ~seed ()
             in
-            let r = En.run ~scheduler ~faults g in
+            let r = engine_run ~faults g in
             let visited =
               Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 r.visited
             in
@@ -457,7 +493,7 @@ let faults_cmd =
     Term.(
       ret
         (const run $ family_t $ protocol_t $ scheduler_t $ drop_t $ duplicate_t
-       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t))
+       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t $ domains_t))
 
 let check_cmd =
   let max_edges_t =
@@ -492,7 +528,7 @@ let check_cmd =
              Its split ships the whole commodity on one out-edge, so this must \
              find a false-termination counterexample and exit 1.")
   in
-  let run max_edges protocol max_states sabotage =
+  let run max_edges protocol max_states sabotage domains =
     let module X = Runtime.Explore in
     let module CS = Anonet.Check_suite in
     let cases =
@@ -510,9 +546,15 @@ let check_cmd =
           "states" "transit" "pruned" "walks" "status";
         let bad = ref 0 in
         let failures = ref [] in
+        (* Each instance explores independently; the pool shards them across
+           domains and hands the results back in suite order. *)
+        let explored =
+          Par.Pool.map_list ~domains
+            (fun (c : CS.case) -> (c, c.c_explore ~max_states ()))
+            cases
+        in
         List.iter
-          (fun (c : CS.case) ->
-            let r = c.c_explore ~max_states () in
+          (fun ((c : CS.case), (r : X.result)) ->
             let status =
               match r.violations with
               | [] -> if r.stats.truncated then "ok (bounded)" else "ok"
@@ -525,7 +567,7 @@ let check_cmd =
               c.c_edges r.stats.states r.stats.transitions
               (100.0 *. X.pruned_fraction r.stats)
               r.stats.walks status)
-          cases;
+          explored;
         List.iter
           (fun ((c : CS.case), (v : X.violation)) ->
             pf "\n%s on %s: %s\n" c.c_protocol c.c_family (X.describe_kind v.kind);
@@ -555,7 +597,9 @@ let check_cmd =
           state.  Violations are replayed through the real engine and exit \
           with status 1.")
     Term.(
-      ret (const run $ max_edges_t $ protocol_t $ max_states_t $ sabotage_t))
+      ret
+        (const run $ max_edges_t $ protocol_t $ max_states_t $ sabotage_t
+       $ domains_t))
 
 let main_cmd =
   let doc =

@@ -65,6 +65,20 @@ module Tree_impl = Scalar_broadcast.Make (Commodity.Pow2_dyadic)
 module Tree_naive_impl = Scalar_broadcast.Make (Commodity.Even_rational)
 module Dag_impl = Dag_broadcast.Make (Commodity.Pow2_dyadic)
 
+let protocols () :
+    (string
+    * [ `Trees | `Dags | `Digraphs ]
+    * (module Runtime.Protocol_intf.CHECKABLE))
+    list =
+  [
+    ("tree", `Trees, (module Tree_impl));
+    ("tree-naive", `Trees, (module Tree_naive_impl));
+    ("dag", `Dags, (module Dag_impl));
+    ("general", `Digraphs, (module General_broadcast));
+    ("labeling", `Digraphs, (module Labeling));
+    ("mapping", `Digraphs, (module Mapping));
+  ]
+
 let cases ?(max_edges = 8) () =
   let on families (p : (module Runtime.Protocol_intf.CHECKABLE)) =
     List.filter_map

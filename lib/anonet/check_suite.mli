@@ -33,6 +33,16 @@ val make :
 val cases : ?max_edges:int -> unit -> case list
 (** The full suite, deterministic and in stable order. *)
 
+val protocols :
+  unit ->
+  (string
+  * [ `Trees | `Dags | `Digraphs ]
+  * (module Runtime.Protocol_intf.CHECKABLE))
+  list
+(** The suite's protocols as first-class modules, each tagged with the
+    widest graph class its correctness theorem covers — what the
+    parallel-vs-sequential equivalence tests quantify over. *)
+
 val sabotaged : unit -> case
 (** The negative control: the tree protocol over a commodity whose [split]
     ships the whole value on the first out-edge.  Conservation holds but a

@@ -143,6 +143,45 @@ let grid_dag ~rows ~cols =
   done;
   Graph.make ~n:(t + 1) ~s ~t (List.rev !edges)
 
+(* Large layered DAG for throughput benchmarks, sized by edge count.  The
+   shape is s -> hub -> L layers of [width] vertices -> t: the hub fans out
+   to the whole first layer, vertex j of layer i always feeds vertex j of
+   layer i+1 (so every vertex is reachable and co-reachable by
+   construction), and [fan - 1] extra random forward edges per vertex supply
+   the reconvergence.  Edge count lands within a few percent of
+   [target_edges]. *)
+let random_layered_large prng ~target_edges =
+  if target_edges < 32 then
+    invalid_arg "Families.random_layered_large: target_edges must be >= 32";
+  let fan = 4 in
+  let width =
+    Stdlib.max 4 (int_of_float (sqrt (float_of_int target_edges /. float_of_int fan)))
+  in
+  (* 1 (s->hub) + width (hub->layer0) + (layers-1)*width*fan + width (->t). *)
+  let layers =
+    Stdlib.max 2 (1 + ((target_edges - 1 - (2 * width)) / (width * fan)))
+  in
+  let s = 0 and hub = 1 in
+  let vertex layer j = 2 + (layer * width) + j in
+  let t = 2 + (layers * width) in
+  let edges = ref [ (s, hub) ] in
+  for j = width - 1 downto 0 do
+    edges := (hub, vertex 0 j) :: !edges
+  done;
+  for layer = 0 to layers - 2 do
+    for j = 0 to width - 1 do
+      (* The aligned spine edge first, then fan-1 random forward edges. *)
+      edges := (vertex layer j, vertex (layer + 1) j) :: !edges;
+      for _ = 2 to fan do
+        edges := (vertex layer j, vertex (layer + 1) (Prng.int prng width)) :: !edges
+      done
+    done
+  done;
+  for j = 0 to width - 1 do
+    edges := (vertex (layers - 1) j, t) :: !edges
+  done;
+  Graph.make ~n:(t + 1) ~s ~t (List.rev !edges)
+
 let random_grounded_tree prng ~n ~t_edge_prob =
   if n < 1 then invalid_arg "Families.random_grounded_tree";
   let s = 0 and t = n + 1 in

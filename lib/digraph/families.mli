@@ -59,6 +59,15 @@ val figure_eight : unit -> Graph.t
 val grid_dag : rows:int -> cols:int -> Graph.t
 (** [rows x cols] grid, edges right and down; heavy path reconvergence. *)
 
+val random_layered_large : Prng.t -> target_edges:int -> Graph.t
+(** Large layered DAG sized by edge count, for throughput benchmarks:
+    [s -> hub], the hub feeding every vertex of the first layer, square-ish
+    layers connected forward (one aligned spine edge per vertex plus random
+    reconverging edges), the last layer feeding [t].  Every vertex is
+    reachable from [s] and co-reachable to [t] by construction, and the edge
+    count lands within a few percent of [target_edges] (which must be
+    [>= 32]). *)
+
 val random_grounded_tree : Prng.t -> n:int -> t_edge_prob:float -> Graph.t
 (** Uniform random recursive tree over [n] internal vertices; every leaf and
     (with the given probability) every internal vertex also points to [t]. *)

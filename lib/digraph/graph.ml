@@ -161,27 +161,23 @@ let classify g =
   else `General
 
 let scc g =
-  (* Iterative Tarjan. *)
+  (* Tarjan with an explicit frame stack instead of recursion: each frame is
+     (vertex, next out-port to look at), so graphs with million-edge paths do
+     not overflow the OCaml call stack. *)
   let index = Array.make g.n (-1) in
   let lowlink = Array.make g.n 0 in
   let on_stack = Array.make g.n false in
   let comp = Array.make g.n (-1) in
   let stack = Stack.create () in
   let next_index = ref 0 and next_comp = ref 0 in
-  let rec strongconnect v =
+  let discover v =
     index.(v) <- !next_index;
     lowlink.(v) <- !next_index;
     incr next_index;
     Stack.push v stack;
-    on_stack.(v) <- true;
-    Array.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strongconnect w;
-          lowlink.(v) <- min lowlink.(v) lowlink.(w)
-        end
-        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      g.out_adj.(v);
+    on_stack.(v) <- true
+  in
+  let finish v =
     if lowlink.(v) = index.(v) then begin
       let continue = ref true in
       while !continue do
@@ -192,6 +188,29 @@ let scc g =
       done;
       incr next_comp
     end
+  in
+  let frames = Stack.create () in
+  let strongconnect root =
+    discover root;
+    Stack.push (root, 0) frames;
+    while not (Stack.is_empty frames) do
+      let v, i = Stack.pop frames in
+      if i < Array.length g.out_adj.(v) then begin
+        Stack.push (v, i + 1) frames;
+        let w = g.out_adj.(v).(i) in
+        if index.(w) = -1 then begin
+          discover w;
+          Stack.push (w, 0) frames
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      end
+      else begin
+        finish v;
+        match Stack.top_opt frames with
+        | Some (p, _) -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+        | None -> ()
+      end
+    done
   in
   for v = 0 to g.n - 1 do
     if index.(v) = -1 then strongconnect v

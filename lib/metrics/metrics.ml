@@ -10,21 +10,30 @@ let variance = function
 
 let stddev xs = sqrt (variance xs)
 
+(* Linear-interpolation percentile over an already-sorted array, so that one
+   sort can serve any number of cut points. *)
+let percentile_of_sorted a p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let percentiles ps = function
+  | [] -> invalid_arg "Metrics.percentiles: empty"
+  | xs ->
+      let a = Array.of_list (List.sort Float.compare xs) in
+      List.map (percentile_of_sorted a) ps
+
 let percentile p = function
   | [] -> invalid_arg "Metrics.percentile: empty"
-  | xs ->
-      if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
-      let sorted = List.sort Float.compare xs in
-      let a = Array.of_list sorted in
-      let n = Array.length a in
-      if n = 1 then a.(0)
-      else begin
-        let rank = p /. 100.0 *. float_of_int (n - 1) in
-        let lo = int_of_float (Float.floor rank) in
-        let hi = min (n - 1) (lo + 1) in
-        let frac = rank -. float_of_int lo in
-        (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
-      end
+  | xs -> (
+      match percentiles [ p ] xs with [ v ] -> v | _ -> assert false)
 
 let median xs = percentile 50.0 xs
 

@@ -17,6 +17,11 @@ val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,100\]], linear interpolation.
     @raise Invalid_argument on an empty list or out-of-range [p]. *)
 
+val percentiles : float list -> float list -> float list
+(** [percentiles ps xs] is [List.map (fun p -> percentile p xs) ps] but sorts
+    [xs] only once — use it when reporting several cut points of one series.
+    @raise Invalid_argument on an empty [xs] or any out-of-range [p]. *)
+
 val median : float list -> float
 
 type fit = {

@@ -1,0 +1,26 @@
+module C = Runtime.Campaign
+
+let run ?domains ?step_limit ?max_shrinks ~runners ~graphs ~grid ~seeds () =
+  (* Job order = the sequential sweep's nesting order (runner, graph,
+     point), so merging in job order reproduces its result lists exactly. *)
+  let jobs =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun g -> List.map (fun p -> (r, g, p)) grid)
+          graphs)
+      runners
+  in
+  let partials =
+    Pool.map_list ?domains
+      (fun (r, g, p) ->
+        C.run ?step_limit ?max_shrinks ~runners:[ r ] ~graphs:[ g ]
+          ~grid:[ p ] ~seeds ())
+      jobs
+  in
+  {
+    C.cells = List.concat_map (fun (r : C.result) -> r.cells) partials;
+    violations = List.concat_map (fun (r : C.result) -> r.violations) partials;
+    starvations =
+      List.concat_map (fun (r : C.result) -> r.starvations) partials;
+  }

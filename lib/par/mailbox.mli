@@ -1,0 +1,22 @@
+(** Lock-free multi-producer single-consumer mailbox: a Treiber stack on an
+    [Atomic] list head.
+
+    Producers [push] one element with a CAS retry loop; the owning consumer
+    [take_all]s the whole stack in one exchange and works through the batch
+    locally, which keeps the contended operation O(1) regardless of batch
+    size.  Pop order is LIFO per batch — for the sharded engine any order is
+    a legal asynchronous schedule, so no fairness machinery is needed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Safe from any domain. *)
+
+val take_all : 'a t -> 'a list
+(** Atomically detach and return everything pushed so far (most recent
+    first); the mailbox is left empty.  Safe from any domain, but intended
+    for the single owning consumer. *)
+
+val is_empty : 'a t -> bool

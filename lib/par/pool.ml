@@ -1,0 +1,38 @@
+type 'a cell = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+let run ?domains n f =
+  if n < 0 then invalid_arg "Pool.run: negative job count";
+  let domains =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Pool.run: domains < 1"
+    | Some d -> min d (max n 1)
+    | None -> min (Domain.recommended_domain_count ()) (max n 1)
+  in
+  let results = Array.make n Pending in
+  let next = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue := false
+      else
+        (* Per-index single writer: job [i] is claimed exactly once, so this
+           write is unracing; Domain.join publishes it to the caller. *)
+        results.(i) <-
+          (try Done (f i)
+           with e -> Failed (e, Printexc.get_raw_backtrace ()))
+    done
+  in
+  let others = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join others;
+  Array.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let map_list ?domains f xs =
+  let a = Array.of_list xs in
+  Array.to_list (run ?domains (Array.length a) (fun i -> f a.(i)))

@@ -1,0 +1,342 @@
+type sharding = [ `Round_robin | `Bfs_layers ]
+
+(* Run status, CAS-published by the first shard that decides. *)
+let st_running = 0
+let st_terminated = 1
+let st_step_limit = 2
+let st_quiescent = 3
+
+module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
+  module E = Runtime.Engine
+
+  type flight = {
+    fv : Digraph.vertex;
+    fp : int;
+    tv : Digraph.vertex;
+    tp : int;
+    edge : int;
+    corrupt : bool;
+    delay : int;  (** Delivery steps still to hold this copy, 0 = ready. *)
+    msg : P.message;
+  }
+
+  type full = { report : P.state E.report; leftover : P.message list }
+
+  (* Per-shard scalars; slot [d] is written only by domain [d] (the main
+     domain touches the root owner's slot strictly before spawning), and
+     read by the main domain strictly after [Domain.join]. *)
+  type shard_stats = {
+    mutable total_bits : int;
+    mutable max_message_bits : int;
+    mutable max_state_bits : int;
+    mutable max_in_flight : int;
+    mutable corrupted_deliveries : int;
+    mutable garbled_drops : int;
+    mutable leftover : flight list;
+  }
+
+  let fresh_stats () =
+    {
+      total_bits = 0;
+      max_message_bits = 0;
+      max_state_bits = 0;
+      max_in_flight = 0;
+      corrupted_deliveries = 0;
+      garbled_drops = 0;
+      leftover = [];
+    }
+
+  let flip_bit s b =
+    let bytes = Bytes.of_string s in
+    let i = b / 8 in
+    Bytes.set bytes i
+      (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (7 - (b mod 8)))));
+    Bytes.to_string bytes
+
+  let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
+      ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none) g =
+    let domains =
+      match domains with
+      | Some d when d < 1 -> invalid_arg "Shard_engine.run: domains < 1"
+      | Some d -> d
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+    in
+    let n = Digraph.n_vertices g in
+    let ne = Digraph.n_edges g in
+    let s = Digraph.source g in
+    let t = Digraph.terminal g in
+    let owner =
+      match sharding with
+      | `Round_robin -> Array.init n (fun v -> v mod domains)
+      | `Bfs_layers ->
+          let dist = Digraph.distances_from g s in
+          Array.init n (fun v ->
+              if dist.(v) >= 0 then dist.(v) mod domains else v mod domains)
+    in
+    let target = Array.make (Stdlib.max ne 1) (0, 0) in
+    List.iter
+      (fun u ->
+        for j = 0 to Digraph.out_degree g u - 1 do
+          target.(Digraph.edge_index g u j) <- Digraph.out_port_target_port g u j
+        done)
+      (Digraph.vertices g);
+    (* Shared per-index single-writer arrays: entry [v] (resp. the entries of
+       edges landing on [v]) is written only by [owner.(v)]'s domain. *)
+    let states =
+      Array.init n (fun v ->
+          P.initial_state ~out_degree:(Digraph.out_degree g v)
+            ~in_degree:(Digraph.in_degree g v))
+    in
+    let visited = Array.make n false in
+    let edge_messages = Array.make (Stdlib.max ne 1) 0 in
+    let edge_bits = Array.make (Stdlib.max ne 1) 0 in
+    let mailboxes = Array.init domains (fun _ -> Mailbox.create ()) in
+    let stats = Array.init domains (fun _ -> fresh_stats ()) in
+    let faulty = not (Runtime.Faults.is_none faults) in
+    let instances =
+      Array.init domains (fun _ -> Runtime.Faults.Instance.start faults)
+    in
+    let seen_tbls : (string, unit) Hashtbl.t array =
+      Array.init domains (fun _ -> Hashtbl.create 64)
+    in
+    let in_flight = Atomic.make 0 in
+    let deliveries = Atomic.make 0 in
+    let status = Atomic.make st_running in
+    (* Sends: all of an edge's [on_send] draws happen in the shard owning its
+       source vertex (the root's pre-spawn emission included), so each edge's
+       fault stream lives in exactly one instance. *)
+    let send fi st fv fp msg =
+      let edge = Digraph.edge_index g fv fp in
+      let tv, tp = target.(edge) in
+      let enqueue ~delay ~corrupt =
+        let now = 1 + Atomic.fetch_and_add in_flight 1 in
+        if now > st.max_in_flight then st.max_in_flight <- now;
+        Mailbox.push mailboxes.(owner.(tv))
+          { fv; fp; tv; tp; edge; corrupt; delay; msg }
+      in
+      if not faulty then enqueue ~delay:0 ~corrupt:false
+      else
+        List.iter
+          (fun ({ delay; flip_bit = corrupt } : Runtime.Faults.copy_fate) ->
+            enqueue ~delay ~corrupt)
+          (Runtime.Faults.Instance.on_send fi ~edge)
+    in
+    let worker d =
+      let st = stats.(d) in
+      let mb = mailboxes.(d) in
+      let fi = instances.(d) in
+      let seen = seen_tbls.(d) in
+      (* Copies held back by a delay fault, released against this shard's
+         own delivery clock — a legal schedule, like everything else here. *)
+      let delayed : (int * int, flight) Runtime.Binheap.t =
+        Runtime.Binheap.create ()
+      in
+      let local_deliveries = ref 0 in
+      let tie = ref 0 in
+      let note_state state =
+        let b = P.state_bits state in
+        if b > st.max_state_bits then st.max_state_bits <- b
+      in
+      let deliver f =
+        (* Claim a global delivery slot; past the limit, undo and stop. *)
+        if Atomic.fetch_and_add deliveries 1 >= step_limit then begin
+          ignore (Atomic.fetch_and_add deliveries (-1));
+          ignore (Atomic.compare_and_set status st_running st_step_limit);
+          st.leftover <- f :: st.leftover
+        end
+        else begin
+          incr local_deliveries;
+          let w = Bitio.Bit_writer.create () in
+          P.encode w f.msg;
+          let bits = Bitio.Bit_writer.length w + payload_bits in
+          let key =
+            string_of_int (Bitio.Bit_writer.length w)
+            ^ ":"
+            ^ Bitio.Bit_writer.to_string w
+          in
+          if not (Hashtbl.mem seen key) then Hashtbl.add seen key ();
+          st.total_bits <- st.total_bits + bits;
+          edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
+          edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
+          if bits > st.max_message_bits then st.max_message_bits <- bits;
+          let delivered =
+            if not f.corrupt then Some f.msg
+            else
+              let len = Bitio.Bit_writer.length w in
+              if len = 0 then Some f.msg
+              else begin
+                let b =
+                  Runtime.Faults.Instance.corrupt_bit fi ~edge:f.edge
+                    ~length_bits:len
+                in
+                let s = flip_bit (Bitio.Bit_writer.to_string w) b in
+                let r = Bitio.Bit_reader.of_string ~length_bits:len s in
+                match P.decode r with
+                | decoded ->
+                    if not (P.equal_message decoded f.msg) then
+                      st.corrupted_deliveries <- st.corrupted_deliveries + 1;
+                    Some decoded
+                | exception _ ->
+                    st.garbled_drops <- st.garbled_drops + 1;
+                    None
+              end
+          in
+          (match delivered with
+          | None -> ()
+          | Some msg ->
+              visited.(f.tv) <- true;
+              let state', sends =
+                P.receive
+                  ~out_degree:(Digraph.out_degree g f.tv)
+                  ~in_degree:(Digraph.in_degree g f.tv)
+                  states.(f.tv) msg ~in_port:f.tp
+              in
+              states.(f.tv) <- state';
+              note_state state';
+              List.iter (fun (j, m) -> send fi st f.tv j m) sends;
+              if f.tv = t && P.accepting state' then
+                ignore (Atomic.compare_and_set status st_running st_terminated));
+          (* Only now give up the in-flight count: children are already
+             counted, so the counter can never dip to 0 with work pending. *)
+          ignore (Atomic.fetch_and_add in_flight (-1))
+        end
+      in
+      let handle f =
+        if Atomic.get status <> st_running then st.leftover <- f :: st.leftover
+        else if f.delay > 0 then begin
+          incr tie;
+          Runtime.Binheap.push delayed
+            (!local_deliveries + f.delay, !tie)
+            { f with delay = 0 }
+        end
+        else deliver f
+      in
+      let release_due () =
+        let continue = ref true in
+        while !continue do
+          match Runtime.Binheap.peek delayed with
+          | Some ((release, _), _) when release <= !local_deliveries -> (
+              match Runtime.Binheap.pop delayed with
+              | Some (_, f) -> handle f
+              | None -> continue := false)
+          | _ -> continue := false
+        done
+      in
+      while Atomic.get status = st_running do
+        release_due ();
+        match Mailbox.take_all mb with
+        | _ :: _ as batch -> List.iter handle batch
+        | [] -> (
+            (* Nothing deliverable here; fast-forward idle time to our next
+               delayed copy, else check for global quiescence. *)
+            match Runtime.Binheap.pop delayed with
+            | Some (_, f) -> handle f
+            | None ->
+                if Atomic.get in_flight = 0 then
+                  ignore
+                    (Atomic.compare_and_set status st_running st_quiescent)
+                else Domain.cpu_relax ())
+      done;
+      (* Still-counted copies this shard holds: the delay queue, plus
+         whatever the final mailbox drain after join doesn't catch. *)
+      let continue = ref true in
+      while !continue do
+        match Runtime.Binheap.pop delayed with
+        | Some (_, f) -> st.leftover <- f :: st.leftover
+        | None -> continue := false
+      done
+    in
+    (* The root's spontaneous emission, before any domain starts.  Valid
+       networks give [s] in-degree 0, so its out-edges send only here, in
+       its owner's fault instance. *)
+    let root_owner = owner.(s) in
+    List.iter
+      (fun (j, msg) ->
+        send instances.(root_owner) stats.(root_owner) s j msg)
+      (P.root_emit ~out_degree:(Digraph.out_degree g s));
+    visited.(s) <- true;
+    let spawned =
+      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned;
+    (* Copies pushed after their target shard stopped looking. *)
+    let stranded =
+      Array.fold_left
+        (fun acc mb -> List.rev_append (Mailbox.take_all mb) acc)
+        [] mailboxes
+    in
+    let leftover_flights =
+      Array.fold_left
+        (fun acc st -> List.rev_append st.leftover acc)
+        stranded stats
+    in
+    let outcome =
+      match Atomic.get status with
+      | st when st = st_terminated -> E.Terminated
+      | st when st = st_step_limit -> E.Step_limit
+      | _ -> if P.accepting states.(t) then E.Terminated else E.Quiescent
+    in
+    let seen_all = Hashtbl.create 64 in
+    Array.iter
+      (fun tbl ->
+        Hashtbl.iter
+          (fun k () -> if not (Hashtbl.mem seen_all k) then Hashtbl.add seen_all k ())
+          tbl)
+      seen_tbls;
+    let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
+    let maxi f = Array.fold_left (fun acc st -> Stdlib.max acc (f st)) 0 stats in
+    let fault_stats =
+      if not faulty then
+        {
+          E.no_faults_stats with
+          corrupted_deliveries = sum (fun st -> st.corrupted_deliveries);
+          garbled_drops = sum (fun st -> st.garbled_drops);
+        }
+      else
+        {
+          E.dropped_copies =
+            Array.fold_left
+              (fun acc fi -> acc + Runtime.Faults.Instance.dropped_copies fi)
+              0 instances;
+          extra_copies =
+            Array.fold_left
+              (fun acc fi -> acc + Runtime.Faults.Instance.extra_copies fi)
+              0 instances;
+          delayed_copies =
+            Array.fold_left
+              (fun acc fi -> acc + Runtime.Faults.Instance.delayed_copies fi)
+              0 instances;
+          corrupted_deliveries = sum (fun st -> st.corrupted_deliveries);
+          garbled_drops = sum (fun st -> st.garbled_drops);
+          dead_edges =
+            List.sort_uniq compare
+              (Array.fold_left
+                 (fun acc fi ->
+                   List.rev_append (Runtime.Faults.Instance.dead_edges fi) acc)
+                 [] instances);
+        }
+    in
+    let report =
+      {
+        E.outcome;
+        deliveries = Atomic.get deliveries;
+        total_bits = sum (fun st -> st.total_bits);
+        max_edge_bits = Array.fold_left Stdlib.max 0 edge_bits;
+        max_message_bits = maxi (fun st -> st.max_message_bits);
+        max_state_bits = maxi (fun st -> st.max_state_bits);
+        max_in_flight = maxi (fun st -> st.max_in_flight);
+        final_in_flight = Atomic.get in_flight;
+        distinct_messages = Hashtbl.length seen_all;
+        edge_messages;
+        edge_bits;
+        visited;
+        states;
+        fault_stats;
+      }
+    in
+    { report; leftover = List.map (fun f -> f.msg) leftover_flights }
+
+  let run ?domains ?sharding ?payload_bits ?step_limit ?faults g =
+    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults g).report
+end

@@ -1,0 +1,72 @@
+(** Multicore execution of an anonymous protocol: the sequential
+    {!Runtime.Engine} semantics, sharded across domains.
+
+    Vertices are partitioned across [domains] shards; each shard's domain
+    owns the states, visited flags and per-edge counters of its vertices
+    ([edge_messages]/[edge_bits] entries are charged at delivery, and every
+    edge is delivered to exactly one owner), so those arrays need no locks —
+    each index has a single writer, and [Domain.join] publishes them to the
+    caller.  A delivery that produces sends pushes each copy into the target
+    owner's lock-free {!Mailbox}.
+
+    Termination uses a global in-flight counter: incremented {e before} a
+    copy enters a mailbox (or a shard's delay queue), decremented only
+    {e after} its delivery has been fully processed — children already
+    counted — so the counter reads zero iff the whole network is quiescent,
+    and zero is stable.  The first shard to observe zero (or an accepting
+    terminal, or the step limit) publishes the outcome with a
+    compare-and-set; the others stop at their next loop check.
+
+    The delivery order so produced is just another legal asynchronous
+    schedule (DESIGN §5): for the paper's protocols the outcome, the visited
+    set and any conservation law agree with the sequential engine, while
+    schedule-dependent measures (deliveries for non-tree protocols, bit
+    high-water marks) may legitimately differ.
+
+    Fault plans are honored with per-shard {!Runtime.Faults} instances.
+    Because an edge's sends all originate in the shard owning its source
+    vertex, each edge's [on_send] draw stream is consumed by exactly one
+    instance and reproduces the sequential per-edge stream; only
+    delivery-time [corrupt_bit] draws interleave differently (so with
+    [corrupt = 0] the merged fault counters match the sequential run
+    exactly — see the parity test). *)
+
+type sharding =
+  [ `Round_robin  (** [owner v = v mod domains]. *)
+  | `Bfs_layers
+    (** Owner by BFS depth from [s] mod [domains]: keeps a wavefront's
+        vertices together, so tree/DAG floods hand whole layers between
+        shards instead of scattering every delivery. *) ]
+
+module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
+  type full = {
+    report : P.state Runtime.Engine.report;
+    leftover : P.message list;
+        (** Messages still in flight when the run stopped (pooled, delayed
+            or stranded in a mailbox) — the in-flight part of the final
+            linear cut, as [Engine]'s [on_undelivered] hook reports it. *)
+  }
+
+  val run_full :
+    ?domains:int ->
+    ?sharding:sharding ->
+    ?payload_bits:int ->
+    ?step_limit:int ->
+    ?faults:Runtime.Faults.t ->
+    Digraph.t ->
+    full
+  (** Defaults: [domains = Domain.recommended_domain_count ()] (clamped to
+      at least 1), [sharding = `Round_robin], [payload_bits = 0],
+      [step_limit = 10_000_000], no faults.  The report's [final_in_flight]
+      always equals [List.length leftover]. *)
+
+  val run :
+    ?domains:int ->
+    ?sharding:sharding ->
+    ?payload_bits:int ->
+    ?step_limit:int ->
+    ?faults:Runtime.Faults.t ->
+    Digraph.t ->
+    P.state Runtime.Engine.report
+  (** [run_full] without the leftover list. *)
+end

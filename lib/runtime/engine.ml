@@ -59,21 +59,33 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     msg : P.message;
   }
 
-  (* In-flight message pool, specialized per scheduling policy. *)
+  (* In-flight message pool, specialized per scheduling policy.  Returns
+     (push, pop, drain): [drain] empties the pool and returns whatever was
+     still held, so the engine can report undelivered messages at the end of
+     a run (conservation-law checks need the full cut). *)
   let make_pool scheduler =
     match (scheduler : Scheduler.t) with
     | Fifo ->
         let q = Queue.create () in
-        ((fun f -> Queue.add f q), fun () -> Queue.take_opt q)
+        ( (fun f -> Queue.add f q),
+          (fun () -> Queue.take_opt q),
+          fun () ->
+            let l = List.of_seq (Queue.to_seq q) in
+            Queue.clear q;
+            l )
     | Lifo ->
         let st = ref [] in
         ( (fun f -> st := f :: !st),
-          fun () ->
+          (fun () ->
             match !st with
             | [] -> None
             | f :: rest ->
                 st := rest;
-                Some f )
+                Some f),
+          fun () ->
+            let l = !st in
+            st := [];
+            l )
     | Random g ->
         let arr = ref [||] and len = ref 0 in
         let push f =
@@ -96,12 +108,20 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             Some f
           end
         in
-        (push, pop)
+        let drain () =
+          let l = Array.to_list (Array.sub !arr 0 !len) in
+          len := 0;
+          l
+        in
+        (push, pop, drain)
     | Edge_priority prio ->
         (* Binary min-heap on (priority, seq). *)
         let h = Binheap.create () in
-        ( (fun f -> Binheap.push h (prio f.edge, f.seq) f),
-          fun () -> Option.map snd (Binheap.pop h) )
+        let pop () = Option.map snd (Binheap.pop h) in
+        let rec drain acc =
+          match pop () with None -> List.rev acc | Some f -> drain (f :: acc)
+        in
+        ((fun f -> Binheap.push h (prio f.edge, f.seq) f), pop, fun () -> drain [])
     | Replay order ->
         (* Deliver exactly the listed seq numbers, in order; a listed seq
            that is not (or not yet) in flight is skipped — with a faithfully
@@ -122,7 +142,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                   Some f
               | None -> pop ())
         in
-        (push, pop)
+        let drain () =
+          let l = Hashtbl.fold (fun _ f acc -> f :: acc) pool [] in
+          Hashtbl.reset pool;
+          List.sort (fun a b -> compare a.seq b.seq) l
+        in
+        (push, pop, drain)
 
   (* Flip stream-bit [b] of the MSB-first packing produced by Bit_writer. *)
   let flip_bit s b =
@@ -134,7 +159,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none) ?(verify_codec = false)
-      ?on_deliver g =
+      ?on_deliver ?on_undelivered g =
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
     let t = Digraph.terminal g in
@@ -160,7 +185,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let corrupted_deliveries = ref 0 in
     let garbled_drops = ref 0 in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
-    let push, pop = make_pool scheduler in
+    let push, pop, drain = make_pool scheduler in
     let faulty = not (Faults.is_none faults) in
     let fi = Faults.Instance.start faults in
     (* Copies held back by a delay fault, keyed by (release step, seq); they
@@ -325,6 +350,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                 end)
       end
     done;
+    (* Surface what never got delivered — the in-flight part of the final
+       linear cut.  Consumers fold these into a conservation accumulator. *)
+    (match on_undelivered with
+    | None -> ()
+    | Some hook ->
+        List.iter (fun f -> hook f.msg) (drain ());
+        let continue = ref true in
+        while !continue do
+          match Binheap.pop delayed with
+          | Some (_, f) -> hook f.msg
+          | None -> continue := false
+        done);
     let fault_stats =
       if not faulty then
         { no_faults_stats with

@@ -89,8 +89,14 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?faults:Faults.t ->
     ?verify_codec:bool ->
     ?on_deliver:(event -> P.message -> unit) ->
+    ?on_undelivered:(P.message -> unit) ->
     Digraph.t ->
     P.state report
   (** Defaults: [scheduler = Fifo], [payload_bits = 0],
-      [step_limit = 10_000_000], no faults, [verify_codec = false]. *)
+      [step_limit = 10_000_000], no faults, [verify_codec = false].
+
+      [on_undelivered] is called once per message still in flight (pooled or
+      delay-held) when the run stops — together with [states] this is the
+      full final linear cut, so callers can evaluate a protocol's
+      conservation law even on runs that terminate with messages pending. *)
 end

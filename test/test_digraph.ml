@@ -102,6 +102,44 @@ let test_scc_dag_all_singletons () =
   let _, count = G.scc g in
   Alcotest.(check int) "dag: n components" (G.n_vertices g) count
 
+(* A 400k-vertex path: the recursive Tarjan blew the stack around 10^5
+   frames, so this passing is what certifies the explicit-stack rewrite. *)
+let test_scc_deep_path () =
+  let n = 400_000 in
+  let g = F.path n in
+  let comp, count = G.scc g in
+  Alcotest.(check int) "path: all singletons" (G.n_vertices g) count;
+  Alcotest.(check int) "ids reverse-topological" 0 comp.(G.terminal g)
+
+let test_scc_deep_cycle () =
+  let n = 300_000 in
+  (* s -> 0 -> 1 -> ... -> n-1 -> 0, plus n-1 -> t: one giant component. *)
+  let edges =
+    ((n + 0, 0) :: List.init n (fun i -> (i, (i + 1) mod n)))
+    @ [ (n - 1, n + 1) ]
+  in
+  let g = G.make ~n:(n + 2) ~s:n ~t:(n + 1) edges in
+  let comp, count = G.scc g in
+  Alcotest.(check int) "s + cycle + t" 3 count;
+  Alcotest.(check int) "cycle collapsed" comp.(0) comp.(n - 1)
+
+let test_random_layered_large () =
+  let target_edges = 5_000 in
+  let g = F.random_layered_large (Prng.create 11) ~target_edges in
+  Alcotest.(check bool) "valid" true (G.validate g = Ok ());
+  Alcotest.(check bool) "all reachable" true (G.all_reachable g);
+  Alcotest.(check bool) "all coreachable" true (G.all_coreachable g);
+  Alcotest.(check bool) "is a dag" true (G.is_dag g);
+  let e = G.n_edges g in
+  Alcotest.(check bool)
+    (Printf.sprintf "|E|=%d within 25%% of target" e)
+    true
+    (abs (e - target_edges) * 4 <= target_edges);
+  Alcotest.check_raises "tiny target rejected"
+    (Invalid_argument
+       "Families.random_layered_large: target_edges must be >= 32") (fun () ->
+      ignore (F.random_layered_large (Prng.create 1) ~target_edges:10))
+
 (* {1 Families} *)
 
 let test_comb_shape () =
@@ -329,6 +367,8 @@ let () =
             test_grounded_tree_recognition;
           Alcotest.test_case "scc cycle" `Quick test_scc;
           Alcotest.test_case "scc dag" `Quick test_scc_dag_all_singletons;
+          Alcotest.test_case "scc deep path" `Quick test_scc_deep_path;
+          Alcotest.test_case "scc deep cycle" `Quick test_scc_deep_cycle;
         ] );
       ( "families",
         [
@@ -340,6 +380,7 @@ let () =
           Alcotest.test_case "cycle with exit" `Quick test_cycle_with_exit_shape;
           Alcotest.test_case "figure eight" `Quick test_figure_eight_shape;
           Alcotest.test_case "trap cycle" `Quick test_add_trap_cycle;
+          Alcotest.test_case "layered large" `Quick test_random_layered_large;
         ] );
       ( "random-families",
         [

@@ -20,6 +20,30 @@ let test_percentile () =
     (Invalid_argument "Metrics.percentile: p out of range") (fun () ->
       ignore (Metrics.percentile 120.0 xs))
 
+let test_percentiles_batch () =
+  let xs = [ 4.0; 1.0; 3.0; 2.0 ] in
+  (match Metrics.percentiles [ 0.0; 25.0; 50.0; 100.0 ] xs with
+  | [ p0; p25; p50; p100 ] ->
+      feq "p0" 1.0 p0;
+      feq "p25" 1.75 p25;
+      feq "p50" 2.5 p50;
+      feq "p100" 4.0 p100
+  | _ -> Alcotest.fail "wrong arity");
+  Alcotest.(check (list (float 1e-9))) "empty ps" [] (Metrics.percentiles [] xs);
+  Alcotest.check_raises "empty data"
+    (Invalid_argument "Metrics.percentiles: empty") (fun () ->
+      ignore (Metrics.percentiles [ 50.0 ] []))
+
+let prop_percentiles_match_percentile =
+  qcheck_to_alcotest "percentiles agrees with one-at-a-time percentile"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 90.0; 100.0 ] in
+      List.for_all2
+        (fun p v -> Float.abs (v -. Metrics.percentile p xs) < 1e-9)
+        ps
+        (Metrics.percentiles ps xs))
+
 let test_linear_fit_exact () =
   let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
   let f = Metrics.linear_fit pts in
@@ -85,6 +109,7 @@ let () =
         [
           Alcotest.test_case "mean/variance" `Quick test_mean_var;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentiles batch" `Quick test_percentiles_batch;
           Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
           Alcotest.test_case "fit errors" `Quick test_linear_fit_errors;
           Alcotest.test_case "loglog power law" `Quick test_loglog_power_law;
@@ -95,6 +120,7 @@ let () =
           prop_fit_recovers_line;
           prop_loglog_recovers_exponent;
           prop_percentile_monotone;
+          prop_percentiles_match_percentile;
           prop_stddev_nonneg;
         ] );
     ]
