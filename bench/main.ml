@@ -658,6 +658,79 @@ let throughput ~small () =
     series;
   pf "\n  ]\n}\n"
 
+(* {1 E16 — instrumentation overhead + reconciliation (JSON)} *)
+
+(* Prices the [?obs] hook on the E15 flood workload: the same run bare and
+   instrumented (metrics registry + timeline, sampling every 1024
+   deliveries), overhead as a fraction of the bare median, and exact
+   reconciliation of the Obs counters against the engine report (the flood
+   under Fifo is deterministic, so [repeats] instrumented runs accumulate
+   exactly [repeats * per-run] in each counter).  A 2-domain sharded
+   section checks the per-shard counters sum to the report's deliveries,
+   and the emitted Chrome trace is round-tripped through the validating
+   JSON parser. *)
+let obs_bench ~small () =
+  let target_edges = if small then 30_000 else 120_000 in
+  let repeats = if small then 5 else 7 in
+  let g = F.random_layered_large (Prng.create 42) ~target_edges in
+  let module En = Runtime.Engine.Make (Anonet.Flood) in
+  let o = Obs.create ~sample_every:1024 () in
+  (* Warm up, then interleave bare/instrumented pairs so machine drift
+     lands on both sides of the comparison. *)
+  ignore (En.run g);
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let pairs =
+    List.init repeats (fun _ ->
+        (timed (fun () -> En.run g), timed (fun () -> En.run ~obs:o g)))
+  in
+  let bare_med = Metrics.median (List.map (fun ((t, _), _) -> t) pairs) in
+  let inst_med = Metrics.median (List.map (fun (_, (t, _)) -> t) pairs) in
+  let (_, (bare_r : _ E.report)), (_, (inst_r : _ E.report)) = List.hd pairs in
+  let snap = Obs.Registry.snapshot o.Obs.registry in
+  let find name = Option.value ~default:min_int (Obs.Registry.find snap name) in
+  let reconcile_deliveries =
+    find "engine.deliveries" = repeats * inst_r.E.deliveries
+  in
+  let reconcile_bits =
+    find "engine.total_bits" = repeats * inst_r.E.total_bits
+  in
+  let trace_valid = Obs.Json.valid (Obs.Export.chrome_trace o.Obs.timeline) in
+  let op = Obs.create ~sample_every:1024 () in
+  let module Pn = Par.Engine.Make (Anonet.Flood) in
+  let par_r = Pn.run ~domains:2 ~obs:op g in
+  let par_snap = Obs.Registry.snapshot op.Obs.registry in
+  let pfind name =
+    Option.value ~default:min_int (Obs.Registry.find par_snap name)
+  in
+  let reconcile_par =
+    pfind "par.deliveries" = par_r.E.deliveries
+    && pfind "par.shard0.deliveries" + pfind "par.shard1.deliveries"
+       = par_r.E.deliveries
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E16-obs-overhead\",\n";
+  pf "  \"protocol\": \"flood\",\n";
+  pf "  \"graph\": {\"vertices\": %d, \"edges\": %d},\n" (G.n_vertices g)
+    (G.n_edges g);
+  pf "  \"repeats\": %d,\n" repeats;
+  pf "  \"sample_every\": 1024,\n";
+  pf "  \"deliveries\": %d,\n" bare_r.E.deliveries;
+  pf "  \"bare_median_s\": %.6f,\n" bare_med;
+  pf "  \"instrumented_median_s\": %.6f,\n" inst_med;
+  pf "  \"overhead_fraction\": %.4f,\n" ((inst_med -. bare_med) /. bare_med);
+  pf "  \"timeline_events\": %d,\n" (Obs.Timeline.recorded o.Obs.timeline);
+  pf
+    "  \"reconcile\": {\"deliveries\": %b, \"total_bits\": %b, \
+     \"par_deliveries\": %b},\n"
+    reconcile_deliveries reconcile_bits reconcile_par;
+  pf "  \"trace_json_valid\": %b,\n" trace_valid;
+  pf "  \"metrics\": %s\n" (Obs.Registry.to_json snap);
+  pf "}\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -679,12 +752,14 @@ let () =
           else if a = "check" then check ()
           else if a = "throughput" then throughput ~small:false ()
           else if a = "throughput:small" then throughput ~small:true ()
+          else if a = "obs" then obs_bench ~small:false ()
+          else if a = "obs:small" then obs_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
             | None ->
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
-                   timing, throughput[:small])\n"
+                   timing, throughput[:small], obs[:small])\n"
                   a)
         args

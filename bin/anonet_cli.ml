@@ -27,7 +27,8 @@ let pf = Printf.printf
 let family_doc =
   "Network family: comb:N | path:N | diamond | fig8 | cycle:K | grid:RxC | \
    full-tree:H:D | pruned:H:D | skeleton:N | random-tree:N:SEED | \
-   random-dag:N:SEED | random:N:SEED | ring:N | bidirected:N:SEED.  Append \
+   random-dag:N:SEED | random:N:SEED | layered:EDGES[:SEED] | ring:N | \
+   bidirected:N:SEED.  Append \
    '+trap' to hang a trap vertex off the first internal vertex (e.g. \
    'cycle:5+trap')."
 
@@ -81,6 +82,15 @@ let parse_family spec =
             Some
               (F.random_digraph (Prng.create seed) ~n ~extra_edges:n
                  ~back_edges:(n / 4) ~t_edge_prob:0.2)
+        | _ -> None)
+    | [ "layered"; e ] ->
+        Option.map
+          (fun e -> F.random_layered_large (Prng.create 42) ~target_edges:e)
+          (int e)
+    | [ "layered"; e; seed ] -> (
+        match (int e, int seed) with
+        | Some e, Some seed ->
+            Some (F.random_layered_large (Prng.create seed) ~target_edges:e)
         | _ -> None)
     | [ "ring"; n ] -> Option.map (fun n -> F.bidirected_ring ~n) (int n)
     | [ "bidirected"; n; seed ] -> (
@@ -188,6 +198,75 @@ let domains_t =
            legal asynchronous schedule, so the outcome and visited set match \
            the sequential run; the --scheduler policy does not apply.")
 
+(* {1 Telemetry terms}
+
+   [--trace-out]/[--metrics-out]/[--csv-out] attach an [Obs] sink to the
+   run and write the requested exports when it finishes; with none of the
+   three the run is uninstrumented and pays nothing. *)
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span/sample timeline as Chrome trace-event JSON — \
+           open it at https://ui.perfetto.dev or chrome://tracing.")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the run's metrics-registry snapshot as JSON.")
+
+let csv_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-out" ] ~docv:"FILE"
+        ~doc:"Write the timeline as flat CSV (ts_s,track,kind,name,value).")
+
+let sample_t =
+  Arg.(
+    value & opt int 256
+    & info [ "sample" ] ~docv:"K"
+        ~doc:
+          "Emit timeline samples every $(docv) deliveries (or explorer \
+           transitions); counters stay exact regardless.")
+
+let make_obs ~sample trace_out metrics_out csv_out =
+  if trace_out = None && metrics_out = None && csv_out = None then None
+  else if sample < 1 then invalid_arg "--sample must be at least 1"
+  else Some (Obs.create ~sample_every:sample ())
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let flush_obs ?(meta = []) obs trace_out metrics_out csv_out =
+  match obs with
+  | None -> ()
+  | Some (o : Obs.t) ->
+      Option.iter
+        (fun p ->
+          write_file p (Obs.Export.chrome_trace o.Obs.timeline);
+          pf "\ntrace written   : %s (open at ui.perfetto.dev)\n" p)
+        trace_out;
+      Option.iter
+        (fun p ->
+          write_file p
+            (Obs.Export.metrics_json ~meta
+               (Obs.Registry.snapshot o.Obs.registry));
+          pf "metrics written : %s\n" p)
+        metrics_out;
+      Option.iter
+        (fun p ->
+          write_file p (Obs.Export.timeline_csv o.Obs.timeline);
+          pf "csv written     : %s\n" p)
+        csv_out
+
 (* Exit status of [run]: 1 on non-termination, 2 on a soundness violation
    (terminated with unvisited vertices), 0 on a sound termination. *)
 let finish (st : Anonet.stats) =
@@ -212,47 +291,44 @@ let run_cmd =
             "flood | tree | tree-naive | dag | general | labeling | mapping | \
              undirected (the last expects a ring:N / bidirected:N:SEED family)")
   in
-  let run g protocol scheduler payload domains =
-    if domains < 1 then `Error (false, "--domains must be at least 1")
-    else if domains > 1 then
-      match protocol_of_name protocol with
-      | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
-      | Some (module P : Runtime.Protocol_intf.PROTOCOL) ->
+  (* One unified path: resolve the protocol module, pick the sequential or
+     sharded engine, thread the optional [Obs] sink through either. *)
+  let run g protocol scheduler payload domains sample trace_out metrics_out
+      csv_out =
+    match protocol_of_name protocol with
+    | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
+    | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
+        try
+          if domains < 1 then invalid_arg "--domains must be at least 1";
+          let obs = make_obs ~sample trace_out metrics_out csv_out in
           describe_graph g;
-          pf "protocol: %s, domains: %d (sharded engine), payload: %d bits\n\n"
-            protocol domains payload;
-          let module En = Par.Engine.Make (P) in
-          finish
-            (Anonet.stats_of_report (En.run ~domains ~payload_bits:payload g))
-    else begin
-    describe_graph g;
-    pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
-      (Runtime.Scheduler.describe scheduler)
-      payload;
-    match protocol with
-    | "flood" ->
-        finish
-          (Anonet.stats_of_report (Anonet.Flood_engine.run ~scheduler ~payload_bits:payload g))
-    | "undirected" ->
-        finish (fst (Anonet.assign_labels_undirected ~scheduler ~payload_bits:payload g))
-    | "tree" -> finish (Anonet.broadcast_tree ~scheduler ~payload_bits:payload g)
-    | "tree-naive" ->
-        finish (Anonet.broadcast_tree_naive ~scheduler ~payload_bits:payload g)
-    | "dag" -> finish (Anonet.broadcast_dag ~scheduler ~payload_bits:payload g)
-    | "general" ->
-        finish (Anonet.broadcast_general ~scheduler ~payload_bits:payload g)
-    | "labeling" ->
-        finish (fst (Anonet.assign_labels ~scheduler ~payload_bits:payload g))
-    | "mapping" ->
-        finish (fst (Anonet.map_network ~scheduler ~payload_bits:payload g))
-    | p -> `Error (false, Printf.sprintf "unknown protocol %S" p)
-    end
+          if domains > 1 then
+            pf "protocol: %s, domains: %d (sharded engine), payload: %d bits\n\n"
+              protocol domains payload
+          else
+            pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
+              (Runtime.Scheduler.describe scheduler)
+              payload;
+          let r =
+            if domains > 1 then
+              let module En = Par.Engine.Make (P) in
+              En.run ~domains ~payload_bits:payload ?obs g
+            else
+              let module En = Runtime.Engine.Make (P) in
+              En.run ~scheduler ~payload_bits:payload ?obs g
+          in
+          let res = finish (Anonet.stats_of_report r) in
+          flush_obs
+            ~meta:[ ("command", "run"); ("protocol", protocol) ]
+            obs trace_out metrics_out csv_out;
+          res
+        with Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated network and print stats.")
     Term.(
       ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
-         $ domains_t))
+         $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let label_cmd =
   let run g scheduler =
@@ -416,7 +492,7 @@ let faults_cmd =
              into detected drops.")
   in
   let run g protocol scheduler drop duplicate delay corrupt kill seeds k domains
-      =
+      sample trace_out metrics_out csv_out =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -437,11 +513,13 @@ let faults_cmd =
                         (P))
           in
           if domains < 1 then invalid_arg "--domains must be at least 1";
+          (* One sink across the sweep: counters accumulate over all seeds. *)
+          let obs = make_obs ~sample trace_out metrics_out csv_out in
           let module En = Runtime.Engine.Make (Q) in
           let module Pn = Par.Engine.Make (Q) in
           let engine_run ~faults g =
-            if domains > 1 then Pn.run ~domains ~faults g
-            else En.run ~scheduler ~faults g
+            if domains > 1 then Pn.run ~domains ~faults ?obs g
+            else En.run ~scheduler ~faults ?obs g
           in
           describe_graph g;
           if domains > 1 then
@@ -482,6 +560,14 @@ let faults_cmd =
           done;
           pf "\nsound terminations: %d/%d   false terminations: %d\n" !sound seeds
             !false_term;
+          flush_obs
+            ~meta:
+              [
+                ("command", "faults");
+                ("protocol", protocol);
+                ("seeds", string_of_int seeds);
+              ]
+            obs trace_out metrics_out csv_out;
           `Ok (if !false_term > 0 then 1 else 0)
         with Invalid_argument msg -> `Error (false, msg))
   in
@@ -493,7 +579,8 @@ let faults_cmd =
     Term.(
       ret
         (const run $ family_t $ protocol_t $ scheduler_t $ drop_t $ duplicate_t
-       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t $ domains_t))
+       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t $ domains_t
+       $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let check_cmd =
   let max_edges_t =
@@ -528,9 +615,13 @@ let check_cmd =
              Its split ships the whole commodity on one out-edge, so this must \
              find a false-termination counterexample and exit 1.")
   in
-  let run max_edges protocol max_states sabotage domains =
+  let run max_edges protocol max_states sabotage domains sample trace_out
+      metrics_out csv_out =
     let module X = Runtime.Explore in
     let module CS = Anonet.Check_suite in
+    if sample < 1 then `Error (false, "--sample must be at least 1")
+    else
+    let obs = make_obs ~sample trace_out metrics_out csv_out in
     let cases =
       if sabotage then [ CS.sabotaged () ]
       else
@@ -547,10 +638,12 @@ let check_cmd =
         let bad = ref 0 in
         let failures = ref [] in
         (* Each instance explores independently; the pool shards them across
-           domains and hands the results back in suite order. *)
+           domains and hands the results back in suite order.  The shared
+           sink is safe: explorer counters flush atomically and the
+           timeline ring is multi-writer. *)
         let explored =
           Par.Pool.map_list ~domains
-            (fun (c : CS.case) -> (c, c.c_explore ~max_states ()))
+            (fun (c : CS.case) -> (c, c.c_explore ~max_states ?obs ()))
             cases
         in
         List.iter
@@ -585,6 +678,13 @@ let check_cmd =
           (List.rev !failures);
         pf "\n%d/%d instances clean\n" (List.length cases - !bad)
           (List.length cases);
+        flush_obs
+          ~meta:
+            [
+              ("command", "check");
+              ("instances", string_of_int (List.length cases));
+            ]
+          obs trace_out metrics_out csv_out;
         `Ok (if !bad > 0 then 1 else 0)
   in
   Cmd.v
@@ -599,7 +699,114 @@ let check_cmd =
     Term.(
       ret
         (const run $ max_edges_t $ protocol_t $ max_states_t $ sabotage_t
-       $ domains_t))
+       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+
+let obs_cmd =
+  let protocol_t =
+    Arg.(
+      value & opt string "general"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "flood | tree | tree-naive | dag | general | labeling | mapping | \
+             undirected")
+  in
+  let run g protocol scheduler payload domains sample trace_out metrics_out
+      csv_out =
+    match protocol_of_name protocol with
+    | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
+    | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
+        try
+          if domains < 1 then invalid_arg "--domains must be at least 1";
+          if sample < 1 then invalid_arg "--sample must be at least 1";
+          let o = Obs.create ~sample_every:sample () in
+          describe_graph g;
+          if domains > 1 then
+            pf "protocol: %s, domains: %d (sharded engine), payload: %d bits, \
+                sample every %d\n\n"
+              protocol domains payload sample
+          else
+            pf "protocol: %s, scheduler: %s, payload: %d bits, sample every %d\n\n"
+              protocol
+              (Runtime.Scheduler.describe scheduler)
+              payload sample;
+          let r =
+            if domains > 1 then
+              let module En = Par.Engine.Make (P) in
+              En.run ~domains ~payload_bits:payload ~obs:o g
+            else
+              let module En = Runtime.Engine.Make (P) in
+              En.run ~scheduler ~payload_bits:payload ~obs:o g
+          in
+          pf "outcome : %s, %d deliveries, %d total bits\n"
+            (match r.E.outcome with
+            | E.Terminated -> "terminated"
+            | E.Quiescent -> "quiescent"
+            | E.Step_limit -> "step limit")
+            r.E.deliveries r.E.total_bits;
+          let snap = Obs.Registry.snapshot o.Obs.registry in
+          pf "\n%-28s %14s\n" "counter / gauge" "value";
+          List.iter
+            (fun (name, e) ->
+              match e with
+              | Obs.Registry.Counter v -> pf "%-28s %14d\n" name v
+              | Obs.Registry.Gauge v -> pf "%-28s %14d  (gauge)\n" name v
+              | Obs.Registry.Histogram _ -> ())
+            snap;
+          let histograms =
+            List.filter
+              (fun (_, e) ->
+                match e with Obs.Registry.Histogram _ -> true | _ -> false)
+              snap
+          in
+          if histograms <> [] then begin
+            pf "\n%-28s %10s %14s %12s %s\n" "histogram" "count" "sum" "mean"
+              "p-bucket range";
+            List.iter
+              (fun (name, e) ->
+                match e with
+                | Obs.Registry.Histogram { h_count; h_sum; h_buckets } ->
+                    let top =
+                      List.fold_left
+                        (fun acc (i, c) ->
+                          match acc with
+                          | Some (_, c') when c' >= c -> acc
+                          | _ -> Some (i, c))
+                        None h_buckets
+                    in
+                    pf "%-28s %10d %14d %12.1f %s\n" name h_count h_sum
+                      (if h_count = 0 then 0.0
+                       else float_of_int h_sum /. float_of_int h_count)
+                      (match top with
+                      | None -> "-"
+                      | Some (i, _) ->
+                          Printf.sprintf "[%d,%d]" (Obs.Registry.bucket_lo i)
+                            (Obs.Registry.bucket_hi i))
+                | _ -> ())
+              histograms
+          end;
+          let tl = o.Obs.timeline in
+          pf "\ntimeline : %d events recorded, %d dropped, %d track(s), \
+              capacity %d\n"
+            (Obs.Timeline.recorded tl) (Obs.Timeline.dropped tl)
+            (List.length (Obs.Timeline.tracks tl))
+            (Obs.Timeline.capacity tl);
+          flush_obs
+            ~meta:[ ("command", "obs"); ("protocol", protocol) ]
+            (Some o) trace_out metrics_out csv_out;
+          `Ok 0
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run a protocol fully instrumented and print a telemetry summary: \
+          every counter, gauge and histogram the engine recorded, plus \
+          timeline statistics.  Combine with --trace-out/--metrics-out/\
+          --csv-out to export the raw data.")
+    Term.(
+      ret
+        (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
+       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let main_cmd =
   let doc =
@@ -608,6 +815,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
     [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd;
-      check_cmd ]
+      check_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -9,6 +9,7 @@ type case = {
     ?max_states:int ->
     ?max_depth:int ->
     ?walks:int ->
+    ?obs:Obs.t ->
     unit ->
     Runtime.Explore.result;
   c_replay : int list -> Runtime.Explore.replay;
@@ -22,8 +23,8 @@ let make (module P : Runtime.Protocol_intf.CHECKABLE) ~family g =
     c_edges = Digraph.n_edges g;
     c_graph = g;
     c_explore =
-      (fun ?max_states ?max_depth ?walks () ->
-        X.explore ?max_states ?max_depth ?walks g);
+      (fun ?max_states ?max_depth ?walks ?obs () ->
+        X.explore ?max_states ?max_depth ?walks ?obs g);
     c_replay = (fun schedule -> X.replay g schedule);
   }
 

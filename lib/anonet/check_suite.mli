@@ -17,6 +17,7 @@ type case = {
     ?max_states:int ->
     ?max_depth:int ->
     ?walks:int ->
+    ?obs:Obs.t ->
     unit ->
     Runtime.Explore.result;
   c_replay : int list -> Runtime.Explore.replay;

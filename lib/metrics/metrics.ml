@@ -11,14 +11,21 @@ let variance = function
 let stddev xs = sqrt (variance xs)
 
 (* Linear-interpolation percentile over an already-sorted array, so that one
-   sort can serve any number of cut points. *)
+   sort can serve any number of cut points.  The rank is clamped to
+   [0, n-1]: at [p = 100.0] the exact rank sits on the last index, where
+   any upward rounding in [p /. 100.0 *. _] would otherwise index one past
+   the end, and the [n = 1] case has no interval to interpolate over. *)
 let percentile_of_sorted a p =
   if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
   let n = Array.length a in
-  if n = 1 then a.(0)
+  if n = 0 then invalid_arg "Metrics.percentile: empty"
+  else if n = 1 then a.(0)
   else begin
-    let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor rank) in
+    let rank =
+      Float.min (float_of_int (n - 1))
+        (Float.max 0.0 (p /. 100.0 *. float_of_int (n - 1)))
+    in
+    let lo = Stdlib.min (n - 1) (Stdlib.max 0 (int_of_float (Float.floor rank))) in
     let hi = min (n - 1) (lo + 1) in
     let frac = rank -. float_of_int lo in
     (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)

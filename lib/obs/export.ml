@@ -1,0 +1,89 @@
+(* Exporters for the timeline and registry.  The Chrome trace-event format
+   (the JSON array flavour, wrapped in {"traceEvents": [...]}) loads
+   directly in Perfetto (ui.perfetto.dev) and chrome://tracing; timestamps
+   are microseconds, [pid]/[tid] map to process 0 / the event's track. *)
+
+let ph_of = function
+  | Timeline.Begin -> "B"
+  | Timeline.End -> "E"
+  | Timeline.Instant -> "i"
+  | Timeline.Sample -> "C"
+
+let buf_trace_event b (ev : Timeline.event) =
+  Buffer.add_string b "{\"name\":";
+  Json.buf_string b ev.name;
+  Printf.bprintf b ",\"ph\":\"%s\",\"ts\":" (ph_of ev.kind);
+  Json.buf_float b (ev.ts *. 1e6);
+  Printf.bprintf b ",\"pid\":0,\"tid\":%d" ev.track;
+  (match ev.kind with
+  | Timeline.Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Timeline.Sample ->
+      Buffer.add_string b ",\"args\":{\"value\":";
+      Json.buf_float b ev.value;
+      Buffer.add_string b "}"
+  | Timeline.Begin | Timeline.End -> ());
+  Buffer.add_char b '}'
+
+let chrome_trace ?(process_name = "anonet") tl =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":";
+  Json.buf_string b process_name;
+  Buffer.add_string b "}}";
+  Timeline.iter
+    (fun ev ->
+      Buffer.add_char b ',';
+      buf_trace_event b ev)
+    tl;
+  Buffer.add_string b "]";
+  let dropped = Timeline.dropped tl in
+  if dropped > 0 then
+    Printf.bprintf b ",\"otherData\":{\"dropped_events\":\"%d\"}" dropped;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let kind_name = function
+  | Timeline.Begin -> "begin"
+  | Timeline.End -> "end"
+  | Timeline.Instant -> "instant"
+  | Timeline.Sample -> "sample"
+
+(* One row per retained event; [Sample] rows carry the series value, span
+   markers a 0.  A flat file that loads in any spreadsheet / dataframe. *)
+let timeline_csv tl =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "ts_s,track,kind,name,value\n";
+  Timeline.iter
+    (fun (ev : Timeline.event) ->
+      Printf.bprintf b "%.6f,%d,%s," ev.ts ev.track (kind_name ev.kind);
+      (* Quote the name if it could break the row. *)
+      if String.exists (fun c -> c = ',' || c = '"' || c = '\n') ev.name then begin
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+          ev.name;
+        Buffer.add_char b '"'
+      end
+      else Buffer.add_string b ev.name;
+      Buffer.add_char b ',';
+      Json.buf_float b ev.value;
+      Buffer.add_char b '\n')
+    tl;
+  Buffer.contents b
+
+let metrics_json ?(meta = []) snap =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iter
+    (fun (k, v) ->
+      Json.buf_string b k;
+      Buffer.add_char b ':';
+      Json.buf_string b v;
+      Buffer.add_char b ',')
+    meta;
+  Buffer.add_string b "\"metrics\":";
+  Buffer.add_string b (Registry.to_json snap);
+  Buffer.add_char b '}';
+  Buffer.contents b

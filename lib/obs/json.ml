@@ -1,0 +1,176 @@
+let buf_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_list b f xs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      f b x)
+    xs;
+  Buffer.add_char b ']'
+
+let buf_int_list b xs =
+  buf_list b (fun b i -> Buffer.add_string b (string_of_int i)) xs
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  buf_string b s;
+  Buffer.contents b
+
+(* A float literal that is always a legal JSON number: no [nan]/[inf]
+   tokens, no leading dot, and a ['.'] or exponent is fine per RFC 8259. *)
+let buf_float b x =
+  if not (Float.is_finite x) then Buffer.add_string b "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.bprintf b "%.0f" x
+  else Printf.bprintf b "%.6g" x
+
+(* {1 A minimal validating parser}
+
+   Used by the test-suite and the CLI to confirm that every exporter emits
+   well-formed RFC 8259 JSON (the acceptance check that a Chrome trace
+   "round-trips through a parser"); it validates structure only and does not
+   build a document tree. *)
+
+exception Bad of int
+
+let validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let bump () = incr pos in
+  let fail () = raise (Bad !pos) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        bump ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = match peek () with Some d when d = c -> bump () | _ -> fail () in
+  let literal l = String.iter expect l in
+  let digits () =
+    let saw = ref false in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some ('0' .. '9') ->
+          saw := true;
+          bump ()
+      | _ -> continue := false
+    done;
+    if not !saw then fail ()
+  in
+  let number () =
+    (match peek () with Some '-' -> bump () | _ -> ());
+    (* JSON forbids leading zeros: the integer part is 0, or 1-9 digits. *)
+    (match peek () with
+    | Some '0' -> (
+        bump ();
+        match peek () with Some ('0' .. '9') -> fail () | _ -> ())
+    | _ -> digits ());
+    (match peek () with
+    | Some '.' ->
+        bump ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        bump ();
+        (match peek () with Some ('+' | '-') -> bump () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let string_body () =
+    expect '"';
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | None -> fail ()
+      | Some '"' ->
+          bump ();
+          continue := false
+      | Some '\\' -> (
+          bump ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> bump ()
+          | Some 'u' ->
+              bump ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> bump ()
+                | _ -> fail ()
+              done
+          | _ -> fail ())
+      | Some c when Char.code c < 32 -> fail ()
+      | Some _ -> bump ()
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        bump ();
+        skip_ws ();
+        (match peek () with
+        | Some '}' -> bump ()
+        | _ ->
+            let continue = ref true in
+            while !continue do
+              skip_ws ();
+              string_body ();
+              skip_ws ();
+              expect ':';
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> bump ()
+              | Some '}' ->
+                  bump ();
+                  continue := false
+              | _ -> fail ()
+            done)
+    | Some '[' ->
+        bump ();
+        skip_ws ();
+        (match peek () with
+        | Some ']' -> bump ()
+        | _ ->
+            let continue = ref true in
+            while !continue do
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> bump ()
+              | Some ']' ->
+                  bump ();
+                  continue := false
+              | _ -> fail ()
+            done)
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ());
+    skip_ws ()
+  in
+  try
+    value ();
+    if !pos <> n then Error !pos else Ok ()
+  with Bad p -> Error p
+
+let valid s = Result.is_ok (validate s)

@@ -1,0 +1,32 @@
+(** Minimal JSON emission and validation helpers.
+
+    This is the single home of the RFC 8259 string-escaping rules for every
+    JSON producer in the tree ({!Export}, {!Registry.to_json},
+    [Runtime.Campaign.to_json], the model-checking report of
+    [bench -- check]); callers compose objects by hand, which keeps the
+    output byte-stable for diffing.  [Runtime.Json] re-exports this module,
+    so existing [Runtime.Json.*] call sites are unaffected. *)
+
+val buf_string : Buffer.t -> string -> unit
+(** Append [s] as a JSON string literal: surrounding quotes, with quote,
+    backslash and all control characters below U+0020 escaped. *)
+
+val buf_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+(** [buf_list b f xs] appends [\[f x1, f x2, ...\]]. *)
+
+val buf_int_list : Buffer.t -> int list -> unit
+
+val buf_float : Buffer.t -> float -> unit
+(** Append a float as a legal JSON number: integers without a fraction,
+    everything else via [%.6g]; non-finite values degrade to [0] (JSON has
+    no [nan]/[inf] tokens). *)
+
+val escape : string -> string
+(** [escape s] is the JSON string literal for [s], quotes included. *)
+
+val validate : string -> (unit, int) result
+(** Structural well-formedness check of one complete JSON document
+    (trailing whitespace allowed, trailing garbage not).  [Error pos] gives
+    the byte offset of the first offence.  Builds no document tree. *)
+
+val valid : string -> bool

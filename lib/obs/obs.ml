@@ -1,0 +1,35 @@
+(** Telemetry for the execution backends.
+
+    - {!Registry} — named counters / gauges / log₂ histograms with O(1)
+      hot-path updates and deterministic JSON-able snapshots;
+    - {!Timeline} — begin/end spans, instants and counter samples over a
+      bounded ring buffer, with per-domain tracks;
+    - {!Export} — Chrome trace-event JSON (Perfetto) and CSV;
+    - {!Json} — the tree's shared JSON emission/validation helpers
+      (re-exported as [Runtime.Json]).
+
+    An {!t} bundles one registry and one timeline with a sampling period;
+    pass it as the [?obs] argument of [Runtime.Engine.Make.run],
+    [Runtime.Explore.Make.explore] or [Par.Engine.Make.run] and the backend
+    streams its internal state into it. *)
+
+module Json = Json
+module Registry = Registry
+module Timeline = Timeline
+module Export = Export
+
+type t = {
+  registry : Registry.t;
+  timeline : Timeline.t;
+  sample_every : int;
+      (** Instrumented backends emit timeline samples every [sample_every]
+          deliveries (or transitions); counters are exact regardless. *)
+}
+
+let create ?(sample_every = 256) ?clock ?(capacity = 1 lsl 16) () =
+  if sample_every < 1 then invalid_arg "Obs.create: sample_every < 1";
+  {
+    registry = Registry.create ();
+    timeline = Timeline.create ?clock ~capacity ();
+    sample_every;
+  }

@@ -1,0 +1,63 @@
+(* Bounded span/event timeline.  A fixed ring buffer holds the newest
+   [capacity] events: the write cursor is one atomic fetch-and-add, the slot
+   store one pointer write, so million-delivery runs pay O(1) per event and
+   a constant memory footprint.  Several domains may push concurrently;
+   when the ring wraps, the oldest events are overwritten (counted in
+   [dropped]).  Slot stores from different domains racing on a wrapped
+   index can interleave arbitrarily — harmless for telemetry, and the
+   memory model guarantees each slot holds one intact event. *)
+
+type kind = Begin | End | Instant | Sample
+
+type event = {
+  ts : float;  (** Seconds since the timeline was created. *)
+  track : int;
+  name : string;
+  kind : kind;
+  value : float;
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  buf : event array;
+  cap : int;
+  cursor : int Atomic.t;  (** Total events ever pushed. *)
+}
+
+let dummy = { ts = 0.0; track = 0; name = ""; kind = Instant; value = 0.0 }
+
+let create ?clock ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Obs.Timeline.create: capacity < 1";
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  { clock; epoch = clock (); buf = Array.make capacity dummy; cap = capacity;
+    cursor = Atomic.make 0 }
+
+let now t = t.clock () -. t.epoch
+
+let push t ev =
+  let i = Atomic.fetch_and_add t.cursor 1 in
+  t.buf.(i mod t.cap) <- ev
+
+let record t ~track ~kind ~value name =
+  push t { ts = now t; track; name; kind; value }
+
+let begin_span t ~track name = record t ~track ~kind:Begin ~value:0.0 name
+let end_span t ~track name = record t ~track ~kind:End ~value:0.0 name
+let instant t ~track name = record t ~track ~kind:Instant ~value:0.0 name
+let sample t ~track name value = record t ~track ~kind:Sample ~value name
+
+let capacity t = t.cap
+let recorded t = Atomic.get t.cursor
+let dropped t = Stdlib.max 0 (recorded t - t.cap)
+
+let events t =
+  let total = Atomic.get t.cursor in
+  let kept = Stdlib.min total t.cap in
+  let start = total - kept in
+  List.init kept (fun i -> t.buf.((start + i) mod t.cap))
+
+let iter f t = List.iter f (events t)
+
+let tracks t =
+  List.sort_uniq compare (List.map (fun ev -> ev.track) (events t))

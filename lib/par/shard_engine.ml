@@ -54,7 +54,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     Bytes.to_string bytes
 
   let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
-      ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none) g =
+      ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none) ?obs g =
     let domains =
       match domains with
       | Some d when d < 1 -> invalid_arg "Shard_engine.run: domains < 1"
@@ -133,6 +133,45 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       in
       let local_deliveries = ref 0 in
       let tie = ref 0 in
+      (* Telemetry (track = shard index, one Perfetto row per shard).  The
+         timeline ring is multi-writer-safe; counters flush once, at worker
+         exit, through atomic cells. *)
+      let obs_tl =
+        match obs with
+        | Some (o : Obs.t) -> Some (o.Obs.timeline, o.Obs.sample_every)
+        | None -> None
+      in
+      let last_batch = ref 0 in
+      let idle = ref false in
+      let idle_spins = ref 0 in
+      let obs_sample () =
+        match obs_tl with
+        | None -> ()
+        | Some (tl, _) ->
+            Obs.Timeline.sample tl ~track:d "par.shard_deliveries"
+              (float_of_int !local_deliveries);
+            Obs.Timeline.sample tl ~track:d "par.mailbox_batch"
+              (float_of_int !last_batch);
+            Obs.Timeline.sample tl ~track:d "par.in_flight"
+              (float_of_int (Atomic.get in_flight))
+      in
+      let not_idle () =
+        if !idle then begin
+          idle := false;
+          match obs_tl with
+          | Some (tl, _) -> Obs.Timeline.end_span tl ~track:d "par.idle"
+          | None -> ()
+        end
+      in
+      let go_idle () =
+        if not !idle then begin
+          idle := true;
+          match obs_tl with
+          | Some (tl, _) -> Obs.Timeline.begin_span tl ~track:d "par.idle"
+          | None -> ()
+        end;
+        incr idle_spins
+      in
       let note_state state =
         let b = P.state_bits state in
         if b > st.max_state_bits then st.max_state_bits <- b
@@ -146,6 +185,9 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         end
         else begin
           incr local_deliveries;
+          (match obs_tl with
+          | Some (_, k) when !local_deliveries mod k = 0 -> obs_sample ()
+          | _ -> ());
           let w = Bitio.Bit_writer.create () in
           P.encode w f.msg;
           let bits = Bitio.Bit_writer.length w + payload_bits in
@@ -222,21 +264,33 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           | _ -> continue := false
         done
       in
+      (match obs_tl with
+      | Some (tl, _) -> Obs.Timeline.begin_span tl ~track:d "par.shard"
+      | None -> ());
       while Atomic.get status = st_running do
         release_due ();
         match Mailbox.take_all mb with
-        | _ :: _ as batch -> List.iter handle batch
+        | _ :: _ as batch ->
+            not_idle ();
+            last_batch := List.length batch;
+            List.iter handle batch
         | [] -> (
             (* Nothing deliverable here; fast-forward idle time to our next
                delayed copy, else check for global quiescence. *)
             match Runtime.Binheap.pop delayed with
-            | Some (_, f) -> handle f
+            | Some (_, f) ->
+                not_idle ();
+                handle f
             | None ->
                 if Atomic.get in_flight = 0 then
                   ignore
                     (Atomic.compare_and_set status st_running st_quiescent)
-                else Domain.cpu_relax ())
+                else begin
+                  go_idle ();
+                  Domain.cpu_relax ()
+                end)
       done;
+      not_idle ();
       (* Still-counted copies this shard holds: the delay queue, plus
          whatever the final mailbox drain after join doesn't catch. *)
       let continue = ref true in
@@ -244,7 +298,19 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         match Runtime.Binheap.pop delayed with
         | Some (_, f) -> st.leftover <- f :: st.leftover
         | None -> continue := false
-      done
+      done;
+      (match obs with
+      | None -> ()
+      | Some o ->
+          obs_sample ();
+          (match obs_tl with
+          | Some (tl, _) -> Obs.Timeline.end_span tl ~track:d "par.shard"
+          | None -> ());
+          let reg = o.Obs.registry in
+          let addc name v = Obs.Registry.aadd (Obs.Registry.acounter reg name) v in
+          addc (Printf.sprintf "par.shard%d.deliveries" d) !local_deliveries;
+          addc "par.deliveries" !local_deliveries;
+          addc "par.idle_spins" !idle_spins)
     in
     (* The root's spontaneous emission, before any domain starts.  Valid
        networks give [s] in-degree 0, so its out-edges send only here, in
@@ -337,6 +403,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     in
     { report; leftover = List.map (fun f -> f.msg) leftover_flights }
 
-  let run ?domains ?sharding ?payload_bits ?step_limit ?faults g =
-    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults g).report
+  let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?obs g =
+    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?obs g)
+      .report
 end

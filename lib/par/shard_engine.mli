@@ -53,12 +53,22 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?payload_bits:int ->
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
+    ?obs:Obs.t ->
     Digraph.t ->
     full
   (** Defaults: [domains = Domain.recommended_domain_count ()] (clamped to
       at least 1), [sharding = `Round_robin], [payload_bits = 0],
       [step_limit = 10_000_000], no faults.  The report's [final_in_flight]
-      always equals [List.length leftover]. *)
+      always equals [List.length leftover].
+
+      [obs], when given, records per-shard telemetry on track [d] (the
+      shard index): a [par.shard] span covering the worker's life,
+      [par.idle] spans around quiescence-polling stretches, and — every
+      [sample_every] local deliveries — samples of cumulative shard
+      deliveries, the last mailbox batch size and the global in-flight
+      count.  At worker exit each shard flushes atomic counters
+      [par.shard<d>.deliveries], the grand total [par.deliveries] (always
+      equal to the report's [deliveries]) and [par.idle_spins]. *)
 
   val run :
     ?domains:int ->
@@ -66,6 +76,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?payload_bits:int ->
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
+    ?obs:Obs.t ->
     Digraph.t ->
     P.state Runtime.Engine.report
   (** [run_full] without the leftover list. *)

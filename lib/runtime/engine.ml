@@ -47,6 +47,51 @@ type event = {
   bits : int;
 }
 
+(* Telemetry cells resolved once per run (registration is the only locked
+   operation); per-delivery updates are plain stores.  [track] is the
+   timeline lane — 0 for the sequential engine. *)
+type obs_hooks = {
+  oh_timeline : Obs.Timeline.t;
+  oh_sample_every : int;
+  oh_track : int;
+  c_deliveries : Obs.Registry.counter;
+  c_bits : Obs.Registry.counter;
+  c_sends : Obs.Registry.counter;
+  c_corrupted : Obs.Registry.counter;
+  c_garbled : Obs.Registry.counter;
+  c_dropped : Obs.Registry.counter;
+  c_extra : Obs.Registry.counter;
+  c_delayed : Obs.Registry.counter;
+  c_receive_ns : Obs.Registry.counter;
+  h_message_bits : Obs.Registry.histogram;
+  h_receive_ns : Obs.Registry.histogram;
+  g_in_flight : Obs.Registry.gauge;
+  g_wavefront : Obs.Registry.gauge;
+  g_residual : Obs.Registry.gauge;
+}
+
+let obs_hooks ?(track = 0) (o : Obs.t) =
+  let reg = o.Obs.registry in
+  {
+    oh_timeline = o.Obs.timeline;
+    oh_sample_every = o.Obs.sample_every;
+    oh_track = track;
+    c_deliveries = Obs.Registry.counter reg "engine.deliveries";
+    c_bits = Obs.Registry.counter reg "engine.total_bits";
+    c_sends = Obs.Registry.counter reg "engine.sends";
+    c_corrupted = Obs.Registry.counter reg "engine.corrupted_deliveries";
+    c_garbled = Obs.Registry.counter reg "engine.garbled_drops";
+    c_dropped = Obs.Registry.counter reg "engine.dropped_copies";
+    c_extra = Obs.Registry.counter reg "engine.extra_copies";
+    c_delayed = Obs.Registry.counter reg "engine.delayed_copies";
+    c_receive_ns = Obs.Registry.counter reg "engine.receive_ns";
+    h_message_bits = Obs.Registry.histogram reg "engine.message_bits";
+    h_receive_ns = Obs.Registry.histogram reg "engine.receive_ns_hist";
+    g_in_flight = Obs.Registry.gauge reg "engine.in_flight";
+    g_wavefront = Obs.Registry.gauge reg "engine.wavefront";
+    g_residual = Obs.Registry.gauge reg "engine.cut_residual";
+  }
+
 module Make (P : Protocol_intf.PROTOCOL) = struct
   type flight = {
     seq : int;
@@ -159,7 +204,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none) ?(verify_codec = false)
-      ?on_deliver ?on_undelivered g =
+      ?obs ?on_deliver ?on_undelivered g =
+    let oh = Option.map (fun o -> obs_hooks o) obs in
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
     let t = Digraph.terminal g in
@@ -195,18 +241,55 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let max_state_bits = ref 0 in
     let in_flight = ref 0 in
     let max_in_flight = ref 0 in
+    let n_visited = ref 0 in
+    let mark_visited v =
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        incr n_visited
+      end
+    in
+    (* Copies that ever entered flight; [entered - deliveries - in_flight]
+       is the engine's message-conservation residual, sampled as the
+       [engine.cut_residual] series (always 0 unless the accounting is
+       broken — a live self-check, not a tautology for readers of the
+       trace). *)
+    let entered = ref 0 in
     let note_state st =
       let b = P.state_bits st in
       if b > !max_state_bits then max_state_bits := b
     in
     let enter f ~delay =
       incr in_flight;
+      incr entered;
       if !in_flight > !max_in_flight then max_in_flight := !in_flight;
       if delay = 0 then push f else Binheap.push delayed (!deliveries + delay, f.seq) f
+    in
+    (* Countdown to the next sampled delivery — one decrement/compare on
+       the hot path instead of a [mod] — and a flag marking the current
+       delivery as the one whose [P.receive] gets timed. *)
+    let until_sample =
+      ref (match oh with Some h -> h.oh_sample_every | None -> max_int)
+    in
+    let time_receive = ref false in
+    let obs_sample () =
+      match oh with
+      | None -> ()
+      | Some h ->
+          let tl = h.oh_timeline and track = h.oh_track in
+          Obs.Registry.set h.g_in_flight !in_flight;
+          Obs.Registry.set h.g_wavefront !n_visited;
+          let residual = !entered - !deliveries - !in_flight in
+          Obs.Registry.set h.g_residual residual;
+          Obs.Timeline.sample tl ~track "engine.in_flight" (float_of_int !in_flight);
+          Obs.Timeline.sample tl ~track "engine.wavefront" (float_of_int !n_visited);
+          Obs.Timeline.sample tl ~track "engine.cut_residual" (float_of_int residual);
+          Obs.Timeline.sample tl ~track "engine.deliveries" (float_of_int !deliveries);
+          Obs.Timeline.sample tl ~track "engine.total_bits" (float_of_int !total_bits)
     in
     let send fv fp msg =
       let edge = Digraph.edge_index g fv fp in
       let tv, tp = target.(edge) in
+      (match oh with Some h -> Obs.Registry.incr h.c_sends | None -> ());
       if not faulty then begin
         enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; msg } ~delay:0;
         incr next_seq
@@ -230,11 +313,14 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         | _ -> continue := false
       done
     in
+    (match oh with
+    | Some h -> Obs.Timeline.begin_span h.oh_timeline ~track:h.oh_track "engine.run"
+    | None -> ());
     (* The root spontaneously emits sigma0. *)
     List.iter
       (fun (j, msg) -> send (Digraph.source g) j msg)
       (P.root_emit ~out_degree:(Digraph.out_degree g (Digraph.source g)));
-    visited.(Digraph.source g) <- true;
+    mark_visited (Digraph.source g);
     let outcome = ref Quiescent in
     let running = ref true in
     while !running do
@@ -261,6 +347,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             let w = Bitio.Bit_writer.create () in
             P.encode w f.msg;
             let bits = Bitio.Bit_writer.length w + payload_bits in
+            (match oh with
+            | Some h ->
+                Obs.Registry.incr h.c_deliveries;
+                Obs.Registry.add h.c_bits bits;
+                Obs.Registry.observe h.h_message_bits bits;
+                decr until_sample;
+                if !until_sample <= 0 then begin
+                  until_sample := h.oh_sample_every;
+                  time_receive := true;
+                  obs_sample ()
+                end
+            | None -> ());
             if verify_codec then begin
               let r =
                 Bitio.Bit_reader.of_string
@@ -310,11 +408,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                   let r = Bitio.Bit_reader.of_string ~length_bits:len s in
                   match P.decode r with
                   | decoded ->
-                      if not (P.equal_message decoded f.msg) then
+                      if not (P.equal_message decoded f.msg) then begin
                         incr corrupted_deliveries;
+                        match oh with
+                        | Some h -> Obs.Registry.incr h.c_corrupted
+                        | None -> ()
+                      end;
                       Some decoded
                   | exception _ ->
                       incr garbled_drops;
+                      (match oh with
+                      | Some h -> Obs.Registry.incr h.c_garbled
+                      | None -> ());
                       None
                 end
             in
@@ -334,13 +439,31 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                       }
                       msg
                 | None -> ());
-                visited.(f.tv) <- true;
+                mark_visited f.tv;
+                (* Receive cost is measured only on sampled deliveries —
+                   two clock reads per delivery would dominate the cheap
+                   protocols, and the histogram only needs a time series,
+                   not a total. *)
+                let t0 =
+                  match oh with
+                  | Some h when !time_receive -> Obs.Timeline.now h.oh_timeline
+                  | _ -> 0.0
+                in
                 let state', sends =
                   P.receive
                     ~out_degree:(Digraph.out_degree g f.tv)
                     ~in_degree:(Digraph.in_degree g f.tv)
                     states.(f.tv) msg ~in_port:f.tp
                 in
+                (match oh with
+                | Some h when !time_receive ->
+                    time_receive := false;
+                    let ns =
+                      int_of_float ((Obs.Timeline.now h.oh_timeline -. t0) *. 1e9)
+                    in
+                    Obs.Registry.add h.c_receive_ns ns;
+                    Obs.Registry.observe h.h_receive_ns ns
+                | _ -> ());
                 states.(f.tv) <- state';
                 note_state state';
                 List.iter (fun (j, msg) -> send f.tv j msg) sends;
@@ -362,6 +485,20 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           | Some (_, f) -> hook f.msg
           | None -> continue := false
         done);
+    (match oh with
+    | Some h ->
+        obs_sample ();
+        if faulty then begin
+          (* The per-edge fault draws live in the Faults instance; folding
+             its end-of-run totals into cumulative counters keeps the
+             registry reconciled with [fault_stats] across any number of
+             runs sharing one sink. *)
+          Obs.Registry.add h.c_dropped (Faults.Instance.dropped_copies fi);
+          Obs.Registry.add h.c_extra (Faults.Instance.extra_copies fi);
+          Obs.Registry.add h.c_delayed (Faults.Instance.delayed_copies fi)
+        end;
+        Obs.Timeline.end_span h.oh_timeline ~track:h.oh_track "engine.run"
+    | None -> ());
     let fault_stats =
       if not faulty then
         { no_faults_stats with

@@ -88,12 +88,23 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?step_limit:int ->
     ?faults:Faults.t ->
     ?verify_codec:bool ->
+    ?obs:Obs.t ->
     ?on_deliver:(event -> P.message -> unit) ->
     ?on_undelivered:(P.message -> unit) ->
     Digraph.t ->
     P.state report
   (** Defaults: [scheduler = Fifo], [payload_bits = 0],
       [step_limit = 10_000_000], no faults, [verify_codec = false].
+
+      [obs], when given, turns on telemetry: [engine.*] counters
+      (deliveries, total_bits, sends, corrupted/garbled, per-run fault
+      copy totals), [engine.message_bits] / [engine.receive_ns]
+      histograms, and — every [sample_every] deliveries — gauge +
+      timeline samples of in-flight depth, wavefront size (visited
+      vertices) and the message-count cut residual
+      [entered - delivered - in_flight], which is 0 whenever the
+      engine's accounting is conserving messages.  Counter totals
+      reconcile exactly with the returned {!type:report}.
 
       [on_undelivered] is called once per message still in flight (pooled or
       delay-held) when the run stops — together with [states] this is the

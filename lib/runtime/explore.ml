@@ -71,7 +71,7 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
 
   let explore ?(max_states = 200_000) ?(max_depth = 2_000) ?(max_violations = 1)
       ?(walks = 64) ?(walk_len = 5_000) ?(walk_seed = 0x5EED)
-      ?(expect_termination = true) g =
+      ?(expect_termination = true) ?obs g =
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
     let s = Digraph.source g in
@@ -199,6 +199,42 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
     let truncated = ref false in
     let walks_done = ref 0 in
     let walk_deliveries = ref 0 in
+    let memo_hits = ref 0 in
+    let conservation_checks = ref 0 in
+    (* Telemetry: track id is the running domain so Par sweeps sharing one
+       sink interleave cleanly in the trace viewer. *)
+    let oh =
+      Option.map
+        (fun (o : Obs.t) ->
+          (o, (Domain.self () :> int), Obs.Timeline.now o.Obs.timeline))
+        obs
+    in
+    let obs_sample depth =
+      match oh with
+      | None -> ()
+      | Some (o, track, t0) ->
+          let tl = o.Obs.timeline in
+          let states = Canonical.Memo.size memo in
+          let dt = Obs.Timeline.now tl -. t0 in
+          let rate = if dt > 0. then float_of_int states /. dt else 0. in
+          let considered = !transitions + !memo_hits in
+          let hit_rate =
+            if considered = 0 then 0.
+            else float_of_int !memo_hits /. float_of_int considered
+          in
+          Obs.Timeline.sample tl ~track "explore.states" (float_of_int states);
+          Obs.Timeline.sample tl ~track "explore.states_per_s" rate;
+          Obs.Timeline.sample tl ~track "explore.frontier_depth"
+            (float_of_int depth);
+          Obs.Timeline.sample tl ~track "explore.sleep_prunes"
+            (float_of_int !pruned_sleep);
+          Obs.Timeline.sample tl ~track "explore.memo_hit_rate" hit_rate
+    in
+    let obs_span emit =
+      match oh with
+      | None -> ()
+      | Some (o, track, _) -> emit o.Obs.timeline track
+    in
     let violations = ref [] in
     let n_violations = ref 0 in
     (* Deliveries from the initial configuration to the current one, newest
@@ -213,6 +249,7 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
       (match P.conservation with
       | None -> ()
       | Some (Protocol_intf.Conservation c) ->
+          incr conservation_checks;
           let total = ref c.zero in
           List.iter
             (fun f -> total := c.add !total (c.of_message f.msg))
@@ -252,7 +289,8 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
       if fresh then begin
         check_invariants sim;
         if budget && Canonical.Memo.size memo >= max_states then raise Budget
-      end;
+      end
+      else incr memo_hits;
       stored
     in
     (* {2 The DFS with sleep sets} *)
@@ -282,6 +320,11 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
                    else begin
                      let sim', halted = deliver sim f in
                      incr transitions;
+                     (match oh with
+                     | Some (o, _, _) when !transitions mod o.Obs.sample_every = 0
+                       ->
+                         obs_sample depth
+                     | _ -> ());
                      path := f.seq :: !path;
                      (if halted then begin
                         ignore (note ~budget:true sim');
@@ -326,20 +369,43 @@ module Make (P : Protocol_intf.CHECKABLE) = struct
             else sim := sim'
       done
     in
+    obs_span (fun tl track -> Obs.Timeline.begin_span tl ~track "explore.dfs");
     (try
        path := [];
        visit (initial_sim ()) [] 0
      with
     | Abort -> ()
     | Budget -> truncated := true);
+    obs_span (fun tl track -> Obs.Timeline.end_span tl ~track "explore.dfs");
     if !truncated && !n_violations < max_violations && walks > 0 then begin
+      obs_span (fun tl track ->
+          Obs.Timeline.begin_span tl ~track "explore.walks");
       let prng = Prng.create walk_seed in
-      try
-        for _ = 1 to walks do
-          random_walk prng
-        done
-      with Abort -> ()
+      (try
+         for _ = 1 to walks do
+           random_walk prng
+         done
+       with Abort -> ());
+      obs_span (fun tl track -> Obs.Timeline.end_span tl ~track "explore.walks")
     end;
+    (match obs with
+    | None -> ()
+    | Some o ->
+        (* Atomic adds: parallel sweeps funnel many explorations into one
+           registry, so totals accumulate across domains. *)
+        let addc name v =
+          Obs.Registry.aadd (Obs.Registry.acounter o.Obs.registry name) v
+        in
+        addc "explore.states" (Canonical.Memo.size memo);
+        addc "explore.transitions" !transitions;
+        addc "explore.pruned_sleep" !pruned_sleep;
+        addc "explore.pruned_memo" !pruned_memo;
+        addc "explore.pruned_dup" !pruned_dup;
+        addc "explore.memo_hits" !memo_hits;
+        addc "explore.walks" !walks_done;
+        addc "explore.walk_deliveries" !walk_deliveries;
+        addc "explore.conservation_checks" !conservation_checks;
+        obs_sample 0);
     {
       stats =
         {

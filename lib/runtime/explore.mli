@@ -83,6 +83,7 @@ module Make (P : Protocol_intf.CHECKABLE) : sig
     ?walk_len:int ->
     ?walk_seed:int ->
     ?expect_termination:bool ->
+    ?obs:Obs.t ->
     Digraph.t ->
     result
   (** Defaults: [max_states = 200_000] distinct configurations,
@@ -90,7 +91,16 @@ module Make (P : Protocol_intf.CHECKABLE) : sig
       [max_violations = 1], degrade to [walks = 64] random walks of at most
       [walk_len = 5_000] deliveries seeded from [walk_seed];
       [expect_termination] (default [true]) controls whether quiescence
-      without acceptance is a violation. *)
+      without acceptance is a violation.
+
+      [obs], when given, records [explore.*] telemetry: atomic counters
+      (states, transitions, the three prune tallies, memo hits, walks,
+      walk deliveries, conservation checks) accumulated at the end of
+      the search — atomically, so parallel sweeps can share one sink —
+      plus [explore.dfs] / [explore.walks] spans and, every
+      [sample_every] transitions, timeline samples of states seen,
+      states/second, current frontier depth, sleep-set prunes and the
+      memo hit rate.  The timeline track is the running domain's id. *)
 
   val replay : ?payload_bits:int -> ?trace_limit:int -> Digraph.t -> int list -> replay
   (** Re-run a recorded schedule through {!Engine.Make} under

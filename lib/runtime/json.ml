@@ -1,32 +1,1 @@
-let buf_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 32 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-let buf_list b f xs =
-  Buffer.add_char b '[';
-  List.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      f b x)
-    xs;
-  Buffer.add_char b ']'
-
-let buf_int_list b xs =
-  buf_list b (fun b i -> Buffer.add_string b (string_of_int i)) xs
-
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  buf_string b s;
-  Buffer.contents b
+include Obs.Json

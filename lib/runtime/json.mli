@@ -1,18 +1,9 @@
-(** Minimal JSON emission helpers shared by every JSON producer in the tree
+(** JSON emission helpers shared by every JSON producer in the tree
     ({!Campaign.to_json}, the model-checking report of [bench -- check]).
 
-    Only the string-escaping rules of RFC 8259 are centralized here — the
-    callers compose objects by hand, which keeps the output byte-stable for
-    diffing. *)
+    Since the telemetry layer landed this is a re-export of {!Obs.Json},
+    which is where the single copy of the RFC 8259 escaping rules (and a
+    minimal validating parser) now lives — existing [Runtime.Json.*] call
+    sites are unaffected. *)
 
-val buf_string : Buffer.t -> string -> unit
-(** Append [s] as a JSON string literal: surrounding quotes, with quote,
-    backslash and all control characters below U+0020 escaped. *)
-
-val buf_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
-(** [buf_list b f xs] appends [\[f x1, f x2, ...\]]. *)
-
-val buf_int_list : Buffer.t -> int list -> unit
-
-val escape : string -> string
-(** [escape s] is the JSON string literal for [s], quotes included. *)
+include module type of Obs.Json

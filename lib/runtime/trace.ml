@@ -1,51 +1,76 @@
-type t = { mutable rev_events : Engine.event list; mutable count : int }
+(* Deliveries land in a doubling array rather than a cons list: long
+   instrumented runs record millions of events, and the array form lets
+   [iter]/[render]/[to_csv] walk them without materializing a list copy. *)
 
-let create () = { rev_events = []; count = 0 }
+let dummy : Engine.event =
+  { step = 0; from_vertex = 0; from_port = 0; to_vertex = 0; to_port = 0; bits = 0 }
+
+type t = { mutable buf : Engine.event array; mutable count : int }
+
+let create () = { buf = [||]; count = 0 }
 
 let hook tr (ev : Engine.event) _msg =
-  tr.rev_events <- ev :: tr.rev_events;
+  let cap = Array.length tr.buf in
+  if tr.count = cap then begin
+    let buf = Array.make (Stdlib.max 16 (2 * cap)) dummy in
+    Array.blit tr.buf 0 buf 0 cap;
+    tr.buf <- buf
+  end;
+  tr.buf.(tr.count) <- ev;
   tr.count <- tr.count + 1
-
-let events tr = List.rev tr.rev_events
 
 let length tr = tr.count
 
+let iter f tr =
+  for i = 0 to tr.count - 1 do
+    f tr.buf.(i)
+  done
+
+let events tr = List.init tr.count (fun i -> tr.buf.(i))
+
 let sends_per_vertex tr ~n =
   let a = Array.make n 0 in
-  List.iter (fun (ev : Engine.event) -> a.(ev.from_vertex) <- a.(ev.from_vertex) + 1) tr.rev_events;
+  iter (fun (ev : Engine.event) -> a.(ev.from_vertex) <- a.(ev.from_vertex) + 1) tr;
   a
 
 let receives_per_vertex tr ~n =
   let a = Array.make n 0 in
-  List.iter (fun (ev : Engine.event) -> a.(ev.to_vertex) <- a.(ev.to_vertex) + 1) tr.rev_events;
+  iter (fun (ev : Engine.event) -> a.(ev.to_vertex) <- a.(ev.to_vertex) + 1) tr;
   a
 
 let render ?(limit = 100) tr =
   let buf = Buffer.create 256 in
-  let rec go shown = function
-    | [] -> ()
-    | _ when shown >= limit ->
-        Buffer.add_string buf
-          (Printf.sprintf "... (%d more deliveries)\n" (tr.count - shown))
-    | (ev : Engine.event) :: rest ->
-        Buffer.add_string buf
-          (Printf.sprintf "#%-5d %d.%d -> %d.%d  %4d bits\n" ev.step
-             ev.from_vertex ev.from_port ev.to_vertex ev.to_port ev.bits);
-        go (shown + 1) rest
-  in
-  go 0 (events tr);
+  let shown = Stdlib.min limit tr.count in
+  for i = 0 to shown - 1 do
+    let ev = tr.buf.(i) in
+    Buffer.add_string buf
+      (Printf.sprintf "#%-5d %d.%d -> %d.%d  %4d bits\n" ev.step ev.from_vertex
+         ev.from_port ev.to_vertex ev.to_port ev.bits)
+  done;
+  if tr.count > shown then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d more deliveries)\n" (tr.count - shown));
+  Buffer.contents buf
+
+let to_csv tr =
+  let buf = Buffer.create (64 + (tr.count * 24)) in
+  Buffer.add_string buf "step,from_vertex,from_port,to_vertex,to_port,bits\n";
+  iter
+    (fun (ev : Engine.event) ->
+      Printf.bprintf buf "%d,%d,%d,%d,%d,%d\n" ev.step ev.from_vertex
+        ev.from_port ev.to_vertex ev.to_port ev.bits)
+    tr;
   Buffer.contents buf
 
 let edge_first_use tr =
   let seen = Hashtbl.create 16 in
-  List.fold_left
-    (fun acc (ev : Engine.event) ->
+  let acc = ref [] in
+  iter
+    (fun (ev : Engine.event) ->
       let key = (ev.from_vertex, ev.from_port) in
-      if Hashtbl.mem seen key then acc
-      else begin
+      if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
-        (key, ev.step) :: acc
+        acc := (key, ev.step) :: !acc
       end)
-    []
-    (events tr)
-  |> List.rev
+    tr;
+  List.rev !acc

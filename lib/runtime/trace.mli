@@ -10,7 +10,12 @@ val hook : t -> Engine.event -> 'msg -> unit
 (** Pass [hook tr] as the engine's [on_deliver]. *)
 
 val events : t -> Engine.event list
-(** In delivery order. *)
+(** In delivery order.  Allocates a fresh list; prefer {!iter} for large
+    traces. *)
+
+val iter : (Engine.event -> unit) -> t -> unit
+(** Apply to every event in delivery order, without materializing the
+    event list. *)
 
 val length : t -> int
 
@@ -23,6 +28,11 @@ val render : ?limit:int -> t -> string
 (** Human-readable delivery log, one line per event
     (["#12  3.0 -> 5.1   17 bits"]); at most [limit] lines
     (default 100), with a truncation notice beyond that. *)
+
+val to_csv : t -> string
+(** The whole trace as CSV
+    ([step,from_vertex,from_port,to_vertex,to_port,bits] header plus one
+    row per delivery), streamed into one buffer via {!iter}. *)
 
 val edge_first_use : t -> ((Digraph.vertex * int) * int) list
 (** For each (source vertex, out-port) edge that carried traffic, the step
