@@ -731,6 +731,113 @@ let obs_bench ~small () =
   pf "  \"metrics\": %s\n" (Obs.Registry.to_json snap);
   pf "}\n"
 
+(* {1 E17 — chaos search + crash recovery (JSON)} *)
+
+(* Three claims, one experiment.  (1) Soundness under churn: a chaos search
+   over >= 500 seeded joint edge-kill x vertex-crash fault sets finds zero
+   false terminations for supervised Redundant(3) general broadcast.
+   (2) The machinery works: the negative control (bare flood under
+   crash-restart amnesia) yields shrunk witnesses of <= 4 atoms, every one
+   replay-confirmed byte-for-byte through Scheduler.Replay.  (3) The
+   supervisor is cheap when nothing fails: on a fault-free run it adds
+   zero deliveries (retransmission never fires) and its counters reconcile
+   exactly with the Obs registry. *)
+let chaos_bench ~small () =
+  let module Ch = Runtime.Chaos in
+  let budget = if small then 30 else 170 in
+  let graphs = Anonet.Resilient.chaos_graphs () in
+  (* (1) The supervised search. *)
+  let sup_cfg =
+    Ch.config ~budget ~seed:11 ~supervisor:Runtime.Supervisor.default ()
+  in
+  let sup_runner =
+    Anonet.Resilient.chaos_runner ~k:3 (module Anonet.General_broadcast)
+  in
+  let t0 = Unix.gettimeofday () in
+  let sup = Ch.run sup_cfg ~runners:[ sup_runner ] ~graphs in
+  let sup_s = Unix.gettimeofday () -. t0 in
+  (* (2) The negative control, amnesia only, no edge kills. *)
+  let neg_cfg =
+    Ch.config ~budget:(if small then 20 else 60) ~seed:11
+      ~recoveries:[ Runtime.Vfaults.Amnesia ] ~p_edge:0.0 ()
+  in
+  let neg_runner = Anonet.Resilient.chaos_runner ~k:1 (module Anonet.Flood) in
+  let neg = Ch.run neg_cfg ~runners:[ neg_runner ] ~graphs in
+  let neg_min_atoms =
+    List.fold_left
+      (fun m (w : Ch.witness) -> min m (List.length w.Ch.w_faults))
+      max_int neg.Ch.witnesses
+  in
+  let neg_confirmed =
+    List.for_all
+      (fun (w : Ch.witness) ->
+        let gc =
+          List.find (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph) graphs
+        in
+        Ch.confirms w (Ch.replay neg_cfg neg_runner gc w))
+      neg.Ch.witnesses
+  in
+  (* (3) Fault-free supervisor overhead + Obs reconciliation. *)
+  let g =
+    F.random_digraph (Prng.create 42) ~n:48 ~extra_edges:40 ~back_edges:12
+      ~t_edge_prob:0.25
+  in
+  let module En = Runtime.Engine.Make (Anonet.General_broadcast) in
+  ignore (En.run g);
+  let repeats = if small then 5 else 7 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let o = Obs.create ~sample_every:1024 () in
+  let pairs =
+    List.init repeats (fun _ ->
+        ( timed (fun () -> En.run g),
+          timed (fun () -> En.run ~supervisor:Runtime.Supervisor.default ~obs:o g)
+        ))
+  in
+  let bare_med = Metrics.median (List.map (fun ((t, _), _) -> t) pairs) in
+  let sup_med = Metrics.median (List.map (fun (_, (t, _)) -> t) pairs) in
+  let (_, (bare_r : _ E.report)), (_, (sup_r : _ E.report)) = List.hd pairs in
+  let snap = Obs.Registry.snapshot o.Obs.registry in
+  let find name = Option.value ~default:min_int (Obs.Registry.find snap name) in
+  let reconcile =
+    find "engine.deliveries" = repeats * sup_r.E.deliveries
+    && find "engine.checkpoints" = repeats * sup_r.E.vfault_stats.E.checkpoints
+    && find "engine.replayed" = repeats * sup_r.E.vfault_stats.E.replayed
+    && find "engine.crashes" = 0
+  in
+  let delivery_overhead =
+    float_of_int (sup_r.E.deliveries - bare_r.E.deliveries)
+    /. float_of_int bare_r.E.deliveries
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E17-chaos-recovery\",\n";
+  pf "  \"supervised\": {\"runner\": %S, \"trials\": %d, \"hits\": %d, \
+      \"unsound\": %d, \"starved\": %d, \"seconds\": %.2f},\n"
+    sup_runner.Ch.r_name sup.Ch.trials_run sup.Ch.hits sup.Ch.unsound
+    sup.Ch.starved sup_s;
+  pf "  \"negative\": {\"runner\": %S, \"trials\": %d, \"witnesses\": %d, \
+      \"min_atoms\": %d, \"all_replay_confirmed\": %b},\n"
+    neg_runner.Ch.r_name neg.Ch.trials_run
+    (List.length neg.Ch.witnesses)
+    neg_min_atoms neg_confirmed;
+  pf "  \"overhead\": {\"graph\": {\"vertices\": %d, \"edges\": %d}, \
+      \"repeats\": %d, \"bare_deliveries\": %d, \"supervised_deliveries\": \
+      %d, \"delivery_overhead_fraction\": %.4f, \"bare_median_s\": %.6f, \
+      \"supervised_median_s\": %.6f, \"checkpoints\": %d, \"replayed\": %d},\n"
+    (G.n_vertices g) (G.n_edges g) repeats bare_r.E.deliveries
+    sup_r.E.deliveries delivery_overhead bare_med sup_med
+    sup_r.E.vfault_stats.E.checkpoints sup_r.E.vfault_stats.E.replayed;
+  pf "  \"reconcile_obs\": %b,\n" reconcile;
+  pf "  \"pass\": %b\n"
+    (sup.Ch.unsound = 0
+    && sup.Ch.trials_run >= (if small then 90 else 500)
+    && neg.Ch.witnesses <> [] && neg_min_atoms <= 4 && neg_confirmed
+    && delivery_overhead <= 0.10 && reconcile);
+  pf "}\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -754,12 +861,14 @@ let () =
           else if a = "throughput:small" then throughput ~small:true ()
           else if a = "obs" then obs_bench ~small:false ()
           else if a = "obs:small" then obs_bench ~small:true ()
+          else if a = "chaos" then chaos_bench ~small:false ()
+          else if a = "chaos:small" then chaos_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
             | None ->
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
-                   timing, throughput[:small], obs[:small])\n"
+                   timing, throughput[:small], obs[:small], chaos[:small])\n"
                   a)
         args

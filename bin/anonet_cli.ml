@@ -808,6 +808,190 @@ let obs_cmd =
         (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
        $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
+let chaos_cmd =
+  let module Ch = Runtime.Chaos in
+  let protocol_t =
+    Arg.(
+      value & opt string "general"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "flood | tree | tree-naive | dag | general | labeling | mapping | \
+             undirected")
+  in
+  let redundancy_t =
+    Arg.(
+      value & opt int 3
+      & info [ "k"; "redundancy" ] ~docv:"K"
+          ~doc:
+            "Wrap the protocol behind Redundant($(docv)); 1 runs it bare.")
+  in
+  let supervise_t =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Arm the self-healing supervisor on every run the search \
+             performs: per-vertex checkpointing (so crash amnesia degrades \
+             to restore-from-checkpoint) and retransmission with \
+             exponential backoff at quiescence.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Random fault sets tried per (protocol, graph family).")
+  in
+  let max_faults_t =
+    Arg.(
+      value & opt int 4
+      & info [ "max-faults" ] ~docv:"N"
+          ~doc:"Maximum atoms (edge kills + vertex crashes) per fault set.")
+  in
+  let seed_t =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Search seed.")
+  in
+  let p_edge_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-edge" ] ~docv:"P"
+          ~doc:"Probability a generated atom is an edge kill (vs a crash).")
+  in
+  let recoveries_t =
+    Arg.(
+      value
+      & opt string "stop,amnesia,restore"
+      & info [ "recoveries" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated crash recovery modes the generator draws from \
+             (stop | amnesia | restore).")
+  in
+  let json_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the full search result (witnesses included) as JSON.")
+  in
+  let recovery_of_name = function
+    | "stop" -> Some Runtime.Vfaults.Stop
+    | "amnesia" -> Some Runtime.Vfaults.Amnesia
+    | "restore" -> Some Runtime.Vfaults.Restore
+    | _ -> None
+  in
+  let run protocol k supervise budget max_faults seed p_edge recoveries
+      domains json_out sample trace_out metrics_out csv_out =
+    match protocol_of_name protocol with
+    | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
+    | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
+        try
+          if k < 1 then invalid_arg "--redundancy must be at least 1";
+          if budget < 1 then invalid_arg "--budget must be at least 1";
+          if domains < 1 then invalid_arg "--domains must be at least 1";
+          let recoveries =
+            List.map
+              (fun r ->
+                match recovery_of_name (String.trim r) with
+                | Some m -> m
+                | None -> invalid_arg (Printf.sprintf "unknown recovery %S" r))
+              (String.split_on_char ',' recoveries)
+          in
+          if recoveries = [] then invalid_arg "--recoveries must be non-empty";
+          let supervisor =
+            if supervise then Some Runtime.Supervisor.default else None
+          in
+          let cfg =
+            Ch.config ~budget ~max_faults ~seed ~p_edge ~recoveries ?supervisor
+              ()
+          in
+          let runner = Anonet.Resilient.chaos_runner ~k (module P) in
+          let graphs = Anonet.Resilient.chaos_graphs () in
+          pf "chaos search: %s, %d fault sets x %d families, <=%d atoms, \
+              seed %d%s\n\n"
+            runner.Ch.r_name budget (List.length graphs) max_faults seed
+            (if supervise then ", supervised" else "");
+          let res =
+            if domains > 1 then Par.Chaos.run ~domains cfg ~runners:[ runner ] ~graphs
+            else Ch.run cfg ~runners:[ runner ] ~graphs
+          in
+          pf "trials: %d   hits: %d   duplicates: %d   witnesses: %d \
+              (unsound %d, starved %d)\n"
+            res.Ch.trials_run res.Ch.hits res.Ch.duplicates
+            (List.length res.Ch.witnesses)
+            res.Ch.unsound res.Ch.starved;
+          List.iter
+            (fun (w : Ch.witness) ->
+              let gc =
+                List.find
+                  (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph)
+                  graphs
+              in
+              let confirmed = Ch.confirms w (Ch.replay cfg runner gc w) in
+              pf "\n%s on %s (trial %d, shrunk %d -> %d atoms)%s\n"
+                (Ch.describe_kind w.Ch.w_kind)
+                w.Ch.w_graph w.Ch.w_trial w.Ch.w_original_size
+                (List.length w.Ch.w_faults)
+                (if confirmed then ", replay confirms"
+                 else " — REPLAY DIVERGED");
+              List.iter (fun f -> pf "  %s\n" (Ch.describe_fault f)) w.Ch.w_faults;
+              pf "  missing: [%s]\n"
+                (String.concat "; " (List.map string_of_int w.Ch.w_missing)))
+            res.Ch.witnesses;
+          Option.iter
+            (fun p ->
+              write_file p (Ch.to_json res);
+              pf "\nresult written  : %s\n" p)
+            json_out;
+          (* Instrument a replay of the first witness so the Perfetto trace
+             shows the violating schedule itself. *)
+          let obs = make_obs ~sample trace_out metrics_out csv_out in
+          (match (obs, res.Ch.witnesses) with
+          | Some o, (w : Ch.witness) :: _ ->
+              let gc =
+                List.find
+                  (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph)
+                  graphs
+              in
+              let g = gc.Runtime.Campaign.build ~seed:cfg.Ch.seed in
+              let faults, vfaults = Ch.compile w.Ch.w_faults in
+              let (module R) =
+                if k = 1 then (module P : Runtime.Protocol_intf.PROTOCOL)
+                else Anonet.Resilient.redundant ~k (module P)
+              in
+              let module En = Runtime.Engine.Make (R) in
+              ignore
+                (En.run
+                   ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
+                   ~faults ~vfaults ?supervisor
+                   ~step_limit:cfg.Ch.step_limit ~obs:o g)
+          | _ -> ());
+          flush_obs
+            ~meta:
+              [
+                ("command", "chaos");
+                ("protocol", protocol);
+                ("witnesses", string_of_int (List.length res.Ch.witnesses));
+              ]
+            obs trace_out metrics_out csv_out;
+          `Ok
+            (if res.Ch.unsound > 0 then 2
+             else if res.Ch.starved > 0 then 1
+             else 0)
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Search the joint edge-kill x vertex-crash fault space for minimal \
+          fault sets that break broadcast soundness or liveness: seeded \
+          random generation, delta-debugging shrink, canonical dedup, and a \
+          replayable delivery schedule per witness.  Exits 2 on a soundness \
+          witness, 1 on starvation only, 0 when clean.")
+    Term.(
+      ret
+        (const run $ protocol_t $ redundancy_t $ supervise_t $ budget_t
+       $ max_faults_t $ seed_t $ p_edge_t $ recoveries_t $ domains_t
+       $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+
 let main_cmd =
   let doc =
     "Distributed broadcasting and mapping protocols in directed anonymous \
@@ -815,6 +999,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
     [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd;
-      check_cmd; obs_cmd ]
+      check_cmd; obs_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -26,6 +26,7 @@ module Mapping = Mapping
 module Undirected_labeling = Undirected_labeling
 module Lower_bounds = Lower_bounds
 module Redundant = Redundant
+module Resilient = Resilient
 module Check_suite = Check_suite
 
 module Tree_broadcast = Scalar_broadcast.Make (Commodity.Pow2_dyadic)

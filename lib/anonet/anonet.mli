@@ -38,6 +38,11 @@ module Redundant = Redundant
 (** k-repetition resilience wrapper for any protocol — the feedback-free
     defense against lossy channels (see {!Redundant.Make}). *)
 
+module Resilient = Resilient
+(** Self-healing stacks: {!Redundant} composed with {!Runtime.Supervisor},
+    adaptive escalation of the repetition factor, and the chaos-search
+    runners/graphs the [anonet chaos] CLI and the E17 bench consume. *)
+
 module Check_suite = Check_suite
 (** The model-checking suite for [anonet check] / [bench -- check]: every
     protocol on every small family it must be correct on, plus the

@@ -115,3 +115,27 @@ module Sabotaged = Scalar_broadcast.Make (Sabotaged_commodity)
 
 let sabotaged () =
   make (module Sabotaged) ~family:"full-tree:1x2" (F.full_tree ~height:1 ~degree:2)
+
+(* {1 Chaos controls} *)
+
+(* The two ends of the crash-resilience spectrum, packaged for tests, CI
+   smoke and [bench -- chaos].  The negative control is bare flooding under
+   crash-restart amnesia: an amnesiac vertex forgets it was reached, its
+   neighbors never resend, and the chaos search must find (and shrink to
+   <= 4 atoms) a starvation witness.  The supervised control is the
+   full stack — Redundant(3) + checkpointing supervisor — which the same
+   search must never catch falsely terminating. *)
+
+let chaos_negative ?(budget = 60) ?(seed = 11) () =
+  Runtime.Chaos.run
+    (Runtime.Chaos.config ~budget ~seed
+       ~recoveries:[ Runtime.Vfaults.Amnesia ] ~p_edge:0.0 ())
+    ~runners:[ Resilient.chaos_runner ~k:1 (module Flood) ]
+    ~graphs:(Resilient.chaos_graphs ())
+
+let chaos_supervised ?(budget = 60) ?(seed = 11) () =
+  Runtime.Chaos.run
+    (Runtime.Chaos.config ~budget ~seed
+       ~supervisor:Runtime.Supervisor.default ())
+    ~runners:[ Resilient.chaos_runner ~k:3 (module General_broadcast) ]
+    ~graphs:(Resilient.chaos_graphs ())

@@ -49,3 +49,17 @@ val sabotaged : unit -> case
     ships the whole value on the first out-edge.  Conservation holds but a
     sibling subtree starves, so exploring it must produce a
     [False_termination] counterexample. *)
+
+val chaos_negative : ?budget:int -> ?seed:int -> unit -> Runtime.Chaos.result
+(** Chaos negative control: bare [Flood] under crash-restart-amnesia
+    vertex faults over the default {!Resilient.chaos_graphs} suite.  An
+    amnesiac vertex forgets it was reached and flooding never resends, so
+    the search must find — and shrink to at most 4 atoms — a replayable
+    starvation witness.  Defaults: [budget = 60], [seed = 11]. *)
+
+val chaos_supervised : ?budget:int -> ?seed:int -> unit -> Runtime.Chaos.result
+(** The positive control: [Redundant(3)]-wrapped general broadcast under a
+    default {!Runtime.Supervisor} (checkpoint cadence 1), searched over the
+    full joint edge-and-vertex fault space.  Must report zero [Unsound]
+    witnesses — starvation is permitted (and expected: a crash-stop can
+    make coverage impossible), false termination is not. *)

@@ -80,7 +80,7 @@ struct
     if
       checksum (Bitio.Bit_writer.to_string inner) (Bitio.Bit_writer.length inner)
       <> c
-    then failwith (name ^ ": checksum mismatch");
+    then raise Runtime.Protocol_intf.Checksum_reject;
     msg
 
   let equal_message = P.equal_message

@@ -22,11 +22,16 @@
       from a detected cycle) no longer apply;
     - single-bit {e corruption} is detected: the wrapper's codec prefixes
       the base encoding with a 16-bit checksum over the encoded bits and
-      their length, so a flipped wire bit makes [decode] fail instead of
-      silently yielding a different valid message (a corrupted commodity
-      amount can otherwise inflate the terminal's flow past 1 and falsely
-      terminate the bare protocol).  The engine degrades the failed decode
-      into a drop, which the [k] repetitions then heal.
+      their length, so a flipped wire bit makes [decode] raise
+      {!Runtime.Protocol_intf.Checksum_reject} instead of silently
+      yielding a different valid message (a corrupted commodity amount can
+      otherwise inflate the terminal's flow past 1 and falsely terminate
+      the bare protocol).  The engines count each detected rejection in
+      the report's [fault_stats.checksum_rejects] — distinguishing caught
+      corruption from accidental garbling — and degrade it into a drop,
+      which the [k] repetitions then heal.  A flip the checksum {e fails}
+      to catch (a collision) still surfaces: it is delivered and counted
+      under [corrupted_deliveries] rather than accepted invisibly.
 
     The codec guard assumes the base codec is canonical — [encode (decode
     bits) = bits] — which {!Runtime.Protocol_intf.verify_codec} checks for

@@ -1,0 +1,8 @@
+let run ?domains cfg ~runners ~graphs =
+  (* Only the generation-phase evaluations fan out; shrinking and witness
+     recording stay sequential in the caller, so the result (and its JSON)
+     is identical to the sequential search — trial verdicts don't depend on
+     evaluation order, and the fault streams are keyed by (seed, trial). *)
+  Runtime.Chaos.run
+    ~map:(fun f sets -> Pool.run ?domains (Array.length sets) (fun i -> f sets.(i)))
+    cfg ~runners ~graphs

@@ -1,0 +1,17 @@
+(** {!Runtime.Chaos} searches with the trial evaluations spread over a
+    {!Pool}.
+
+    Each of the [budget] generated fault sets is an independent engine run,
+    so the evaluation phase is embarrassingly parallel; verdicts come back
+    in trial order, and the subsequent shrink / dedup / witness phase runs
+    sequentially in the caller — the merged {!Runtime.Chaos.result} (and
+    its JSON) is byte-identical to the sequential search's. *)
+
+val run :
+  ?domains:int ->
+  Runtime.Chaos.config ->
+  runners:Runtime.Chaos.runner list ->
+  graphs:Runtime.Campaign.graph_case list ->
+  Runtime.Chaos.result
+(** Same contract as {!Runtime.Chaos.run}; [domains] defaults to
+    [Domain.recommended_domain_count ()]. *)

@@ -11,5 +11,6 @@ module Mailbox = Mailbox
 module Pool = Pool
 module Engine = Shard_engine
 module Campaign = Campaign_par
+module Chaos = Chaos_par
 
 type sharding = Shard_engine.sharding

@@ -32,6 +32,9 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     mutable max_in_flight : int;
     mutable corrupted_deliveries : int;
     mutable garbled_drops : int;
+    mutable checksum_rejects : int;
+    mutable lost_state_bits : int;
+    mutable checkpoints : int;
     mutable leftover : flight list;
   }
 
@@ -43,6 +46,9 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       max_in_flight = 0;
       corrupted_deliveries = 0;
       garbled_drops = 0;
+      checksum_rejects = 0;
+      lost_state_bits = 0;
+      checkpoints = 0;
       leftover = [];
     }
 
@@ -54,7 +60,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     Bytes.to_string bytes
 
   let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
-      ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none) ?obs g =
+      ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none)
+      ?(vfaults = Runtime.Vfaults.none) ?obs g =
     let domains =
       match domains with
       | Some d when d < 1 -> invalid_arg "Shard_engine.run: domains < 1"
@@ -88,6 +95,11 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
             ~in_degree:(Digraph.in_degree g v))
     in
     let visited = Array.make n false in
+    (* Per-vertex checkpoints (cadence 1: snapshot after every completed
+       receive), single-writer like [states] — entry [v] is touched only by
+       [owner.(v)]'s domain. *)
+    let ckpt = Array.copy states in
+    let ckpt_visited = Array.make n false in
     let edge_messages = Array.make (Stdlib.max ne 1) 0 in
     let edge_bits = Array.make (Stdlib.max ne 1) 0 in
     let mailboxes = Array.init domains (fun _ -> Mailbox.create ()) in
@@ -95,6 +107,18 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     let faulty = not (Runtime.Faults.is_none faults) in
     let instances =
       Array.init domains (fun _ -> Runtime.Faults.Instance.start faults)
+    in
+    (* One vertex-fault instance per shard: all deliveries addressed to a
+       vertex happen in its owner's domain, so each vertex's PRNG stream
+       and up/down clock live in exactly one instance — the sharded fates
+       match the sequential engine's delivery-for-delivery. *)
+    let vfaulty = not (Runtime.Vfaults.is_none vfaults) in
+    let vinstances =
+      Array.init domains (fun _ -> Runtime.Vfaults.Instance.start vfaults)
+    in
+    let initial_of v =
+      P.initial_state ~out_degree:(Digraph.out_degree g v)
+        ~in_degree:(Digraph.in_degree g v)
     in
     let seen_tbls : (string, unit) Hashtbl.t array =
       Array.init domains (fun _ -> Hashtbl.create 64)
@@ -125,6 +149,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       let st = stats.(d) in
       let mb = mailboxes.(d) in
       let fi = instances.(d) in
+      let vfi = vinstances.(d) in
       let seen = seen_tbls.(d) in
       (* Copies held back by a delay fault, released against this shard's
          own delivery clock — a legal schedule, like everything else here. *)
@@ -201,6 +226,31 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
           edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
           if bits > st.max_message_bits then st.max_message_bits <- bits;
+          (* Vertex fate first, as in the sequential engine: a delivery a
+             down/stuttering/crashing vertex swallows is charged to the
+             edge but never decoded. *)
+          let vfate =
+            if vfaulty then Runtime.Vfaults.Instance.on_deliver vfi ~vertex:f.tv
+            else Runtime.Vfaults.Deliver
+          in
+          (match vfate with
+          | Runtime.Vfaults.Stutter | Runtime.Vfaults.Down_drop -> ()
+          | Runtime.Vfaults.Crash (recovery, _) -> (
+              let old_bits = P.state_bits states.(f.tv) in
+              match recovery with
+              | Runtime.Vfaults.Stop -> ()
+              | Runtime.Vfaults.Amnesia ->
+                  st.lost_state_bits <- st.lost_state_bits + old_bits;
+                  states.(f.tv) <- initial_of f.tv;
+                  visited.(f.tv) <- false
+              | Runtime.Vfaults.Restore ->
+                  let restored = ckpt.(f.tv) in
+                  st.lost_state_bits <-
+                    st.lost_state_bits
+                    + Stdlib.max 0 (old_bits - P.state_bits restored);
+                  states.(f.tv) <- restored;
+                  visited.(f.tv) <- ckpt_visited.(f.tv))
+          | Runtime.Vfaults.Deliver -> (
           let delivered =
             if not f.corrupt then Some f.msg
             else
@@ -218,12 +268,15 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
                     if not (P.equal_message decoded f.msg) then
                       st.corrupted_deliveries <- st.corrupted_deliveries + 1;
                     Some decoded
+                | exception Runtime.Protocol_intf.Checksum_reject ->
+                    st.checksum_rejects <- st.checksum_rejects + 1;
+                    None
                 | exception _ ->
                     st.garbled_drops <- st.garbled_drops + 1;
                     None
               end
           in
-          (match delivered with
+          match delivered with
           | None -> ()
           | Some msg ->
               visited.(f.tv) <- true;
@@ -235,9 +288,14 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
               in
               states.(f.tv) <- state';
               note_state state';
+              if vfaulty then begin
+                ckpt.(f.tv) <- state';
+                ckpt_visited.(f.tv) <- true;
+                st.checkpoints <- st.checkpoints + 1
+              end;
               List.iter (fun (j, m) -> send fi st f.tv j m) sends;
               if f.tv = t && P.accepting state' then
-                ignore (Atomic.compare_and_set status st_running st_terminated));
+                ignore (Atomic.compare_and_set status st_running st_terminated)));
           (* Only now give up the in-flight count: children are already
              counted, so the counter can never dip to 0 with work pending. *)
           ignore (Atomic.fetch_and_add in_flight (-1))
@@ -358,6 +416,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           E.no_faults_stats with
           corrupted_deliveries = sum (fun st -> st.corrupted_deliveries);
           garbled_drops = sum (fun st -> st.garbled_drops);
+          checksum_rejects = sum (fun st -> st.checksum_rejects);
         }
       else
         {
@@ -375,6 +434,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
               0 instances;
           corrupted_deliveries = sum (fun st -> st.corrupted_deliveries);
           garbled_drops = sum (fun st -> st.garbled_drops);
+          checksum_rejects = sum (fun st -> st.checksum_rejects);
           dead_edges =
             List.sort_uniq compare
               (Array.fold_left
@@ -382,6 +442,26 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
                    List.rev_append (Runtime.Faults.Instance.dead_edges fi) acc)
                  [] instances);
         }
+    in
+    let vsum f =
+      Array.fold_left (fun acc vi -> acc + f vi) 0 vinstances
+    in
+    let vfault_stats =
+      {
+        E.crashes = vsum Runtime.Vfaults.Instance.crashes;
+        restarts = vsum Runtime.Vfaults.Instance.restarts;
+        lost_state_bits = sum (fun st -> st.lost_state_bits);
+        down_drops = vsum Runtime.Vfaults.Instance.down_drops;
+        stuttered = vsum Runtime.Vfaults.Instance.stuttered;
+        stopped_vertices =
+          List.sort_uniq compare
+            (Array.fold_left
+               (fun acc vi ->
+                 List.rev_append (Runtime.Vfaults.Instance.stopped vi) acc)
+               [] vinstances);
+        checkpoints = sum (fun st -> st.checkpoints);
+        replayed = 0;
+      }
     in
     let report =
       {
@@ -399,11 +479,13 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         visited;
         states;
         fault_stats;
+        vfault_stats;
       }
     in
     { report; leftover = List.map (fun f -> f.msg) leftover_flights }
 
-  let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?obs g =
-    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?obs g)
+  let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?obs g =
+    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?obs
+       g)
       .report
 end

@@ -29,7 +29,18 @@
     instance and reproduces the sequential per-edge stream; only
     delivery-time [corrupt_bit] draws interleave differently (so with
     [corrupt = 0] the merged fault counters match the sequential run
-    exactly — see the parity test). *)
+    exactly — see the parity test).
+
+    {!Runtime.Vfaults} plans are honored the same way, with per-shard
+    instances: all deliveries addressed to a vertex happen in its owner's
+    shard, so each vertex's fault stream and downtime clock (measured in
+    deliveries {e to that vertex}) live in exactly one instance, and
+    scripted crash fates fire at the same per-vertex delivery counts as in
+    the sequential engine.  Checkpointing for [Restore] recovery runs at
+    the fixed sound cadence of 1 (snapshot after every completed receive);
+    the {!Runtime.Supervisor} retransmission layer is sequential-engine
+    only — it needs the global quiescence probe the shards only pass at
+    shutdown — so [vfault_stats.replayed] is always 0 here. *)
 
 type sharding =
   [ `Round_robin  (** [owner v = v mod domains]. *)
@@ -53,6 +64,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?payload_bits:int ->
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
+    ?vfaults:Runtime.Vfaults.t ->
     ?obs:Obs.t ->
     Digraph.t ->
     full
@@ -76,6 +88,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?payload_bits:int ->
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
+    ?vfaults:Runtime.Vfaults.t ->
     ?obs:Obs.t ->
     Digraph.t ->
     P.state Runtime.Engine.report

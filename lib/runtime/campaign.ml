@@ -191,6 +191,16 @@ let run ?(step_limit = 200_000) ?(max_shrinks = 8) ~runners ~graphs ~grid ~seeds
   let violations = ref [] in
   let starvations = ref [] in
   let shrinks_left = ref max_shrinks in
+  (* Shrink results memoized by the canonical fault-plan key: different
+     seeds of one (runner, graph, point) cell usually collapse onto the
+     same shrunk plan, and re-deriving it would burn the shrink budget on
+     repeats instead of fresh failures. *)
+  let shrink_memo : (string, fault_point * int) Hashtbl.t = Hashtbl.create 8 in
+  let shrink_key r gc (pt : fault_point) =
+    let p = pt.fault_plan in
+    Printf.sprintf "%s|%s|%g,%g,%d,%g,%g" r.r_name gc.g_name p.Faults.drop
+      p.Faults.duplicate p.Faults.max_delay p.Faults.corrupt p.Faults.kill
+  in
   List.iter
     (fun r ->
       List.iter
@@ -215,11 +225,19 @@ let run ?(step_limit = 200_000) ?(max_shrinks = 8) ~runners ~graphs ~grid ~seeds
                       | unreached ->
                           incr false_terminated;
                           let shrunk_point, shrunk_seed =
-                            if !shrinks_left > 0 then begin
-                              decr shrinks_left;
-                              shrink ~step_limit r gc pt seed seeds
-                            end
-                            else (pt, seed)
+                            let key = shrink_key r gc pt in
+                            match Hashtbl.find_opt shrink_memo key with
+                            | Some cached -> cached
+                            | None ->
+                                if !shrinks_left > 0 then begin
+                                  decr shrinks_left;
+                                  let res =
+                                    shrink ~step_limit r gc pt seed seeds
+                                  in
+                                  Hashtbl.add shrink_memo key res;
+                                  res
+                                end
+                                else (pt, seed)
                           in
                           violations :=
                             {

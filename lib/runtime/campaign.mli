@@ -116,7 +116,10 @@ val run :
   unit ->
   result
 (** Sweep everything.  Defaults: [step_limit = 200_000]; at most
-    [max_shrinks = 8] violations are shrunk (the rest keep their original
+    [max_shrinks = 8] {e distinct} failures are shrunk: shrink results are
+    memoized by the canonical (runner, graph, fault-plan) key, so the many
+    seeds of one failing cell share a single shrink run instead of burning
+    the budget on identical witnesses (the rest keep their original
     witness).  Fault seeds are taken verbatim from [seeds], so a reported
     [(point, seed)] pair replays with
     [Faults.uniform point.fault_plan ~seed]. *)

@@ -1,0 +1,426 @@
+type fault =
+  | Kill_edge of int
+  | Crash_vertex of Vfaults.crash_event
+
+let describe_fault = function
+  | Kill_edge e -> Printf.sprintf "kill-edge:%d" e
+  | Crash_vertex c ->
+      Printf.sprintf "crash:%d@%d/%d/%s" c.Vfaults.cv c.at c.downtime
+        (Vfaults.describe_recovery c.c_recovery)
+
+let canonical_key fs =
+  String.concat ";" (List.sort compare (List.map describe_fault fs))
+
+let compile fs =
+  let killed =
+    List.filter_map (function Kill_edge e -> Some e | _ -> None) fs
+  in
+  let crashes =
+    List.filter_map (function Crash_vertex c -> Some c | _ -> None) fs
+  in
+  let faults =
+    if killed = [] then Faults.none
+    else
+      Faults.per_edge
+        (fun e ->
+          if List.mem e killed then Faults.plan ~kill:1.0 ()
+          else Faults.reliable)
+        ~seed:0
+  in
+  (faults, Vfaults.script crashes)
+
+(* The degraded coverage obligation: reachable from [s] through live edges
+   and vertices that never crash-stop.  A crash-stopped vertex is excused
+   (it may die before completing a single receive, and nothing can heal a
+   permanently deaf process) and conservatively assumed never to forward —
+   an under-approximation of what a run might still cover, so [required]
+   vertices are ones {e every} correct execution must reach. *)
+let required g fs =
+  let n = Digraph.n_vertices g in
+  let killed =
+    List.filter_map (function Kill_edge e -> Some e | _ -> None) fs
+  in
+  let stops = Array.make n false in
+  List.iter
+    (function
+      | Crash_vertex c when c.Vfaults.c_recovery = Vfaults.Stop ->
+          if c.cv >= 0 && c.cv < n then stops.(c.cv) <- true
+      | _ -> ())
+    fs;
+  let req = Array.make n false in
+  let s = Digraph.source g in
+  let queue = Queue.create () in
+  req.(s) <- true;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    if not stops.(u) || u = s then
+      for j = 0 to Digraph.out_degree g u - 1 do
+        let e = Digraph.edge_index g u j in
+        if not (List.mem e killed) then begin
+          let v, _ = Digraph.out_port_target_port g u j in
+          if not req.(v) then begin
+            req.(v) <- true;
+            Queue.add v queue
+          end
+        end
+      done
+  done;
+  (* Excuse crash-stopped vertices from the obligation itself. *)
+  for v = 0 to n - 1 do
+    if stops.(v) then req.(v) <- false
+  done;
+  req
+
+(* {1 Runners} *)
+
+type summary = {
+  outcome : Engine.outcome;
+  visited : bool array;
+  deliveries : int;
+  total_bits : int;
+  fault_stats : Engine.fault_stats;
+  vfault_stats : Engine.vertex_fault_stats;
+  schedule : int list;
+}
+
+type runner = {
+  r_name : string;
+  run :
+    scheduler:Scheduler.t ->
+    record:bool ->
+    faults:Faults.t ->
+    vfaults:Vfaults.t ->
+    supervisor:Supervisor.config option ->
+    step_limit:int ->
+    Digraph.t ->
+    summary;
+}
+
+module Of_protocol (P : Protocol_intf.PROTOCOL) = struct
+  module E = Engine.Make (P)
+
+  let runner ?name () =
+    {
+      r_name = (match name with Some n -> n | None -> P.name);
+      run =
+        (fun ~scheduler ~record ~faults ~vfaults ~supervisor ~step_limit g ->
+          let popped = ref [] in
+          let on_pop = if record then Some (fun s -> popped := s :: !popped) else None in
+          let r =
+            E.run ~scheduler ~faults ~vfaults ?supervisor ~step_limit ?on_pop g
+          in
+          {
+            outcome = r.outcome;
+            visited = r.visited;
+            deliveries = r.deliveries;
+            total_bits = r.total_bits;
+            fault_stats = r.fault_stats;
+            vfault_stats = r.vfault_stats;
+            schedule = List.rev !popped;
+          });
+    }
+end
+
+(* {1 Search} *)
+
+type config = {
+  budget : int;
+  max_faults : int;
+  seed : int;
+  p_edge : float;
+  recoveries : Vfaults.recovery list;
+  max_at : int;
+  max_downtime : int;
+  step_limit : int;
+  supervisor : Supervisor.config option;
+}
+
+let config ?(budget = 500) ?(max_faults = 4) ?(seed = 0) ?(p_edge = 0.5)
+    ?(recoveries = [ Vfaults.Stop; Vfaults.Amnesia; Vfaults.Restore ])
+    ?(max_at = 6) ?(max_downtime = 4) ?(step_limit = 200_000) ?supervisor () =
+  if budget < 1 then invalid_arg "Chaos.config: budget must be >= 1";
+  if max_faults < 1 then invalid_arg "Chaos.config: max_faults must be >= 1";
+  if recoveries = [] then invalid_arg "Chaos.config: recoveries must be non-empty";
+  if max_at < 1 then invalid_arg "Chaos.config: max_at must be >= 1";
+  if max_downtime < 1 then invalid_arg "Chaos.config: max_downtime must be >= 1";
+  {
+    budget;
+    max_faults;
+    seed;
+    p_edge;
+    recoveries;
+    max_at;
+    max_downtime;
+    step_limit;
+    supervisor;
+  }
+
+type kind = Unsound | Starved
+
+let describe_kind = function Unsound -> "unsound" | Starved -> "starved"
+
+type witness = {
+  w_runner : string;
+  w_graph : string;
+  w_kind : kind;
+  w_trial : int;
+  w_original_size : int;
+  w_faults : fault list;
+  w_missing : int list;
+  w_outcome : Engine.outcome;
+  w_deliveries : int;
+  w_total_bits : int;
+  w_schedule : int list;
+}
+
+type result = {
+  trials_run : int;
+  hits : int;
+  duplicates : int;
+  witnesses : witness list;
+  unsound : int;
+  starved : int;
+}
+
+(* One atom, drawn from the trial's PRNG stream.  The source is immortal by
+   construction (it never receives), so it is never a crash target. *)
+let gen_fault cfg prng g =
+  let ne = Digraph.n_edges g in
+  let n = Digraph.n_vertices g in
+  let s = Digraph.source g in
+  if (ne > 0 && Prng.chance prng cfg.p_edge) || n <= 1 then
+    Kill_edge (Prng.int prng ne)
+  else begin
+    let v = ref (Prng.int prng n) in
+    while !v = s do
+      v := Prng.int prng n
+    done;
+    Crash_vertex
+      (Vfaults.event ~vertex:!v ~at:(1 + Prng.int prng cfg.max_at)
+         ~downtime:(1 + Prng.int prng cfg.max_downtime)
+         ~recovery:(Prng.pick_list prng cfg.recoveries)
+         ())
+  end
+
+let trials cfg ~graph =
+  Array.init cfg.budget (fun i ->
+      (* A stream per trial, split off (seed, trial), so evaluating trials
+         in parallel or in any order draws identical fault sets. *)
+      let prng = Prng.create (cfg.seed lxor ((i + 1) * 0x9E3779B9)) in
+      let size = 1 + Prng.int prng cfg.max_faults in
+      List.init size (fun _ -> gen_fault cfg prng graph))
+
+let eval_trial cfg r ~graph fs =
+  let faults, vfaults = compile fs in
+  let s =
+    r.run ~scheduler:Scheduler.Fifo ~record:false ~faults ~vfaults
+      ~supervisor:cfg.supervisor ~step_limit:cfg.step_limit graph
+  in
+  let req = required graph fs in
+  let missing =
+    List.filter
+      (fun v -> req.(v) && not s.visited.(v))
+      (Digraph.vertices graph)
+  in
+  if missing = [] then None
+  else Some ((if s.outcome = Engine.Terminated then Unsound else Starved), missing)
+
+(* Delta-debugging shrink preserving the violation kind: bisection passes
+   (drop either half while it still fails) to a fixpoint, then single-atom
+   removal to a fixpoint, then per-crash parameter lowering (downtime to 1,
+   crash position toward 1) — each accepted only if the reduced set still
+   produces the same kind. *)
+let shrink cfg r ~graph kind fs =
+  let fails fs =
+    match eval_trial cfg r ~graph fs with
+    | Some (k, _) -> k = kind
+    | None -> false
+  in
+  let rec halve fs =
+    let len = List.length fs in
+    if len <= 1 then fs
+    else begin
+      let half = len / 2 in
+      let front = List.filteri (fun i _ -> i < half) fs in
+      let back = List.filteri (fun i _ -> i >= half) fs in
+      if fails front then halve front
+      else if fails back then halve back
+      else fs
+    end
+  in
+  let rec drop_one fs =
+    let len = List.length fs in
+    let rec try_at i =
+      if i >= len then fs
+      else begin
+        let without = List.filteri (fun j _ -> j <> i) fs in
+        if fails without then drop_one without else try_at (i + 1)
+      end
+    in
+    if len <= 1 then fs else try_at 0
+  in
+  let lower fs =
+    List.mapi
+      (fun i f ->
+        match f with
+        | Kill_edge _ -> f
+        | Crash_vertex c ->
+            let try_with c' =
+              let fs' = List.mapi (fun j f' -> if j = i then Crash_vertex c' else f') fs in
+              if fails fs' then Some c' else None
+            in
+            let c =
+              if c.Vfaults.downtime > 1 then
+                match try_with { c with Vfaults.downtime = 1 } with
+                | Some c' -> c'
+                | None -> c
+              else c
+            in
+            let c =
+              if c.Vfaults.at > 1 then
+                match try_with { c with Vfaults.at = 1 } with
+                | Some c' -> c'
+                | None -> c
+              else c
+            in
+            Crash_vertex c)
+      fs
+  in
+  lower (drop_one (halve fs))
+
+let run ?(map = fun f a -> Array.map f a) cfg ~runners ~graphs =
+  let trials_run = ref 0 in
+  let hits = ref 0 in
+  let duplicates = ref 0 in
+  let witnesses = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (gc : Campaign.graph_case) ->
+          let graph = gc.Campaign.build ~seed:cfg.seed in
+          let sets = trials cfg ~graph in
+          let verdicts = map (eval_trial cfg r ~graph) sets in
+          trials_run := !trials_run + Array.length sets;
+          Array.iteri
+            (fun i verdict ->
+              match verdict with
+              | None -> ()
+              | Some (kind, _missing) -> (
+                  incr hits;
+                  let shrunk = shrink cfg r ~graph kind sets.(i) in
+                  (* Dedup by the canonical key of the {e shrunk} set: many
+                     random supersets collapse onto one minimal core, and
+                     re-witnessing it would just repeat the replay run. *)
+                  let key =
+                    r.r_name ^ "|" ^ gc.Campaign.g_name ^ "|"
+                    ^ describe_kind kind ^ "|" ^ canonical_key shrunk
+                  in
+                  if Hashtbl.mem seen key then incr duplicates
+                  else begin
+                    Hashtbl.add seen key ();
+                    let faults, vfaults = compile shrunk in
+                    let s =
+                      r.run ~scheduler:Scheduler.Fifo ~record:true ~faults
+                        ~vfaults ~supervisor:cfg.supervisor
+                        ~step_limit:cfg.step_limit graph
+                    in
+                    let req = required graph shrunk in
+                    let missing =
+                      List.filter
+                        (fun v -> req.(v) && not s.visited.(v))
+                        (Digraph.vertices graph)
+                    in
+                    witnesses :=
+                      {
+                        w_runner = r.r_name;
+                        w_graph = gc.Campaign.g_name;
+                        w_kind = kind;
+                        w_trial = i;
+                        w_original_size = List.length sets.(i);
+                        w_faults = shrunk;
+                        w_missing = missing;
+                        w_outcome = s.outcome;
+                        w_deliveries = s.deliveries;
+                        w_total_bits = s.total_bits;
+                        w_schedule = s.schedule;
+                      }
+                      :: !witnesses
+                  end))
+            verdicts)
+        graphs)
+    runners;
+  let witnesses = List.rev !witnesses in
+  {
+    trials_run = !trials_run;
+    hits = !hits;
+    duplicates = !duplicates;
+    witnesses;
+    unsound = List.length (List.filter (fun w -> w.w_kind = Unsound) witnesses);
+    starved = List.length (List.filter (fun w -> w.w_kind = Starved) witnesses);
+  }
+
+let replay cfg r (gc : Campaign.graph_case) w =
+  let graph = gc.Campaign.build ~seed:cfg.seed in
+  let faults, vfaults = compile w.w_faults in
+  r.run
+    ~scheduler:(Scheduler.Replay w.w_schedule)
+    ~record:false ~faults ~vfaults ~supervisor:cfg.supervisor
+    ~step_limit:cfg.step_limit graph
+
+let confirms w (s : summary) =
+  let missing_of visited =
+    (* The witness's graph is not at hand here; compare against the
+       recorded missing set by re-deriving it from the replay's visited
+       flags and the witness's own obligation. *)
+    List.filter (fun v -> not visited.(v)) w.w_missing
+  in
+  s.outcome = w.w_outcome
+  && s.deliveries = w.w_deliveries
+  && s.total_bits = w.w_total_bits
+  && missing_of s.visited = w.w_missing
+
+(* {1 JSON} *)
+
+let buf_fault b f =
+  match f with
+  | Kill_edge e ->
+      Buffer.add_string b (Printf.sprintf "{\"kind\":\"kill_edge\",\"edge\":%d}" e)
+  | Crash_vertex c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"kind\":\"crash\",\"vertex\":%d,\"at\":%d,\"downtime\":%d,\"recovery\":\"%s\"}"
+           c.Vfaults.cv c.at c.downtime
+           (Vfaults.describe_recovery c.c_recovery))
+
+let buf_witness b w =
+  Buffer.add_string b "{\"runner\":";
+  Json.buf_string b w.w_runner;
+  Buffer.add_string b ",\"graph\":";
+  Json.buf_string b w.w_graph;
+  Buffer.add_string b
+    (Printf.sprintf ",\"kind\":\"%s\",\"trial\":%d,\"original_size\":%d,\"faults\":"
+       (describe_kind w.w_kind) w.w_trial w.w_original_size);
+  Json.buf_list b buf_fault w.w_faults;
+  Buffer.add_string b ",\"missing\":";
+  Json.buf_int_list b w.w_missing;
+  Buffer.add_string b
+    (Printf.sprintf ",\"outcome\":\"%s\",\"deliveries\":%d,\"total_bits\":%d,\"schedule\":"
+       (match w.w_outcome with
+       | Engine.Terminated -> "terminated"
+       | Engine.Quiescent -> "quiescent"
+       | Engine.Step_limit -> "step_limit")
+       w.w_deliveries w.w_total_bits);
+  Json.buf_int_list b w.w_schedule;
+  Buffer.add_char b '}'
+
+let to_json res =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"trials\":%d,\"hits\":%d,\"duplicates\":%d,\"unsound\":%d,\"starved\":%d,\"witnesses\":"
+       res.trials_run res.hits res.duplicates res.unsound res.starved);
+  Json.buf_list b buf_witness res.witnesses;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,169 @@
+(** Joint edge-and-vertex fault-space search ("chaos campaigns").
+
+    {!Campaign} sweeps a fixed grid of {e rates}; this module {e searches}
+    the space of {e discrete} fault sets — "kill this edge, crash that
+    vertex at its 3rd delivery" — for minimal combinations that break a
+    protocol's broadcast guarantees:
+
+    - {e soundness} ([Unsound]): the terminal's stopping predicate fired
+      while some required vertex was never reached — a false positive of
+      the paper's linear-cut termination machinery;
+    - {e liveness} ([Starved]): the run went quiet (or hit the step limit)
+      with required vertices unreached.
+
+    "Required" degrades gracefully with the injected faults: a vertex is
+    required iff it is reachable from [s] through live edges and
+    non-crash-stopped vertices — crash-stopped vertices are excused (they
+    cannot complete a receive) and do not forward.  This is exactly the
+    partial-coverage contract of the {!Supervisor} layer.
+
+    The search is seeded random generation over fault sets of bounded size,
+    followed by greedy-bisection shrinking of every hit (delta-debugging:
+    halves first, then single atoms, then parameter lowering) preserving
+    the violation kind, canonical-key deduplication of the shrunk sets, and
+    a replayable witness per surviving set: the exact delivery schedule of
+    the violating run, recorded seq-by-seq, re-runnable through
+    {!Scheduler.Replay} for a byte-identical report.
+
+    Everything is deterministic from [config.seed].  The per-trial
+    evaluation is exposed ({!trials} / {!eval_trial}) so {!Par}[.Chaos] can
+    fan the generation phase over a domain pool without this module
+    depending on the multicore layer. *)
+
+type fault =
+  | Kill_edge of int  (** Permanently kill a dense edge index. *)
+  | Crash_vertex of Vfaults.crash_event
+
+val describe_fault : fault -> string
+(** Stable, canonical rendering; used for the dedup key and JSON. *)
+
+val canonical_key : fault list -> string
+(** Order-insensitive canonical key of a fault set. *)
+
+val compile : fault list -> Faults.t * Vfaults.t
+(** The engine-level fault specifications a fault set denotes: kills become
+    per-edge [kill = 1.0] plans, crashes become a {!Vfaults.script}. *)
+
+val required : Digraph.t -> fault list -> bool array
+(** The degraded coverage obligation described above. *)
+
+(** {1 Runners} *)
+
+type summary = {
+  outcome : Engine.outcome;
+  visited : bool array;
+  deliveries : int;
+  total_bits : int;
+  fault_stats : Engine.fault_stats;
+  vfault_stats : Engine.vertex_fault_stats;
+  schedule : int list;
+      (** Consumed-copy seq numbers in order, when recorded; [[]] else. *)
+}
+
+type runner = {
+  r_name : string;
+  run :
+    scheduler:Scheduler.t ->
+    record:bool ->
+    faults:Faults.t ->
+    vfaults:Vfaults.t ->
+    supervisor:Supervisor.config option ->
+    step_limit:int ->
+    Digraph.t ->
+    summary;
+}
+
+module Of_protocol (P : Protocol_intf.PROTOCOL) : sig
+  val runner : ?name:string -> unit -> runner
+end
+
+(** {1 Search} *)
+
+type config = {
+  budget : int;  (** Random fault sets per (runner, graph). *)
+  max_faults : int;  (** Max atoms per generated set. *)
+  seed : int;
+  p_edge : float;  (** Probability an atom is an edge kill. *)
+  recoveries : Vfaults.recovery list;  (** Crash recovery modes drawn. *)
+  max_at : int;  (** Crash positions drawn from [1..max_at]. *)
+  max_downtime : int;
+  step_limit : int;
+  supervisor : Supervisor.config option;
+      (** Armed on every run the search performs, including replays. *)
+}
+
+val config :
+  ?budget:int ->
+  ?max_faults:int ->
+  ?seed:int ->
+  ?p_edge:float ->
+  ?recoveries:Vfaults.recovery list ->
+  ?max_at:int ->
+  ?max_downtime:int ->
+  ?step_limit:int ->
+  ?supervisor:Supervisor.config ->
+  unit ->
+  config
+(** Defaults: budget 500, max_faults 4, seed 0, p_edge 0.5, all three
+    recoveries, max_at 6, max_downtime 4, step_limit 200_000, no
+    supervisor. *)
+
+type kind = Unsound | Starved
+
+val describe_kind : kind -> string
+
+type witness = {
+  w_runner : string;
+  w_graph : string;
+  w_kind : kind;
+  w_trial : int;  (** Trial index that first hit this (pre-shrink). *)
+  w_original_size : int;  (** Atoms in the unshrunk set. *)
+  w_faults : fault list;  (** The shrunk set. *)
+  w_missing : int list;  (** Required-but-unvisited vertices. *)
+  w_outcome : Engine.outcome;
+  w_deliveries : int;
+  w_total_bits : int;
+  w_schedule : int list;  (** Replayable delivery schedule. *)
+}
+
+type result = {
+  trials_run : int;
+  hits : int;  (** Violating trials before shrinking / dedup. *)
+  duplicates : int;  (** Hits whose shrunk set was already witnessed. *)
+  witnesses : witness list;
+  unsound : int;  (** Witnesses of kind [Unsound]. *)
+  starved : int;
+}
+
+val trials : config -> graph:Digraph.t -> fault list array
+(** The [budget] generated fault sets, deterministic from the config seed
+    and the graph shape. *)
+
+val eval_trial :
+  config -> runner -> graph:Digraph.t -> fault list -> (kind * int list) option
+(** Run one fault set; [Some (kind, missing)] iff it violates. *)
+
+val run :
+  ?map:
+    ((fault list -> (kind * int list) option) ->
+    fault list array ->
+    (kind * int list) option array) ->
+  config ->
+  runners:runner list ->
+  graphs:Campaign.graph_case list ->
+  result
+(** Full search: generate, evaluate ([map] lets {!Par}[.Chaos] parallelize
+    this phase; default is sequential [Array.map]), shrink each hit
+    preserving its kind, dedup by {!canonical_key}, and record a replay
+    schedule per witness.  Graphs are built with [seed = config.seed]. *)
+
+val replay :
+  config -> runner -> Campaign.graph_case -> witness -> summary
+(** Re-run a witness through {!Scheduler.Replay} on its recorded schedule
+    (with the same compiled faults and supervisor). *)
+
+val confirms : witness -> summary -> bool
+(** Whether a replayed summary reproduces the witness: same outcome,
+    delivery count, bit total and missing-vertex set. *)
+
+val to_json : result -> string

@@ -6,6 +6,7 @@ type fault_stats = {
   delayed_copies : int;
   corrupted_deliveries : int;
   garbled_drops : int;
+  checksum_rejects : int;
   dead_edges : int list;
 }
 
@@ -16,7 +17,31 @@ let no_faults_stats =
     delayed_copies = 0;
     corrupted_deliveries = 0;
     garbled_drops = 0;
+    checksum_rejects = 0;
     dead_edges = [];
+  }
+
+type vertex_fault_stats = {
+  crashes : int;
+  restarts : int;
+  lost_state_bits : int;
+  down_drops : int;
+  stuttered : int;
+  stopped_vertices : int list;
+  checkpoints : int;
+  replayed : int;
+}
+
+let no_vfaults_stats =
+  {
+    crashes = 0;
+    restarts = 0;
+    lost_state_bits = 0;
+    down_drops = 0;
+    stuttered = 0;
+    stopped_vertices = [];
+    checkpoints = 0;
+    replayed = 0;
   }
 
 type 'state report = {
@@ -34,12 +59,14 @@ type 'state report = {
   visited : bool array;
   states : 'state array;
   fault_stats : fault_stats;
+  vfault_stats : vertex_fault_stats;
 }
 
 exception Codec_mismatch of string
 
 type event = {
   step : int;
+  seq : int;
   from_vertex : Digraph.vertex;
   from_port : int;
   to_vertex : Digraph.vertex;
@@ -62,6 +89,14 @@ type obs_hooks = {
   c_dropped : Obs.Registry.counter;
   c_extra : Obs.Registry.counter;
   c_delayed : Obs.Registry.counter;
+  c_checksum_rejects : Obs.Registry.counter;
+  c_crashes : Obs.Registry.counter;
+  c_restarts : Obs.Registry.counter;
+  c_lost_state_bits : Obs.Registry.counter;
+  c_down_drops : Obs.Registry.counter;
+  c_stuttered : Obs.Registry.counter;
+  c_checkpoints : Obs.Registry.counter;
+  c_replayed : Obs.Registry.counter;
   c_receive_ns : Obs.Registry.counter;
   h_message_bits : Obs.Registry.histogram;
   h_receive_ns : Obs.Registry.histogram;
@@ -84,6 +119,14 @@ let obs_hooks ?(track = 0) (o : Obs.t) =
     c_dropped = Obs.Registry.counter reg "engine.dropped_copies";
     c_extra = Obs.Registry.counter reg "engine.extra_copies";
     c_delayed = Obs.Registry.counter reg "engine.delayed_copies";
+    c_checksum_rejects = Obs.Registry.counter reg "engine.checksum_rejects";
+    c_crashes = Obs.Registry.counter reg "engine.crashes";
+    c_restarts = Obs.Registry.counter reg "engine.restarts";
+    c_lost_state_bits = Obs.Registry.counter reg "engine.lost_state_bits";
+    c_down_drops = Obs.Registry.counter reg "engine.down_drops";
+    c_stuttered = Obs.Registry.counter reg "engine.stuttered";
+    c_checkpoints = Obs.Registry.counter reg "engine.checkpoints";
+    c_replayed = Obs.Registry.counter reg "engine.replayed";
     c_receive_ns = Obs.Registry.counter reg "engine.receive_ns";
     h_message_bits = Obs.Registry.histogram reg "engine.message_bits";
     h_receive_ns = Obs.Registry.histogram reg "engine.receive_ns_hist";
@@ -168,24 +211,26 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         in
         ((fun f -> Binheap.push h (prio f.edge, f.seq) f), pop, fun () -> drain [])
     | Replay order ->
-        (* Deliver exactly the listed seq numbers, in order; a listed seq
-           that is not (or not yet) in flight is skipped — with a faithfully
-           recorded schedule this never happens.  When the list runs out the
-           pool reports empty and the run stops where the schedule left it,
-           even if messages remain in flight. *)
+        (* Deliver exactly the listed seq numbers, in order.  A listed seq
+           that is not yet in flight makes the pool report empty {e without}
+           consuming it: the engine's idle path then releases delay-held
+           copies and fires supervisor retransmissions — the only sources
+           that can still produce it — and retries.  With a faithfully
+           recorded schedule the head always appears; if it never does (an
+           unfaithful schedule) the run stops where the schedule left it. *)
         let pool : (int, flight) Hashtbl.t = Hashtbl.create 32 in
         let remaining = ref order in
         let push f = Hashtbl.replace pool f.seq f in
-        let rec pop () =
+        let pop () =
           match !remaining with
           | [] -> None
           | s :: rest -> (
-              remaining := rest;
               match Hashtbl.find_opt pool s with
               | Some f ->
+                  remaining := rest;
                   Hashtbl.remove pool s;
                   Some f
-              | None -> pop ())
+              | None -> None)
         in
         let drain () =
           let l = Hashtbl.fold (fun _ f acc -> f :: acc) pool [] in
@@ -203,8 +248,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     Bytes.to_string bytes
 
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
-      ?(step_limit = 10_000_000) ?(faults = Faults.none) ?(verify_codec = false)
-      ?obs ?on_deliver ?on_undelivered g =
+      ?(step_limit = 10_000_000) ?(faults = Faults.none)
+      ?(vfaults = Vfaults.none) ?supervisor ?(verify_codec = false) ?obs
+      ?on_deliver ?on_pop ?on_undelivered g =
     let oh = Option.map (fun o -> obs_hooks o) obs in
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
@@ -222,6 +268,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           P.initial_state ~out_degree:(Digraph.out_degree g v)
             ~in_degree:(Digraph.in_degree g v))
     in
+    let initial_of v =
+      P.initial_state ~out_degree:(Digraph.out_degree g v)
+        ~in_degree:(Digraph.in_degree g v)
+    in
     let visited = Array.make n false in
     let edge_messages = Array.make (Stdlib.max ne 1) 0 in
     let edge_bits = Array.make (Stdlib.max ne 1) 0 in
@@ -230,10 +280,29 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let deliveries = ref 0 in
     let corrupted_deliveries = ref 0 in
     let garbled_drops = ref 0 in
+    let checksum_rejects = ref 0 in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     let push, pop, drain = make_pool scheduler in
     let faulty = not (Faults.is_none faults) in
     let fi = Faults.Instance.start faults in
+    let vfaulty = not (Vfaults.is_none vfaults) in
+    let vfi = Vfaults.Instance.start vfaults in
+    let supervised = supervisor <> None in
+    (* Checkpoints: one state snapshot per vertex (initially pi0), plus the
+       visited flag as of the snapshot.  States are immutable values, so
+       the arrays share structure with [states] rather than copying. *)
+    let need_ckpt = vfaulty || supervised in
+    let ckpt = if need_ckpt then Array.copy states else [||] in
+    let ckpt_visited = if need_ckpt then Array.make n false else [||] in
+    let ckpt_cadence =
+      match supervisor with
+      | Some (c : Supervisor.config) -> c.checkpoint_every
+      | None -> 1
+    in
+    let vdeliv = Array.make (if need_ckpt then n else 0) 0 in
+    let lost_state_bits = ref 0 in
+    let checkpoints = ref 0 in
+    let replayed = ref 0 in
     (* Copies held back by a delay fault, keyed by (release step, seq); they
        still count as in flight. *)
     let delayed : ((int * int), flight) Binheap.t = Binheap.create () in
@@ -286,20 +355,68 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           Obs.Timeline.sample tl ~track "engine.deliveries" (float_of_int !deliveries);
           Obs.Timeline.sample tl ~track "engine.total_bits" (float_of_int !total_bits)
     in
-    let send fv fp msg =
+    (* Supervisor retransmission state: the last message emitted on each
+       dense edge (the only thing a feedback-free repeater can re-send),
+       plus the edge's source endpoint for re-injection. *)
+    let last_msg : P.message option array =
+      Array.make (if supervised then Stdlib.max ne 1 else 1) None
+    in
+    let source_of = Array.make (if supervised then Stdlib.max ne 1 else 1) (0, 0) in
+    if supervised then
+      List.iter
+        (fun u ->
+          for j = 0 to Digraph.out_degree g u - 1 do
+            source_of.(Digraph.edge_index g u j) <- (u, j)
+          done)
+        (Digraph.vertices g);
+    let sup_prng =
+      Prng.create (match supervisor with Some (c : Supervisor.config) -> c.seed | None -> 0)
+    in
+    let retries_left =
+      ref (match supervisor with Some (c : Supervisor.config) -> c.max_retries | None -> 0)
+    in
+    let sup_round = ref 0 in
+    let send ?(extra_delay = 0) fv fp msg =
       let edge = Digraph.edge_index g fv fp in
       let tv, tp = target.(edge) in
       (match oh with Some h -> Obs.Registry.incr h.c_sends | None -> ());
+      if supervised then last_msg.(edge) <- Some msg;
       if not faulty then begin
-        enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; msg } ~delay:0;
+        enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; msg } ~delay:extra_delay;
         incr next_seq
       end
       else
         List.iter
           (fun ({ delay; flip_bit = corrupt } : Faults.copy_fate) ->
-            enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt; msg } ~delay;
+            enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt; msg }
+              ~delay:(delay + extra_delay);
             incr next_seq)
           (Faults.Instance.on_send fi ~edge)
+    in
+    (* One retransmission round: re-send the last message of every edge
+       whose source is still healthy, held back by the round's backoff.
+       Retransmitted copies run the same per-edge fault gauntlet as
+       originals, and a {!Redundant}-wrapped receiver dedups them by wire
+       encoding.  Returns whether anything was actually re-injected. *)
+    let retransmit () =
+      match supervisor with
+      | None -> false
+      | Some (cfg : Supervisor.config) ->
+          let sent = ref false in
+          for e = 0 to ne - 1 do
+            match last_msg.(e) with
+            | Some msg when Vfaults.Instance.is_up vfi ~vertex:(fst source_of.(e)) ->
+                let fv, fp = source_of.(e) in
+                let extra_delay = Supervisor.backoff cfg sup_prng ~round:!sup_round in
+                send ~extra_delay fv fp msg;
+                incr replayed;
+                (match oh with Some h -> Obs.Registry.incr h.c_replayed | None -> ());
+                sent := true
+            | _ -> ()
+          done;
+          incr sup_round;
+          decr retries_left;
+          !sent
     in
     (* Move every delay-expired copy back into the scheduler's pool. *)
     let release_due () =
@@ -337,12 +454,27 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             match Binheap.pop delayed with
             | Some (_, f) -> push f
             | None ->
-                outcome :=
-                  (if P.accepting states.(t) then Terminated else Quiescent);
-                running := false)
+                (* True quiescence.  If the terminal has not accepted and a
+                   supervisor is installed, burn a retransmission round
+                   before giving up — losses (drops, crashes, stutter) are
+                   the only way a terminating protocol goes quiet early. *)
+                if P.accepting states.(t) then begin
+                  outcome := Terminated;
+                  running := false
+                end
+                else if !retries_left > 0 && retransmit () then ()
+                else begin
+                  outcome := Quiescent;
+                  running := false
+                end)
         | Some f -> (
             incr deliveries;
             decr in_flight;
+            (* [on_pop] sees every consumed copy — including copies a down
+               vertex swallows or a garble destroys — because a faithful
+               replay schedule must re-deliver exactly those seqs to keep
+               the per-vertex fault clocks aligned. *)
+            (match on_pop with Some hook -> hook f.seq | None -> ());
             (* Charge the exact wire size. *)
             let w = Bitio.Bit_writer.create () in
             P.encode w f.msg;
@@ -394,9 +526,76 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
             edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
             if bits > !max_message_bits then max_message_bits := bits;
+            (* The vertex-fault fate is decided before decode: a delivery
+               consumed by a down, stuttering or crashing vertex is charged
+               to the edge (it did cross the channel) but never reaches
+               [P.receive] — and skips the corrupt-bit draw, since nobody
+               observes the flipped encoding. *)
+            let vfate =
+              if vfaulty then Vfaults.Instance.on_deliver vfi ~vertex:f.tv
+              else Vfaults.Deliver
+            in
+            match vfate with
+            | Vfaults.Stutter ->
+                (match oh with
+                | Some h -> Obs.Registry.incr h.c_stuttered
+                | None -> ())
+            | Vfaults.Down_drop ->
+                (match oh with
+                | Some h ->
+                    Obs.Registry.incr h.c_down_drops;
+                    (* A restart fires on the down-drop that drains the
+                       vertex's downtime; mirror the instance's count
+                       exactly (a vertex still down at run end never
+                       restarted). *)
+                    let nr = Vfaults.Instance.restarts vfi in
+                    let seen = Obs.Registry.value h.c_restarts in
+                    if nr > seen then Obs.Registry.add h.c_restarts (nr - seen)
+                | None -> ())
+            | Vfaults.Crash (recovery, _downtime) -> (
+                (match oh with
+                | Some h -> Obs.Registry.incr h.c_crashes
+                | None -> ());
+                let old_bits = P.state_bits states.(f.tv) in
+                match recovery with
+                | Vfaults.Stop ->
+                    (* The corpse keeps its state; it is simply deaf.  Its
+                       visited flag stands — it {e was} reached. *)
+                    ()
+                | Vfaults.Amnesia when not supervised ->
+                    lost_state_bits := !lost_state_bits + old_bits;
+                    (match oh with
+                    | Some h -> Obs.Registry.add h.c_lost_state_bits old_bits
+                    | None -> ());
+                    states.(f.tv) <- initial_of f.tv;
+                    if visited.(f.tv) then begin
+                      visited.(f.tv) <- false;
+                      decr n_visited
+                    end
+                (* With a supervisor armed its checkpoints are durable
+                   storage, so even "full" state loss degrades to a
+                   restore: without this, an amnesia crash after a vertex
+                   has forwarded its flow erases coverage that no
+                   conservation argument can ever notice — the terminal
+                   still collects flow 1 and falsely terminates. *)
+                | Vfaults.Amnesia | Vfaults.Restore ->
+                    let restored = ckpt.(f.tv) in
+                    let lost = Stdlib.max 0 (old_bits - P.state_bits restored) in
+                    lost_state_bits := !lost_state_bits + lost;
+                    (match oh with
+                    | Some h -> Obs.Registry.add h.c_lost_state_bits lost
+                    | None -> ());
+                    states.(f.tv) <- restored;
+                    if ckpt_visited.(f.tv) then mark_visited f.tv
+                    else if visited.(f.tv) then begin
+                      visited.(f.tv) <- false;
+                      decr n_visited
+                    end)
+            | Vfaults.Deliver -> (
             (* A corrupted copy flows through the real decode path: what the
                vertex processes is whatever the flipped encoding decodes to,
-               and an unparseable encoding is consumed undelivered. *)
+               a checksum-bearing codec rejects the flip outright, and an
+               unparseable encoding is consumed undelivered. *)
             let delivered =
               if not f.corrupt then Some f.msg
               else
@@ -415,6 +614,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                         | None -> ()
                       end;
                       Some decoded
+                  | exception Protocol_intf.Checksum_reject ->
+                      incr checksum_rejects;
+                      (match oh with
+                      | Some h -> Obs.Registry.incr h.c_checksum_rejects
+                      | None -> ());
+                      None
                   | exception _ ->
                       incr garbled_drops;
                       (match oh with
@@ -431,6 +636,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                     hook
                       {
                         step = !deliveries;
+                        seq = f.seq;
                         from_vertex = f.fv;
                         from_port = f.fp;
                         to_vertex = f.tv;
@@ -466,11 +672,22 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                 | _ -> ());
                 states.(f.tv) <- state';
                 note_state state';
+                if need_ckpt then begin
+                  vdeliv.(f.tv) <- vdeliv.(f.tv) + 1;
+                  if vdeliv.(f.tv) mod ckpt_cadence = 0 then begin
+                    ckpt.(f.tv) <- state';
+                    ckpt_visited.(f.tv) <- true;
+                    incr checkpoints;
+                    match oh with
+                    | Some h -> Obs.Registry.incr h.c_checkpoints
+                    | None -> ()
+                  end
+                end;
                 List.iter (fun (j, msg) -> send f.tv j msg) sends;
                 if f.tv = t && P.accepting state' then begin
                   outcome := Terminated;
                   running := false
-                end)
+                end))
       end
     done;
     (* Surface what never got delivered — the in-flight part of the final
@@ -504,6 +721,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         { no_faults_stats with
           corrupted_deliveries = !corrupted_deliveries;
           garbled_drops = !garbled_drops;
+          checksum_rejects = !checksum_rejects;
         }
       else
         {
@@ -512,8 +730,21 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           delayed_copies = Faults.Instance.delayed_copies fi;
           corrupted_deliveries = !corrupted_deliveries;
           garbled_drops = !garbled_drops;
+          checksum_rejects = !checksum_rejects;
           dead_edges = Faults.Instance.dead_edges fi;
         }
+    in
+    let vfault_stats =
+      {
+        crashes = Vfaults.Instance.crashes vfi;
+        restarts = Vfaults.Instance.restarts vfi;
+        lost_state_bits = !lost_state_bits;
+        down_drops = Vfaults.Instance.down_drops vfi;
+        stuttered = Vfaults.Instance.stuttered vfi;
+        stopped_vertices = Vfaults.Instance.stopped vfi;
+        checkpoints = !checkpoints;
+        replayed = !replayed;
+      }
     in
     {
       outcome = !outcome;
@@ -530,5 +761,6 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       visited;
       states;
       fault_stats;
+      vfault_stats;
     }
 end

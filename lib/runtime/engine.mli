@@ -23,7 +23,18 @@
     consumed undelivered and counted in [garbled_drops], a parseable-but-
     different one is delivered and counted in [corrupted_deliveries]), or
     lost to a permanently killed edge.  Faulty runs are reproducible: all
-    draws come from per-edge PRNG streams derived from the fault seed. *)
+    draws come from per-edge PRNG streams derived from the fault seed.
+
+    A {!Vfaults} specification makes the {e vertices} unreliable as well:
+    deliveries can be stuttered away, swallowed by a down vertex, or trigger
+    a crash (crash-stop, restart-with-amnesia, restart-from-checkpoint).
+    A {!Supervisor} config arms the self-healing layer: per-vertex state
+    checkpoints every [checkpoint_every] processed deliveries (cadence 1 by
+    default — see {!Supervisor} for why that cadence is the sound one), and
+    when the pool runs dry with the terminal not accepting, up to
+    [max_retries] exponential-backoff retransmission rounds of each edge's
+    last message.  Both compose with edge faults and are reproducible from
+    their seeds. *)
 
 type outcome =
   | Terminated  (** The terminal's stopping predicate fired. *)
@@ -40,11 +51,32 @@ type fault_stats = {
   garbled_drops : int;
       (** Corrupted copies whose encoding no longer decoded; consumed
           undelivered. *)
+  checksum_rejects : int;
+      (** Corrupted copies a checksum-bearing codec {e detected} and
+          refused (it raised {!Protocol_intf.Checksum_reject}); consumed
+          undelivered but, unlike [garbled_drops], counted as a success of
+          the redundancy layer. *)
   dead_edges : int list;  (** Dense indices of permanently killed edges. *)
 }
 
 val no_faults_stats : fault_stats
 (** All-zero counters, as reported by fault-free runs. *)
+
+type vertex_fault_stats = {
+  crashes : int;  (** Crash events fired (any recovery mode). *)
+  restarts : int;  (** Crashes that came back up (amnesia or restore). *)
+  lost_state_bits : int;
+      (** State bits destroyed by crashes: the full pre-crash state under
+          amnesia, the gap down to the checkpoint under restore. *)
+  down_drops : int;
+      (** Deliveries swallowed by a down or stopped vertex. *)
+  stuttered : int;  (** Deliveries silently swallowed by a healthy vertex. *)
+  stopped_vertices : int list;  (** Crash-stopped vertices, sorted. *)
+  checkpoints : int;  (** Per-vertex state snapshots taken. *)
+  replayed : int;  (** Copies re-sent by supervisor retransmission rounds. *)
+}
+
+val no_vfaults_stats : vertex_fault_stats
 
 type 'state report = {
   outcome : outcome;
@@ -65,10 +97,15 @@ type 'state report = {
       (** Vertices that processed at least one (parseable) message. *)
   states : 'state array;  (** Final state of every vertex. *)
   fault_stats : fault_stats;  (** What the fault plan actually did. *)
+  vfault_stats : vertex_fault_stats;
+      (** What the vertex-fault plan and the supervisor actually did. *)
 }
 
 type event = {
   step : int;
+  seq : int;
+      (** The delivered copy's global send sequence number — the currency
+          of {!Scheduler.Replay} schedules. *)
   from_vertex : Digraph.vertex;
   from_port : int;
   to_vertex : Digraph.vertex;
@@ -87,14 +124,31 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?payload_bits:int ->
     ?step_limit:int ->
     ?faults:Faults.t ->
+    ?vfaults:Vfaults.t ->
+    ?supervisor:Supervisor.config ->
     ?verify_codec:bool ->
     ?obs:Obs.t ->
     ?on_deliver:(event -> P.message -> unit) ->
+    ?on_pop:(int -> unit) ->
     ?on_undelivered:(P.message -> unit) ->
     Digraph.t ->
     P.state report
   (** Defaults: [scheduler = Fifo], [payload_bits = 0],
-      [step_limit = 10_000_000], no faults, [verify_codec = false].
+      [step_limit = 10_000_000], no faults, no vertex faults, no
+      supervisor, [verify_codec = false].
+
+      With [supervisor] armed, per-vertex checkpoints are durable: an
+      [Amnesia] crash restores from the last checkpoint exactly like
+      [Restore] (full state loss after a vertex forwarded its flow would
+      otherwise erase coverage invisibly to the terminal's conservation
+      cut and falsely terminate), and quiescence short of acceptance
+      triggers retransmission rounds of each edge's last message with
+      exponential backoff, up to [max_retries].
+
+      [on_pop] fires with the seq number of {e every} consumed copy — also
+      the ones a garble destroys or a down vertex swallows — which is
+      exactly the stream a faithful {!Scheduler.Replay} schedule must
+      contain ([on_deliver] only sees copies that reached [P.receive]).
 
       [obs], when given, turns on telemetry: [engine.*] counters
       (deliveries, total_bits, sends, corrupted/garbled, per-run fault

@@ -7,6 +7,13 @@
     in-port the message arrived on — the full extent of the knowledge the
     model allows. *)
 
+exception Checksum_reject
+(** Raised by a [decode] that detected corruption via an integrity check
+    (e.g. the {!Redundant} wrapper's 16-bit checksum), as opposed to an
+    encoding that merely fails to parse.  The engines count the two
+    separately: a checksum reject is a {e detected} corruption, a garbled
+    drop an {e accidental} one. *)
+
 module type PROTOCOL = sig
   type state
   type message

@@ -5,6 +5,12 @@
     - {!Scheduler} — asynchronous delivery orders, including adversarial ones;
     - {!Faults} — per-edge channel fault plans (drop / duplicate / delay /
       corrupt / kill), all seeded;
+    - {!Vfaults} — per-vertex fault plans (crash-stop, restart with amnesia
+      or from checkpoint, stutter), composing with {!Faults};
+    - {!Supervisor} — the self-healing layer: per-vertex checkpoints and
+      backoff retransmission;
+    - {!Chaos} — joint edge-and-vertex fault-space search with witness
+      shrinking and replay;
     - {!Campaign} — deterministic fault-campaign harness with soundness
       checking and witness shrinking;
     - {!Explore} — exhaustive schedule-space model checker with sleep-set
@@ -19,6 +25,9 @@ module Engine = Engine
 module Sync_engine = Sync_engine
 module Scheduler = Scheduler
 module Faults = Faults
+module Vfaults = Vfaults
+module Supervisor = Supervisor
+module Chaos = Chaos
 module Campaign = Campaign
 module Explore = Explore
 module Canonical = Canonical

@@ -81,6 +81,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                 hook
                   {
                     Engine.step = !deliveries;
+                    (* The synchronous engine has no send sequencing; expose
+                       a 0-based delivery index so traces stay well-typed. *)
+                    seq = !deliveries - 1;
                     from_vertex = f.fv;
                     from_port = f.fp;
                     to_vertex = f.tv;
@@ -129,6 +132,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           visited;
           states;
           fault_stats = Engine.no_faults_stats;
+          vfault_stats = Engine.no_vfaults_stats;
         };
       rounds = !rounds;
     }

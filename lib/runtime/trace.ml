@@ -3,7 +3,7 @@
    [iter]/[render]/[to_csv] walk them without materializing a list copy. *)
 
 let dummy : Engine.event =
-  { step = 0; from_vertex = 0; from_port = 0; to_vertex = 0; to_port = 0; bits = 0 }
+  { step = 0; seq = 0; from_vertex = 0; from_port = 0; to_vertex = 0; to_port = 0; bits = 0 }
 
 type t = { mutable buf : Engine.event array; mutable count : int }
 

@@ -179,6 +179,7 @@ let test_exporters () =
 let mk_event step fv fp tv tp bits : E.event =
   {
     E.step;
+    seq = step;
     from_vertex = fv;
     from_port = fp;
     to_vertex = tv;
