@@ -838,6 +838,204 @@ let chaos_bench ~small () =
     && delivery_overhead <= 0.10 && reconcile);
   pf "}\n"
 
+(* {1 E18 — dynamic-network resilience: churn rate x T sweep (JSON)} *)
+
+(* Four claims.  (1) Resilience: supervised general broadcast swept over a
+   churn-rate x T-interval grid stays sound in every cell (a terminated run
+   covers everything) and heals outages under retransmission.  (2) The
+   T-interval contract is meaningful: the same adversary clamped by
+   [Churn.constrain] records zero window violations by construction, while
+   [with_contract] accounting shows the raw adversary breaching small
+   windows.  (3) Churn-free runs pay nothing: arming [Churn.none] changes
+   no counter.  (4) The amnesiac negative control: stateless flooding
+   quiesces while a cycle edge is absent and livelocks the moment a churn
+   [Add] splices it in — and a small all-churn chaos search finds that
+   livelock and replays it byte-for-byte. *)
+let churn_bench ~small () =
+  let module Ch = Runtime.Chaos in
+  let module C = Runtime.Churn in
+  let module En = Runtime.Engine.Make (Anonet.General_broadcast) in
+  (* The hardened stack of E17 / chaos_churn: the supervisor is a blind
+     repeater, so its duplicates need Redundant(3)'s wire-encoding dedup —
+     bare conservation flow would be double-counted. *)
+  let (module R3 : Runtime.Protocol_intf.PROTOCOL) =
+    Anonet.Resilient.redundant ~k:3 (module Anonet.General_broadcast)
+  in
+  let module En3 = Runtime.Engine.Make (R3) in
+  let rates = [ 0.05; 0.15; 0.3 ] in
+  let ts = [ 2; 4; 8 ] in
+  let seeds = List.init (if small then 3 else 8) (fun k -> k + 1) in
+  let t0 = Unix.gettimeofday () in
+  (* (1) + (2) the sweep. *)
+  let cells =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun t ->
+            let stats =
+              List.map
+                (fun seed ->
+                  let g =
+                    F.random_digraph (Prng.create seed) ~n:24 ~extra_edges:16
+                      ~back_edges:5 ~t_edge_prob:0.25
+                  in
+                  let spec =
+                    C.uniform (C.plan ~remove:rate ~max_downtime:3 ()) ~seed
+                  in
+                  let clamped =
+                    En3.run ~churn:(C.constrain ~t_interval:t g spec)
+                      ~supervisor:Runtime.Supervisor.default g
+                  in
+                  let raw =
+                    En3.run ~churn:(C.with_contract ~t_interval:t g spec)
+                      ~supervisor:Runtime.Supervisor.default g
+                  in
+                  (clamped, raw))
+                seeds
+            in
+            let count f = List.fold_left (fun a p -> a + f p) 0 stats in
+            let terminated =
+              count (fun ((c : _ E.report), _) ->
+                  if c.E.outcome = E.Terminated then 1 else 0)
+            in
+            let unsound =
+              count (fun ((c : _ E.report), (r : _ E.report)) ->
+                  let bad (x : _ E.report) =
+                    x.E.outcome = E.Terminated
+                    && not (Array.for_all Fun.id x.E.visited)
+                  in
+                  (if bad c then 1 else 0) + if bad r then 1 else 0)
+            in
+            let heals =
+              count (fun ((c : _ E.report), _) -> c.E.churn_stats.E.heals)
+            in
+            let clamped_violations =
+              count (fun ((c : _ E.report), _) ->
+                  c.E.churn_stats.E.window_violations)
+            in
+            let raw_violations =
+              count (fun (_, (r : _ E.report)) ->
+                  r.E.churn_stats.E.window_violations)
+            in
+            (rate, t, terminated, unsound, heals, clamped_violations,
+             raw_violations))
+          ts)
+      rates
+  in
+  let sweep_s = Unix.gettimeofday () -. t0 in
+  let total f = List.fold_left (fun a c -> a + f c) 0 cells in
+  let runs_per_cell = List.length seeds in
+  let sweep_unsound = total (fun (_, _, _, u, _, _, _) -> u) in
+  let sweep_heals = total (fun (_, _, _, _, h, _, _) -> h) in
+  let clamped_violations = total (fun (_, _, _, _, _, cv, _) -> cv) in
+  let raw_violations = total (fun (_, _, _, _, _, _, rv) -> rv) in
+  (* (3) zero overhead when churn-free. *)
+  let g0 =
+    F.random_digraph (Prng.create 42) ~n:48 ~extra_edges:40 ~back_edges:12
+      ~t_edge_prob:0.25
+  in
+  let bare = En.run g0 in
+  let armed = En.run ~churn:C.none g0 in
+  let zero_overhead =
+    bare.E.deliveries = armed.E.deliveries
+    && bare.E.total_bits = armed.E.total_bits
+    && armed.E.churn_stats = E.no_churn_stats
+  in
+  (* (4) amnesiac flooding: quiesce vs churned-in livelock, then the chaos
+     search that must rediscover it. *)
+  let module Am = Runtime.Engine.Make (Anonet.Amnesiac_flood) in
+  let gd, events =
+    F.random_dynamic (Prng.create 11) ~n:12 ~extra_edges:6 ~back_edges:2
+      ~t_edge_prob:0.3 ()
+  in
+  let quiesce =
+    (* Every initially-absent edge stays absent: its add point is pushed
+       beyond any traffic the finite single pass can produce. *)
+    Am.run ~step_limit:10_000
+      ~churn:
+        (C.script
+           (List.filter_map
+              (fun (d : F.dyn_event) ->
+                match d.F.de_down_for with
+                | None -> Some (C.add_event ~edge:d.F.de_edge ~at:1_000_000)
+                | Some _ -> None)
+              events))
+      gd
+  in
+  let livelock =
+    Am.run ~step_limit:10_000
+      ~churn:
+        (C.script
+           (List.filter_map
+              (fun (d : F.dyn_event) ->
+                match d.F.de_down_for with
+                | None -> Some (C.add_event ~edge:d.F.de_edge ~at:1)
+                | Some _ -> None)
+              events))
+      gd
+  in
+  let amnesiac_split =
+    quiesce.E.outcome <> E.Step_limit && livelock.E.outcome = E.Step_limit
+  in
+  let neg = Anonet.Check_suite.chaos_amnesiac ~budget:(if small then 6 else 12) () in
+  let neg_confirmed =
+    let gc ~n =
+      {
+        Runtime.Campaign.g_name = Printf.sprintf "random-dynamic-%d" n;
+        build =
+          (fun ~seed ->
+            fst
+              (F.random_dynamic (Prng.create seed) ~n ~extra_edges:6
+                 ~back_edges:2 ~t_edge_prob:0.3 ()));
+      }
+    in
+    let cfg =
+      Ch.config ~budget:(if small then 6 else 12) ~seed:11 ~p_churn:1.0
+        ~max_faults:1 ~step_limit:10_000 ()
+    in
+    let runner =
+      Anonet.Resilient.chaos_runner ~k:1 (module Anonet.Amnesiac_flood)
+    in
+    List.for_all
+      (fun (w : Ch.witness) -> Ch.confirms w (Ch.replay cfg runner (gc ~n:12) w))
+      neg.Ch.witnesses
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E18-churn-dynamic\",\n";
+  pf "  \"sweep\": {\"runs_per_cell\": %d, \"seconds\": %.2f, \"cells\": [\n"
+    runs_per_cell sweep_s;
+  List.iteri
+    (fun i (rate, t, terminated, unsound, heals, cv, rv) ->
+      pf "    {\"rate\": %.2f, \"t\": %d, \"terminated\": %d, \"unsound\": \
+          %d, \"heals\": %d, \"clamped_violations\": %d, \
+          \"raw_violations\": %d}%s\n"
+        rate t terminated unsound heals cv rv
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  pf "  ]},\n";
+  pf "  \"zero_overhead\": %b,\n" zero_overhead;
+  pf "  \"amnesiac\": {\"quiesce_outcome\": %S, \"livelock_outcome\": %S, \
+      \"split\": %b},\n"
+    (match quiesce.E.outcome with
+    | E.Terminated -> "terminated"
+    | E.Quiescent -> "quiescent"
+    | E.Step_limit -> "step-limit")
+    (match livelock.E.outcome with
+    | E.Terminated -> "terminated"
+    | E.Quiescent -> "quiescent"
+    | E.Step_limit -> "step-limit")
+    amnesiac_split;
+  pf "  \"negative\": {\"trials\": %d, \"witnesses\": %d, \"livelocked\": \
+      %d, \"unsound\": %d, \"all_replay_confirmed\": %b},\n"
+    neg.Ch.trials_run
+    (List.length neg.Ch.witnesses)
+    neg.Ch.livelocked neg.Ch.unsound neg_confirmed;
+  pf "  \"pass\": %b\n"
+    (sweep_unsound = 0 && sweep_heals > 0 && clamped_violations = 0
+    && raw_violations > 0 && zero_overhead && amnesiac_split
+    && neg.Ch.livelocked > 0 && neg.Ch.unsound = 0 && neg_confirmed);
+  pf "}\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -863,12 +1061,15 @@ let () =
           else if a = "obs:small" then obs_bench ~small:true ()
           else if a = "chaos" then chaos_bench ~small:false ()
           else if a = "chaos:small" then chaos_bench ~small:true ()
+          else if a = "churn" then churn_bench ~small:false ()
+          else if a = "churn:small" then churn_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
             | None ->
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
-                   timing, throughput[:small], obs[:small], chaos[:small])\n"
+                   timing, throughput[:small], obs[:small], chaos[:small], \
+                   churn[:small])\n"
                   a)
         args

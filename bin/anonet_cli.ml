@@ -198,6 +198,57 @@ let domains_t =
            legal asynchronous schedule, so the outcome and visited set match \
            the sequential run; the --scheduler policy does not apply.")
 
+(* {1 Churn terms}
+
+   [--churn-rate]/[--churn-t] arm the edge-churn adversary on a run: a
+   uniform per-offer removal plan with seed-derived per-edge PRNG streams,
+   optionally wrapped in the T-interval connectivity contract. *)
+
+let churn_rate_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "churn-rate" ] ~docv:"P"
+        ~doc:
+          "Per-offer probability that an edge is removed for a bounded \
+           outage (it heals under traffic).  0 disables churn entirely.")
+
+let churn_t_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "churn-t" ] ~docv:"T"
+        ~doc:
+          "Install the T-interval connectivity contract: the run counts \
+           window violations — outages touching the protected spanning \
+           skeleton or spanning >= $(docv) consecutive offers.  Fates are \
+           unchanged, so replays stay byte-identical.")
+
+let churn_seed_t =
+  Arg.(
+    value & opt int 0
+    & info [ "churn-seed" ] ~docv:"S"
+        ~doc:"Seed of the churn adversary's per-edge PRNG streams.")
+
+let churn_of ~rate ~t ~seed g =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "--churn-rate must be in [0,1]";
+  if rate = 0.0 then Runtime.Churn.none
+  else
+    let c =
+      Runtime.Churn.uniform
+        (Runtime.Churn.plan ~remove:rate ~max_downtime:3 ())
+        ~seed
+    in
+    match t with
+    | None -> c
+    | Some t -> Runtime.Churn.with_contract ~t_interval:t g c
+
+let describe_churn (cs : E.churn_stats) =
+  pf "churn            : %d adds, %d removes, %d heals, %d lost in flight, \
+      %d window violations\n"
+    cs.E.adds cs.E.removes cs.E.heals cs.E.messages_lost_in_flight
+    cs.E.window_violations
+
 (* {1 Telemetry terms}
 
    [--trace-out]/[--metrics-out]/[--csv-out] attach an [Obs] sink to the
@@ -293,14 +344,15 @@ let run_cmd =
   in
   (* One unified path: resolve the protocol module, pick the sequential or
      sharded engine, thread the optional [Obs] sink through either. *)
-  let run g protocol scheduler payload domains sample trace_out metrics_out
-      csv_out =
+  let run g protocol scheduler payload domains churn_rate churn_t churn_seed
+      sample trace_out metrics_out csv_out =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
         try
           if domains < 1 then invalid_arg "--domains must be at least 1";
           let obs = make_obs ~sample trace_out metrics_out csv_out in
+          let churn = churn_of ~rate:churn_rate ~t:churn_t ~seed:churn_seed g in
           describe_graph g;
           if domains > 1 then
             pf "protocol: %s, domains: %d (sharded engine), payload: %d bits\n\n"
@@ -309,15 +361,18 @@ let run_cmd =
             pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
               (Runtime.Scheduler.describe scheduler)
               payload;
-          let r =
+          let r, churn_stats =
             if domains > 1 then
               let module En = Par.Engine.Make (P) in
-              En.run ~domains ~payload_bits:payload ?obs g
+              let r = En.run ~domains ~payload_bits:payload ~churn ?obs g in
+              (Anonet.stats_of_report r, r.E.churn_stats)
             else
               let module En = Runtime.Engine.Make (P) in
-              En.run ~scheduler ~payload_bits:payload ?obs g
+              let r = En.run ~scheduler ~payload_bits:payload ~churn ?obs g in
+              (Anonet.stats_of_report r, r.E.churn_stats)
           in
-          let res = finish (Anonet.stats_of_report r) in
+          if not (Runtime.Churn.is_none churn) then describe_churn churn_stats;
+          let res = finish r in
           flush_obs
             ~meta:[ ("command", "run"); ("protocol", protocol) ]
             obs trace_out metrics_out csv_out;
@@ -328,7 +383,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a protocol on a generated network and print stats.")
     Term.(
       ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
-         $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+         $ domains_t $ churn_rate_t $ churn_t_t $ churn_seed_t
+         $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let label_cmd =
   let run g scheduler =
@@ -879,7 +935,7 @@ let chaos_cmd =
     | _ -> None
   in
   let run protocol k supervise budget max_faults seed p_edge recoveries
-      domains json_out sample trace_out metrics_out csv_out =
+      domains churn_rate churn_t json_out sample trace_out metrics_out csv_out =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -901,7 +957,7 @@ let chaos_cmd =
           in
           let cfg =
             Ch.config ~budget ~max_faults ~seed ~p_edge ~recoveries ?supervisor
-              ()
+              ~p_churn:churn_rate ?churn_t ()
           in
           let runner = Anonet.Resilient.chaos_runner ~k (module P) in
           let graphs = Anonet.Resilient.chaos_graphs () in
@@ -914,10 +970,10 @@ let chaos_cmd =
             else Ch.run cfg ~runners:[ runner ] ~graphs
           in
           pf "trials: %d   hits: %d   duplicates: %d   witnesses: %d \
-              (unsound %d, starved %d)\n"
+              (unsound %d, starved %d, livelocked %d)\n"
             res.Ch.trials_run res.Ch.hits res.Ch.duplicates
             (List.length res.Ch.witnesses)
-            res.Ch.unsound res.Ch.starved;
+            res.Ch.unsound res.Ch.starved res.Ch.livelocked;
           List.iter
             (fun (w : Ch.witness) ->
               let gc =
@@ -952,7 +1008,12 @@ let chaos_cmd =
                   graphs
               in
               let g = gc.Runtime.Campaign.build ~seed:cfg.Ch.seed in
-              let faults, vfaults = Ch.compile w.Ch.w_faults in
+              let faults, vfaults, churn = Ch.compile w.Ch.w_faults in
+              let churn =
+                match cfg.Ch.churn_t with
+                | None -> churn
+                | Some t -> Runtime.Churn.with_contract ~t_interval:t g churn
+              in
               let (module R) =
                 if k = 1 then (module P : Runtime.Protocol_intf.PROTOCOL)
                 else Anonet.Resilient.redundant ~k (module P)
@@ -961,7 +1022,7 @@ let chaos_cmd =
               ignore
                 (En.run
                    ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
-                   ~faults ~vfaults ?supervisor
+                   ~faults ~vfaults ~churn ?supervisor
                    ~step_limit:cfg.Ch.step_limit ~obs:o g)
           | _ -> ());
           flush_obs
@@ -974,22 +1035,203 @@ let chaos_cmd =
             obs trace_out metrics_out csv_out;
           `Ok
             (if res.Ch.unsound > 0 then 2
-             else if res.Ch.starved > 0 then 1
+             else if res.Ch.starved > 0 || res.Ch.livelocked > 0 then 1
              else 0)
         with Invalid_argument msg -> `Error (false, msg))
+  in
+  let chaos_churn_rate_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "churn-rate" ] ~docv:"P"
+          ~doc:
+            "Probability a generated atom is a churn event (a bounded edge \
+             outage or an initially-absent edge appearing mid-run) instead \
+             of a kill/crash.  0 keeps the generator's classic PRNG stream, \
+             so existing seeds reproduce their witnesses byte-for-byte.")
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Search the joint edge-kill x vertex-crash fault space for minimal \
-          fault sets that break broadcast soundness or liveness: seeded \
-          random generation, delta-debugging shrink, canonical dedup, and a \
-          replayable delivery schedule per witness.  Exits 2 on a soundness \
-          witness, 1 on starvation only, 0 when clean.")
+         "Search the joint edge-kill x vertex-crash x edge-churn fault space \
+          for minimal fault sets that break broadcast soundness or liveness: \
+          seeded random generation, delta-debugging shrink, canonical dedup, \
+          and a replayable delivery schedule per witness.  Exits 2 on a \
+          soundness witness, 1 on starvation or livelock only, 0 when clean.")
     Term.(
       ret
         (const run $ protocol_t $ redundancy_t $ supervise_t $ budget_t
        $ max_faults_t $ seed_t $ p_edge_t $ recoveries_t $ domains_t
+       $ chaos_churn_rate_t $ churn_t_t $ json_out_t $ sample_t $ trace_out_t
+       $ metrics_out_t $ csv_out_t))
+
+let churn_cmd =
+  let module Ch = Runtime.Chaos in
+  let amnesiac_t =
+    Arg.(
+      value & flag
+      & info [ "amnesiac" ]
+          ~doc:
+            "Run the dynamic-network negative control instead: bare amnesiac \
+             flooding on a random-dynamic footprint under an all-churn \
+             search.  A churned-in back edge closes a cycle and tokens \
+             circulate forever, so the search must find a livelock witness \
+             and exit 1.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 40
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Random fault sets tried per graph family.")
+  in
+  let seed_t =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"S" ~doc:"Search seed.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "churn-rate" ] ~docv:"P"
+          ~doc:"Probability a generated atom is a churn event.")
+  in
+  let t_interval_t =
+    Arg.(
+      value & opt int 4
+      & info [ "churn-t" ] ~docv:"T"
+          ~doc:
+            "T-interval connectivity window: witnesses report how often \
+             their churn script breaches it (accounting only; fates and \
+             replays are unchanged).")
+  in
+  let json_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the full search result (witnesses included) as JSON.")
+  in
+  let dynamic_case ~n =
+    {
+      Runtime.Campaign.g_name = Printf.sprintf "random-dynamic-%d" n;
+      build =
+        (fun ~seed ->
+          fst
+            (F.random_dynamic (Prng.create seed) ~n ~extra_edges:6
+               ~back_edges:2 ~t_edge_prob:0.3 ()));
+    }
+  in
+  let run amnesiac budget seed rate t_interval json_out sample trace_out
+      metrics_out csv_out =
+    try
+      if budget < 1 then invalid_arg "--budget must be at least 1";
+      (* Two packaged searches over the dynamic-network regime: the hardened
+         stack (Redundant(3) + supervisor, joint kill x crash x churn space)
+         that must stay sound, and the amnesiac negative control that must
+         livelock.  Both replay their witnesses byte-for-byte. *)
+      let cfg, runner, graphs, supervisor =
+        if amnesiac then
+          ( Ch.config ~budget ~seed ~p_churn:1.0 ~max_faults:1
+              ~step_limit:10_000 ~churn_t:t_interval (),
+            Anonet.Resilient.chaos_runner ~k:1 (module Anonet.Amnesiac_flood),
+            [ dynamic_case ~n:12 ],
+            None )
+        else
+          ( Ch.config ~budget ~seed ~p_churn:rate ~churn_t:t_interval
+              ~supervisor:Runtime.Supervisor.default (),
+            Anonet.Resilient.chaos_runner ~k:3
+              (module Anonet.General_broadcast),
+            Anonet.Resilient.chaos_graphs () @ [ dynamic_case ~n:12 ],
+            Some Runtime.Supervisor.default )
+      in
+      pf "churn search: %s, %d fault sets x %d families, churn rate %.2f, \
+          T = %d, seed %d%s\n\n"
+        runner.Ch.r_name budget (List.length graphs)
+        (if amnesiac then 1.0 else rate)
+        t_interval seed
+        (if amnesiac then " (amnesiac negative control)" else ", supervised");
+      let res = Ch.run cfg ~runners:[ runner ] ~graphs in
+      pf "trials: %d   hits: %d   duplicates: %d   witnesses: %d \
+          (unsound %d, starved %d, livelocked %d)\n"
+        res.Ch.trials_run res.Ch.hits res.Ch.duplicates
+        (List.length res.Ch.witnesses)
+        res.Ch.unsound res.Ch.starved res.Ch.livelocked;
+      List.iter
+        (fun (w : Ch.witness) ->
+          let gc =
+            List.find
+              (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph)
+              graphs
+          in
+          let confirmed = Ch.confirms w (Ch.replay cfg runner gc w) in
+          pf "\n%s on %s (trial %d, shrunk %d -> %d atoms)%s\n"
+            (Ch.describe_kind w.Ch.w_kind)
+            w.Ch.w_graph w.Ch.w_trial w.Ch.w_original_size
+            (List.length w.Ch.w_faults)
+            (if confirmed then ", replay confirms" else " — REPLAY DIVERGED");
+          List.iter (fun f -> pf "  %s\n" (Ch.describe_fault f)) w.Ch.w_faults;
+          pf "  missing: [%s]\n"
+            (String.concat "; " (List.map string_of_int w.Ch.w_missing)))
+        res.Ch.witnesses;
+      Option.iter
+        (fun p ->
+          write_file p (Ch.to_json res);
+          pf "\nresult written  : %s\n" p)
+        json_out;
+      (* Instrument a replay of the first witness so the Perfetto trace
+         shows the violating schedule, churn instants included. *)
+      let obs = make_obs ~sample trace_out metrics_out csv_out in
+      (match (obs, res.Ch.witnesses) with
+      | Some o, (w : Ch.witness) :: _ ->
+          let gc =
+            List.find
+              (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph)
+              graphs
+          in
+          let g = gc.Runtime.Campaign.build ~seed:cfg.Ch.seed in
+          let faults, vfaults, churn = Ch.compile w.Ch.w_faults in
+          let churn =
+            match cfg.Ch.churn_t with
+            | None -> churn
+            | Some t -> Runtime.Churn.with_contract ~t_interval:t g churn
+          in
+          let replay_one (module P : Runtime.Protocol_intf.PROTOCOL) =
+            let module En = Runtime.Engine.Make (P) in
+            ignore
+              (En.run
+                 ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
+                 ~faults ~vfaults ~churn ?supervisor
+                 ~step_limit:cfg.Ch.step_limit ~obs:o g)
+          in
+          replay_one
+            (if amnesiac then (module Anonet.Amnesiac_flood)
+             else
+               Anonet.Resilient.redundant ~k:3
+                 (module Anonet.General_broadcast))
+      | _ -> ());
+      flush_obs
+        ~meta:
+          [
+            ("command", "churn");
+            ("control", if amnesiac then "amnesiac" else "supervised");
+            ("witnesses", string_of_int (List.length res.Ch.witnesses));
+          ]
+        obs trace_out metrics_out csv_out;
+      `Ok
+        (if res.Ch.unsound > 0 then 2
+         else if res.Ch.starved > 0 || res.Ch.livelocked > 0 then 1
+         else 0)
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Search the dynamic-network fault space: edge churn (bounded \
+          outages, mid-run edge insertions) joint with kills and crashes, \
+          under the T-interval connectivity contract.  The default hardened \
+          stack (Redundant(3) + supervisor) must stay sound; --amnesiac \
+          runs the negative control that must livelock.  Exits 2 on a \
+          soundness witness, 1 on starvation or livelock, 0 when clean.")
+    Term.(
+      ret
+        (const run $ amnesiac_t $ budget_t $ seed_t $ rate_t $ t_interval_t
        $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let main_cmd =
@@ -999,6 +1241,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
     [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd;
-      check_cmd; obs_cmd; chaos_cmd ]
+      check_cmd; obs_cmd; chaos_cmd; churn_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,34 @@
+type state = unit
+type message = Token
+
+let name = "amnesiac-flood"
+
+let initial_state ~out_degree:_ ~in_degree:_ = ()
+
+let root_emit ~out_degree = List.init out_degree (fun j -> (j, Token))
+
+(* The amnesiac rule: forward every token to every out-port, remembering
+   nothing.  The whole protocol is this one line. *)
+let receive ~out_degree ~in_degree:_ () Token ~in_port:_ =
+  ((), List.init out_degree (fun j -> (j, Token)))
+
+let accepting _ = false
+
+let encode w Token = Bitio.Bit_writer.bit w true
+
+let decode r =
+  let (_ : bool) = Bitio.Bit_reader.bit r in
+  Token
+
+let equal_message Token Token = true
+
+let state_bits () = 0
+
+let pp_message fmt Token = Format.pp_print_string fmt "token"
+let pp_state fmt () = Format.pp_print_string fmt "amnesiac"
+
+let digest () = ""
+
+(* Like plain {!Flood}, tokens duplicate freely: no conserved commodity. *)
+let conservation = None
+let vertex_invariant = None

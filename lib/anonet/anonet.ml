@@ -16,6 +16,8 @@
 
 module Commodity = Commodity
 module Flood = Flood
+module Amnesiac_flood = Amnesiac_flood
+module Counting = Counting
 module Scalar_broadcast = Scalar_broadcast
 module Dag_broadcast = Dag_broadcast
 module Interval_core = Interval_core
@@ -44,6 +46,8 @@ module Dag_broadcast_naive = Dag_broadcast.Make (Commodity.Even_rational)
 (** {1 Engines} *)
 
 module Flood_engine = Runtime.Engine.Make (Flood)
+module Amnesiac_engine = Runtime.Engine.Make (Amnesiac_flood)
+module Counting_engine = Runtime.Engine.Make (Counting)
 module Tree_engine = Runtime.Engine.Make (Tree_broadcast)
 module Tree_naive_engine = Runtime.Engine.Make (Tree_broadcast_naive)
 module Dag_engine = Runtime.Engine.Make (Dag_broadcast_pow2)

@@ -34,6 +34,14 @@ module Mapping = Mapping
 module Undirected_labeling = Undirected_labeling
 module Lower_bounds = Lower_bounds
 
+module Amnesiac_flood = Amnesiac_flood
+(** Stateless flooding (Austin et al.): terminates on DAGs, livelocks the
+    moment a cycle edge exists — the dynamic-network negative control. *)
+
+module Counting = Counting
+(** Anonymous counting: dyadic broadcast flow carrying a mint-once counter
+    ledger; the terminal learns [n] exactly (see {!Counting.census}). *)
+
 module Redundant = Redundant
 (** k-repetition resilience wrapper for any protocol — the feedback-free
     defense against lossy channels (see {!Redundant.Make}). *)
@@ -69,6 +77,8 @@ module Dag_broadcast_naive :
     size — see {!Runtime.Engine.Make}. *)
 
 module Flood_engine : module type of Runtime.Engine.Make (Flood)
+module Amnesiac_engine : module type of Runtime.Engine.Make (Amnesiac_flood)
+module Counting_engine : module type of Runtime.Engine.Make (Counting)
 module Tree_engine : module type of Runtime.Engine.Make (Tree_broadcast)
 module Tree_naive_engine : module type of Runtime.Engine.Make (Tree_broadcast_naive)
 module Dag_engine : module type of Runtime.Engine.Make (Dag_broadcast_pow2)

@@ -76,6 +76,7 @@ let protocols () :
     ("tree-naive", `Trees, (module Tree_naive_impl));
     ("dag", `Dags, (module Dag_impl));
     ("general", `Digraphs, (module General_broadcast));
+    ("counting", `Dags, (module Counting));
     ("labeling", `Digraphs, (module Labeling));
     ("mapping", `Digraphs, (module Mapping));
   ]
@@ -92,6 +93,7 @@ let cases ?(max_edges = 8) () =
     (on grounded_trees (module Tree_impl)
     @ on grounded_trees (module Tree_naive_impl)
     @ on dags (module Dag_impl)
+    @ on dags (module Counting)
     @ on digraphs (module General_broadcast)
     @ on digraphs (module Labeling)
     @ on digraphs (module Mapping))
@@ -139,3 +141,34 @@ let chaos_supervised ?(budget = 60) ?(seed = 11) () =
        ~supervisor:Runtime.Supervisor.default ())
     ~runners:[ Resilient.chaos_runner ~k:3 (module General_broadcast) ]
     ~graphs:(Resilient.chaos_graphs ())
+
+(* {1 Churn controls} *)
+
+let chaos_churn ?(budget = 40) ?(seed = 11) () =
+  Runtime.Chaos.run
+    (Runtime.Chaos.config ~budget ~seed ~p_churn:0.5 ~churn_t:4
+       ~supervisor:Runtime.Supervisor.default ())
+    ~runners:[ Resilient.chaos_runner ~k:3 (module General_broadcast) ]
+    ~graphs:(Resilient.chaos_graphs ())
+
+(* The footprint whose back edges close cycles; every run of amnesiac
+   flooding on it — with the cycle edge present from the start, or churned
+   in mid-run by an [Add] atom — circulates tokens forever. *)
+let dynamic_case ~n =
+  {
+    Runtime.Campaign.g_name = Printf.sprintf "random-dynamic-%d" n;
+    build =
+      (fun ~seed ->
+        let g, _events =
+          F.random_dynamic (Prng.create seed) ~n ~extra_edges:6 ~back_edges:2
+            ~t_edge_prob:0.3 ()
+        in
+        g);
+  }
+
+let chaos_amnesiac ?(budget = 12) ?(seed = 11) () =
+  Runtime.Chaos.run
+    (Runtime.Chaos.config ~budget ~seed ~p_churn:1.0 ~max_faults:1
+       ~step_limit:10_000 ())
+    ~runners:[ Resilient.chaos_runner ~k:1 (module Amnesiac_flood) ]
+    ~graphs:[ dynamic_case ~n:12 ]

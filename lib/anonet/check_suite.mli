@@ -63,3 +63,19 @@ val chaos_supervised : ?budget:int -> ?seed:int -> unit -> Runtime.Chaos.result
     full joint edge-and-vertex fault space.  Must report zero [Unsound]
     witnesses — starvation is permitted (and expected: a crash-stop can
     make coverage impossible), false termination is not. *)
+
+val chaos_churn : ?budget:int -> ?seed:int -> unit -> Runtime.Chaos.result
+(** The churn-hardened positive control: the {!chaos_supervised} stack
+    searched over the {e joint} edge-kill x vertex-crash x churn-script
+    space ([p_churn = 0.5]) with the T-interval contract [churn_t = 4]
+    installed for accounting.  Must report zero [Unsound] witnesses:
+    bounded outages heal under supervisor retransmission, so soundness
+    survives churn.  Defaults: [budget = 40], [seed = 11]. *)
+
+val chaos_amnesiac : ?budget:int -> ?seed:int -> unit -> Runtime.Chaos.result
+(** The dynamic-network negative control (Austin et al.): amnesiac flooding
+    over a {!Digraph.Families.random_dynamic} footprint whose back edges
+    close cycles.  Tokens circulate forever — with the cycle edge present
+    from the start or churned in mid-run — so the all-churn search
+    ([p_churn = 1.0]) must find only [Livelock] witnesses, each replaying
+    byte-for-byte.  Defaults: [budget = 12], [seed = 11]. *)

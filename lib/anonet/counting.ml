@@ -1,0 +1,92 @@
+module C = Commodity.Pow2_dyadic
+
+type state = { acc : C.t; got : int; active : bool }
+type message = { flow : C.t; count : int }
+
+let name = "counting"
+
+let initial_state ~out_degree:_ ~in_degree:_ =
+  { acc = C.zero; got = 0; active = false }
+
+(* The source mints its own +1 and ships it on port 0, riding the first
+   share of the unit flow. *)
+let root_emit ~out_degree =
+  if out_degree = 0 then []
+  else
+    List.mapi
+      (fun j flow -> (j, { flow; count = (if j = 0 then 1 else 0) }))
+      (C.split C.unit_commodity out_degree)
+
+let receive ~out_degree ~in_degree:_ state { flow; count } ~in_port:_ =
+  if out_degree = 0 then
+    (* The terminal banks flow and census alike; it never forwards, so it
+       never mints — [census] adds the 1 for the terminal itself. *)
+    ({ state with acc = C.add state.acc flow; got = state.got + count }, [])
+  else
+    let mint = if state.active then 0 else 1 in
+    let state = { state with acc = C.add state.acc flow; active = true } in
+    let out = count + mint in
+    let sends =
+      List.mapi
+        (fun j flow -> (j, { flow; count = (if j = 0 then out else 0) }))
+        (C.split flow out_degree)
+    in
+    (state, sends)
+
+let accepting state = C.is_unit state.acc
+
+let encode w { flow; count } =
+  C.encode w flow;
+  Bitio.Codes.write_gamma0 w count
+
+let decode r =
+  let flow = C.decode r in
+  let count = Bitio.Codes.read_gamma0 r in
+  { flow; count }
+
+let equal_message a b = C.equal a.flow b.flow && a.count = b.count
+
+let state_bits st = C.bit_size st.acc + Bitio.Codes.gamma0_size st.got + 1
+
+let pp_message fmt { flow; count } =
+  Format.fprintf fmt "%a+%d" C.pp flow count
+
+let pp_state fmt st =
+  Format.fprintf fmt "acc=%s got=%d%s" (C.to_string st.acc) st.got
+    (if st.active then " active" else "")
+
+let digest st =
+  Printf.sprintf "%s|%d|%b" (C.to_string st.acc) st.got st.active
+
+(* The scalar cut law, tensored with a census ledger.  Each activated
+   internal vertex has minted one count into flight and so retains -1; the
+   terminal retains what it banked; counts ride flow messages.  The pair
+   total is therefore constantly [(unit, 1)]: when the flow coordinate sums
+   to one, every message has landed, so the census is complete too. *)
+let conservation =
+  Some
+    (Runtime.Protocol_intf.Conservation
+       {
+         zero = (C.zero, 0);
+         add = (fun (f1, c1) (f2, c2) -> (C.add f1 f2, c1 + c2));
+         of_message = (fun { flow; count } -> (flow, count));
+         retained =
+           (fun ~out_degree ~in_degree:_ st ->
+             if out_degree = 0 then (st.acc, st.got)
+             else (C.zero, if st.active then -1 else 0));
+         check =
+           (fun (flow, count) ->
+             if not (C.is_unit flow) then
+               Error
+                 (Printf.sprintf "cut flow %s <> 1" (C.to_string flow))
+             else if count <> 1 then
+               Error (Printf.sprintf "cut census %d <> 1" count)
+             else Ok ());
+       })
+
+(* Only the terminal banks census counts. *)
+let vertex_invariant =
+  Some (fun ~out_degree ~in_degree:_ st -> out_degree = 0 || st.got = 0)
+
+let census st = st.got + 1
+let accumulated st = st.acc

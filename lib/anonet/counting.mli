@@ -1,0 +1,30 @@
+(** Anonymous counting, Milani–Mosteiro-style: the terminal learns [n] — the
+    number of participating vertices — without identifiers, by piggybacking
+    a census on the Section 3 termination commodity.
+
+    Every message carries a dyadic flow share plus an integer count.  A
+    vertex mints [+1] for itself the first time it is activated and ships
+    its accumulated count on port 0 of its forwarding batch; flow splits by
+    the paper's power-of-two rule exactly as in
+    {!Scalar_broadcast}/{!Dag_broadcast}.  Because counts only ride
+    flow-carrying messages, the instant the terminal's flow sums back to
+    one, {e every} message has landed and the census is complete:
+    [census] = banked counts [+ 1] (the terminal itself) equals the number
+    of vertices the broadcast visited — [n] on grounded trees and DAGs,
+    where every vertex lies on an [s]-[t] path.
+
+    The conservation law is the scalar cut law tensored with the census
+    ledger: each activated internal vertex retains [-1] (offsetting the one
+    count it minted into flight), the terminal retains what it banked, so
+    the cut total is constantly [(unit, 1)] — checkable by {!Explore} at
+    every instant, and the property {!Runtime.Chaos} falsifies under
+    unexcused faults or churn. *)
+
+include Runtime.Protocol_intf.CHECKABLE
+
+val census : state -> int
+(** Terminal-side census: banked counts plus the terminal itself.  Equals
+    [n] exactly when the run terminated on a grounded tree or DAG. *)
+
+val accumulated : state -> Exact.Dyadic.t
+(** The flow banked so far (terminal) or passed through (internal). *)

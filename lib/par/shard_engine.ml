@@ -61,7 +61,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
 
   let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none)
-      ?(vfaults = Runtime.Vfaults.none) ?obs g =
+      ?(vfaults = Runtime.Vfaults.none) ?(churn = Runtime.Churn.none) ?obs g =
     let domains =
       match domains with
       | Some d when d < 1 -> invalid_arg "Shard_engine.run: domains < 1"
@@ -115,6 +115,14 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     let vfaulty = not (Runtime.Vfaults.is_none vfaults) in
     let vinstances =
       Array.init domains (fun _ -> Runtime.Vfaults.Instance.start vfaults)
+    in
+    (* One churn instance per shard, on the same single-writer argument: an
+       edge's offers all happen in the shard owning its target vertex, so
+       each edge's churn clock and PRNG stream live in exactly one instance
+       and the sharded fates match the sequential engine's offer-for-offer. *)
+    let churny = not (Runtime.Churn.is_none churn) in
+    let cinstances =
+      Array.init domains (fun _ -> Runtime.Churn.Instance.start churn)
     in
     let initial_of v =
       P.initial_state ~out_degree:(Digraph.out_degree g v)
@@ -213,6 +221,32 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           (match obs_tl with
           | Some (_, k) when !local_deliveries mod k = 0 -> obs_sample ()
           | _ -> ());
+          (* Churn fate first, on the edge's own offer clock, exactly as in
+             the sequential engine: a copy offered on an absent edge burns
+             its delivery slot but is charged no bits and never reaches the
+             edge- or vertex-fault coins. *)
+          let cfate =
+            if churny then
+              Runtime.Churn.Instance.on_offer cinstances.(d) ~edge:f.edge
+            else Runtime.Churn.Cross
+          in
+          if cfate <> Runtime.Churn.Cross then begin
+            match obs_tl with
+            | None -> ()
+            | Some (tl, _) ->
+                let mark kind =
+                  Obs.Timeline.instant tl ~track:d
+                    (Printf.sprintf "churn.%s:%d" kind f.edge)
+                in
+                (match cfate with
+                | Runtime.Churn.Removed left ->
+                    mark "remove";
+                    if left = 0 then mark "heal"
+                | Runtime.Churn.Back `Heal -> mark "heal"
+                | Runtime.Churn.Back `Add -> mark "add"
+                | Runtime.Churn.Down | Runtime.Churn.Cross -> ())
+          end
+          else begin
           let w = Bitio.Bit_writer.create () in
           P.encode w f.msg;
           let bits = Bitio.Bit_writer.length w + payload_bits in
@@ -295,7 +329,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
               end;
               List.iter (fun (j, m) -> send fi st f.tv j m) sends;
               if f.tv = t && P.accepting state' then
-                ignore (Atomic.compare_and_set status st_running st_terminated)));
+                ignore (Atomic.compare_and_set status st_running st_terminated)))
+          end;
           (* Only now give up the in-flight count: children are already
              counted, so the counter can never dip to 0 with work pending. *)
           ignore (Atomic.fetch_and_add in_flight (-1))
@@ -463,6 +498,31 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         replayed = 0;
       }
     in
+    let csum f = Array.fold_left (fun acc ci -> acc + f ci) 0 cinstances in
+    let churn_stats =
+      if not churny then E.no_churn_stats
+      else
+        {
+          E.adds = csum Runtime.Churn.Instance.adds;
+          removes = csum Runtime.Churn.Instance.removes;
+          heals = csum Runtime.Churn.Instance.heals;
+          messages_lost_in_flight = csum Runtime.Churn.Instance.lost;
+          window_violations = csum Runtime.Churn.Instance.window_violations;
+        }
+    in
+    (match obs with
+    | Some (o : Obs.t) when churny ->
+        (* Fold the per-shard churn totals into the same [engine.churn.*]
+           counters the sequential engine uses, so the report reconciles
+           exactly with the registry in both engines. *)
+        let reg = o.Obs.registry in
+        let addc name v = Obs.Registry.aadd (Obs.Registry.acounter reg name) v in
+        addc "engine.churn.adds" churn_stats.E.adds;
+        addc "engine.churn.removes" churn_stats.E.removes;
+        addc "engine.churn.heals" churn_stats.E.heals;
+        addc "engine.churn.lost_in_flight" churn_stats.E.messages_lost_in_flight;
+        addc "engine.churn.window_violations" churn_stats.E.window_violations
+    | _ -> ());
     let report =
       {
         E.outcome;
@@ -480,12 +540,14 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         states;
         fault_stats;
         vfault_stats;
+        churn_stats;
       }
     in
     { report; leftover = List.map (fun f -> f.msg) leftover_flights }
 
-  let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?obs g =
-    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?obs
-       g)
+  let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?churn
+      ?obs g =
+    (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults
+       ?churn ?obs g)
       .report
 end

@@ -40,7 +40,16 @@
     the fixed sound cadence of 1 (snapshot after every completed receive);
     the {!Runtime.Supervisor} retransmission layer is sequential-engine
     only — it needs the global quiescence probe the shards only pass at
-    shutdown — so [vfault_stats.replayed] is always 0 here. *)
+    shutdown — so [vfault_stats.replayed] is always 0 here.
+
+    {!Runtime.Churn} specs ride the same single-writer argument once more:
+    an edge's offers all happen in the shard owning its target vertex, so
+    each edge's churn clock (measured in offers {e on that edge}) and PRNG
+    stream live in exactly one per-shard instance, and churn fates — which
+    copies an absent edge swallows, when outages heal — match the
+    sequential engine offer-for-offer.  [churn_stats] is the sum over
+    shard instances and reconciles exactly with the [engine.churn.*]
+    counters when [obs] is supplied. *)
 
 type sharding =
   [ `Round_robin  (** [owner v = v mod domains]. *)
@@ -65,6 +74,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
     ?vfaults:Runtime.Vfaults.t ->
+    ?churn:Runtime.Churn.t ->
     ?obs:Obs.t ->
     Digraph.t ->
     full
@@ -89,6 +99,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?step_limit:int ->
     ?faults:Runtime.Faults.t ->
     ?vfaults:Runtime.Vfaults.t ->
+    ?churn:Runtime.Churn.t ->
     ?obs:Obs.t ->
     Digraph.t ->
     P.state Runtime.Engine.report

@@ -1,12 +1,14 @@
 type fault =
   | Kill_edge of int
   | Crash_vertex of Vfaults.crash_event
+  | Churn_edge of Churn.event
 
 let describe_fault = function
   | Kill_edge e -> Printf.sprintf "kill-edge:%d" e
   | Crash_vertex c ->
       Printf.sprintf "crash:%d@%d/%d/%s" c.Vfaults.cv c.at c.downtime
         (Vfaults.describe_recovery c.c_recovery)
+  | Churn_edge e -> Churn.describe_event e
 
 let canonical_key fs =
   String.concat ";" (List.sort compare (List.map describe_fault fs))
@@ -18,6 +20,22 @@ let compile fs =
   let crashes =
     List.filter_map (function Crash_vertex c -> Some c | _ -> None) fs
   in
+  (* [Churn.script] admits at most one [Add] per edge; random trials may
+     draw several, so keep the first and let shrinking do the rest. *)
+  let churn_events =
+    let seen_add = Hashtbl.create 4 in
+    List.filter_map
+      (function
+        | Churn_edge (Churn.Add { edge; _ } as e) ->
+            if Hashtbl.mem seen_add edge then None
+            else begin
+              Hashtbl.add seen_add edge ();
+              Some e
+            end
+        | Churn_edge e -> Some e
+        | _ -> None)
+      fs
+  in
   let faults =
     if killed = [] then Faults.none
     else
@@ -27,7 +45,7 @@ let compile fs =
           else Faults.reliable)
         ~seed:0
   in
-  (faults, Vfaults.script crashes)
+  (faults, Vfaults.script crashes, Churn.script churn_events)
 
 (* The degraded coverage obligation: reachable from [s] through live edges
    and vertices that never crash-stop.  A crash-stopped vertex is excused
@@ -37,8 +55,17 @@ let compile fs =
    vertices are ones {e every} correct execution must reach. *)
 let required g fs =
   let n = Digraph.n_vertices g in
+  (* A churned-in edge ([Add]) is absent until traffic heals it, and no
+     correct execution may depend on that happening — treat it like a
+     killed edge for the obligation.  A churned-out edge ([Remove]) heals
+     after a bounded number of offers and excuses nothing. *)
   let killed =
-    List.filter_map (function Kill_edge e -> Some e | _ -> None) fs
+    List.filter_map
+      (function
+        | Kill_edge e -> Some e
+        | Churn_edge (Churn.Add { edge; _ }) -> Some edge
+        | _ -> None)
+      fs
   in
   let stops = Array.make n false in
   List.iter
@@ -81,6 +108,7 @@ type summary = {
   total_bits : int;
   fault_stats : Engine.fault_stats;
   vfault_stats : Engine.vertex_fault_stats;
+  churn_stats : Engine.churn_stats;
   schedule : int list;
 }
 
@@ -91,6 +119,7 @@ type runner = {
     record:bool ->
     faults:Faults.t ->
     vfaults:Vfaults.t ->
+    churn:Churn.t ->
     supervisor:Supervisor.config option ->
     step_limit:int ->
     Digraph.t ->
@@ -104,11 +133,13 @@ module Of_protocol (P : Protocol_intf.PROTOCOL) = struct
     {
       r_name = (match name with Some n -> n | None -> P.name);
       run =
-        (fun ~scheduler ~record ~faults ~vfaults ~supervisor ~step_limit g ->
+        (fun ~scheduler ~record ~faults ~vfaults ~churn ~supervisor ~step_limit
+             g ->
           let popped = ref [] in
           let on_pop = if record then Some (fun s -> popped := s :: !popped) else None in
           let r =
-            E.run ~scheduler ~faults ~vfaults ?supervisor ~step_limit ?on_pop g
+            E.run ~scheduler ~faults ~vfaults ~churn ?supervisor ~step_limit
+              ?on_pop g
           in
           {
             outcome = r.outcome;
@@ -117,6 +148,7 @@ module Of_protocol (P : Protocol_intf.PROTOCOL) = struct
             total_bits = r.total_bits;
             fault_stats = r.fault_stats;
             vfault_stats = r.vfault_stats;
+            churn_stats = r.churn_stats;
             schedule = List.rev !popped;
           });
     }
@@ -134,16 +166,24 @@ type config = {
   max_downtime : int;
   step_limit : int;
   supervisor : Supervisor.config option;
+  p_churn : float;
+  churn_t : int option;
 }
 
 let config ?(budget = 500) ?(max_faults = 4) ?(seed = 0) ?(p_edge = 0.5)
     ?(recoveries = [ Vfaults.Stop; Vfaults.Amnesia; Vfaults.Restore ])
-    ?(max_at = 6) ?(max_downtime = 4) ?(step_limit = 200_000) ?supervisor () =
+    ?(max_at = 6) ?(max_downtime = 4) ?(step_limit = 200_000) ?supervisor
+    ?(p_churn = 0.0) ?churn_t () =
   if budget < 1 then invalid_arg "Chaos.config: budget must be >= 1";
   if max_faults < 1 then invalid_arg "Chaos.config: max_faults must be >= 1";
   if recoveries = [] then invalid_arg "Chaos.config: recoveries must be non-empty";
   if max_at < 1 then invalid_arg "Chaos.config: max_at must be >= 1";
   if max_downtime < 1 then invalid_arg "Chaos.config: max_downtime must be >= 1";
+  if p_churn < 0.0 || p_churn > 1.0 then
+    invalid_arg "Chaos.config: p_churn must be in [0,1]";
+  (match churn_t with
+  | Some t when t < 1 -> invalid_arg "Chaos.config: churn_t must be >= 1"
+  | _ -> ());
   {
     budget;
     max_faults;
@@ -154,11 +194,16 @@ let config ?(budget = 500) ?(max_faults = 4) ?(seed = 0) ?(p_edge = 0.5)
     max_downtime;
     step_limit;
     supervisor;
+    p_churn;
+    churn_t;
   }
 
-type kind = Unsound | Starved
+type kind = Unsound | Starved | Livelock
 
-let describe_kind = function Unsound -> "unsound" | Starved -> "starved"
+let describe_kind = function
+  | Unsound -> "unsound"
+  | Starved -> "starved"
+  | Livelock -> "livelock"
 
 type witness = {
   w_runner : string;
@@ -181,15 +226,29 @@ type result = {
   witnesses : witness list;
   unsound : int;
   starved : int;
+  livelocked : int;
 }
 
 (* One atom, drawn from the trial's PRNG stream.  The source is immortal by
-   construction (it never receives), so it is never a crash target. *)
+   construction (it never receives), so it is never a crash target.  The
+   churn coin is drawn only when [p_churn > 0], so configs without churn
+   consume exactly the PRNG stream they always did and existing seeds keep
+   their witnesses byte-for-byte. *)
 let gen_fault cfg prng g =
   let ne = Digraph.n_edges g in
   let n = Digraph.n_vertices g in
   let s = Digraph.source g in
-  if (ne > 0 && Prng.chance prng cfg.p_edge) || n <= 1 then
+  if cfg.p_churn > 0.0 && ne > 0 && Prng.chance prng cfg.p_churn then begin
+    let edge = Prng.int prng ne in
+    let at = 1 + Prng.int prng cfg.max_at in
+    if Prng.chance prng 0.25 then Churn_edge (Churn.add_event ~edge ~at)
+    else
+      Churn_edge
+        (Churn.remove_event ~edge ~at
+           ~down_for:(Prng.int prng (cfg.max_downtime + 1))
+           ())
+  end
+  else if (ne > 0 && Prng.chance prng cfg.p_edge) || n <= 1 then
     Kill_edge (Prng.int prng ne)
   else begin
     let v = ref (Prng.int prng n) in
@@ -211,10 +270,20 @@ let trials cfg ~graph =
       let size = 1 + Prng.int prng cfg.max_faults in
       List.init size (fun _ -> gen_fault cfg prng graph))
 
+(* The T-interval contract, when configured, is installed for accounting
+   only ([with_contract], not [constrain]): fates are untouched, so replays
+   stay byte-identical, while [churn_stats.window_violations] reports how
+   badly the witness breaches the contract. *)
+let compiled_churn cfg ~graph churn =
+  match cfg.churn_t with
+  | None -> churn
+  | Some t -> Churn.with_contract ~t_interval:t graph churn
+
 let eval_trial cfg r ~graph fs =
-  let faults, vfaults = compile fs in
+  let faults, vfaults, churn = compile fs in
+  let churn = compiled_churn cfg ~graph churn in
   let s =
-    r.run ~scheduler:Scheduler.Fifo ~record:false ~faults ~vfaults
+    r.run ~scheduler:Scheduler.Fifo ~record:false ~faults ~vfaults ~churn
       ~supervisor:cfg.supervisor ~step_limit:cfg.step_limit graph
   in
   let req = required graph fs in
@@ -223,7 +292,11 @@ let eval_trial cfg r ~graph fs =
       (fun v -> req.(v) && not s.visited.(v))
       (Digraph.vertices graph)
   in
-  if missing = [] then None
+  if missing = [] then
+    (* Full coverage but the run never stopped spinning: the
+       amnesiac-flooding breakage class (a churned-in back edge closes a
+       cycle and tokens circulate forever). *)
+    if s.outcome = Engine.Step_limit then Some (Livelock, []) else None
   else Some ((if s.outcome = Engine.Terminated then Unsound else Starved), missing)
 
 (* Delta-debugging shrink preserving the violation kind: bisection passes
@@ -284,7 +357,35 @@ let shrink cfg r ~graph kind fs =
                 | None -> c
               else c
             in
-            Crash_vertex c)
+            Crash_vertex c
+        | Churn_edge ev ->
+            let try_with ev' =
+              let fs' =
+                List.mapi (fun j f' -> if j = i then Churn_edge ev' else f') fs
+              in
+              if fails fs' then Some ev' else None
+            in
+            let ev =
+              match ev with
+              | Churn.Remove { edge; at; down_for } when down_for > 0 -> (
+                  match try_with (Churn.Remove { edge; at; down_for = 0 }) with
+                  | Some ev' -> ev'
+                  | None -> ev)
+              | _ -> ev
+            in
+            let ev =
+              match ev with
+              | Churn.Remove { edge; at; down_for } when at > 1 -> (
+                  match try_with (Churn.Remove { edge; at = 1; down_for }) with
+                  | Some ev' -> ev'
+                  | None -> ev)
+              | Churn.Add { edge; at } when at > 1 -> (
+                  match try_with (Churn.Add { edge; at = 1 }) with
+                  | Some ev' -> ev'
+                  | None -> ev)
+              | _ -> ev
+            in
+            Churn_edge ev)
       fs
   in
   lower (drop_one (halve fs))
@@ -320,10 +421,11 @@ let run ?(map = fun f a -> Array.map f a) cfg ~runners ~graphs =
                   if Hashtbl.mem seen key then incr duplicates
                   else begin
                     Hashtbl.add seen key ();
-                    let faults, vfaults = compile shrunk in
+                    let faults, vfaults, churn = compile shrunk in
+                    let churn = compiled_churn cfg ~graph churn in
                     let s =
                       r.run ~scheduler:Scheduler.Fifo ~record:true ~faults
-                        ~vfaults ~supervisor:cfg.supervisor
+                        ~vfaults ~churn ~supervisor:cfg.supervisor
                         ~step_limit:cfg.step_limit graph
                     in
                     let req = required graph shrunk in
@@ -359,14 +461,17 @@ let run ?(map = fun f a -> Array.map f a) cfg ~runners ~graphs =
     witnesses;
     unsound = List.length (List.filter (fun w -> w.w_kind = Unsound) witnesses);
     starved = List.length (List.filter (fun w -> w.w_kind = Starved) witnesses);
+    livelocked =
+      List.length (List.filter (fun w -> w.w_kind = Livelock) witnesses);
   }
 
 let replay cfg r (gc : Campaign.graph_case) w =
   let graph = gc.Campaign.build ~seed:cfg.seed in
-  let faults, vfaults = compile w.w_faults in
+  let faults, vfaults, churn = compile w.w_faults in
+  let churn = compiled_churn cfg ~graph churn in
   r.run
     ~scheduler:(Scheduler.Replay w.w_schedule)
-    ~record:false ~faults ~vfaults ~supervisor:cfg.supervisor
+    ~record:false ~faults ~vfaults ~churn ~supervisor:cfg.supervisor
     ~step_limit:cfg.step_limit graph
 
 let confirms w (s : summary) =
@@ -393,6 +498,14 @@ let buf_fault b f =
            "{\"kind\":\"crash\",\"vertex\":%d,\"at\":%d,\"downtime\":%d,\"recovery\":\"%s\"}"
            c.Vfaults.cv c.at c.downtime
            (Vfaults.describe_recovery c.c_recovery))
+  | Churn_edge (Churn.Remove { edge; at; down_for }) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"kind\":\"churn_remove\",\"edge\":%d,\"at\":%d,\"down_for\":%d}"
+           edge at down_for)
+  | Churn_edge (Churn.Add { edge; at }) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"kind\":\"churn_add\",\"edge\":%d,\"at\":%d}" edge at)
 
 let buf_witness b w =
   Buffer.add_string b "{\"runner\":";
@@ -419,8 +532,9 @@ let to_json res =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"trials\":%d,\"hits\":%d,\"duplicates\":%d,\"unsound\":%d,\"starved\":%d,\"witnesses\":"
-       res.trials_run res.hits res.duplicates res.unsound res.starved);
+       "{\"trials\":%d,\"hits\":%d,\"duplicates\":%d,\"unsound\":%d,\"starved\":%d,\"livelocked\":%d,\"witnesses\":"
+       res.trials_run res.hits res.duplicates res.unsound res.starved
+       res.livelocked);
   Json.buf_list b buf_witness res.witnesses;
   Buffer.add_char b '}';
   Buffer.contents b

@@ -33,6 +33,9 @@
 type fault =
   | Kill_edge of int  (** Permanently kill a dense edge index. *)
   | Crash_vertex of Vfaults.crash_event
+  | Churn_edge of Churn.event
+      (** One churn-script atom: a bounded outage ([Remove]) or an
+          initially-absent edge appearing mid-run ([Add]). *)
 
 val describe_fault : fault -> string
 (** Stable, canonical rendering; used for the dedup key and JSON. *)
@@ -40,12 +43,16 @@ val describe_fault : fault -> string
 val canonical_key : fault list -> string
 (** Order-insensitive canonical key of a fault set. *)
 
-val compile : fault list -> Faults.t * Vfaults.t
+val compile : fault list -> Faults.t * Vfaults.t * Churn.t
 (** The engine-level fault specifications a fault set denotes: kills become
-    per-edge [kill = 1.0] plans, crashes become a {!Vfaults.script}. *)
+    per-edge [kill = 1.0] plans, crashes become a {!Vfaults.script}, churn
+    atoms a {!Churn.script} (extra [Add]s on one edge are dropped, keeping
+    the first). *)
 
 val required : Digraph.t -> fault list -> bool array
-(** The degraded coverage obligation described above. *)
+(** The degraded coverage obligation described above.  [Churn_edge Add]
+    atoms excuse like kills (the edge only appears if traffic heals it);
+    [Remove] atoms excuse nothing — their outages are bounded. *)
 
 (** {1 Runners} *)
 
@@ -56,6 +63,7 @@ type summary = {
   total_bits : int;
   fault_stats : Engine.fault_stats;
   vfault_stats : Engine.vertex_fault_stats;
+  churn_stats : Engine.churn_stats;
   schedule : int list;
       (** Consumed-copy seq numbers in order, when recorded; [[]] else. *)
 }
@@ -67,6 +75,7 @@ type runner = {
     record:bool ->
     faults:Faults.t ->
     vfaults:Vfaults.t ->
+    churn:Churn.t ->
     supervisor:Supervisor.config option ->
     step_limit:int ->
     Digraph.t ->
@@ -90,6 +99,16 @@ type config = {
   step_limit : int;
   supervisor : Supervisor.config option;
       (** Armed on every run the search performs, including replays. *)
+  p_churn : float;
+      (** Probability an atom is a churn event.  With the default [0.0] the
+          generator draws exactly the PRNG stream it always did, so
+          pre-churn seeds keep their witnesses byte-for-byte. *)
+  churn_t : int option;
+      (** When set, every run (trials, shrinks, replays) installs the
+          T-interval contract for {e accounting} ({!Churn.with_contract}):
+          fates are unchanged — replays stay byte-identical — and the
+          witness's [churn_stats.window_violations] reports contract
+          breaches. *)
 }
 
 val config :
@@ -102,13 +121,21 @@ val config :
   ?max_downtime:int ->
   ?step_limit:int ->
   ?supervisor:Supervisor.config ->
+  ?p_churn:float ->
+  ?churn_t:int ->
   unit ->
   config
 (** Defaults: budget 500, max_faults 4, seed 0, p_edge 0.5, all three
     recoveries, max_at 6, max_downtime 4, step_limit 200_000, no
-    supervisor. *)
+    supervisor, p_churn 0.0, no churn_t. *)
 
-type kind = Unsound | Starved
+type kind =
+  | Unsound
+  | Starved
+  | Livelock
+      (** Full coverage but [Step_limit]: the run never stopped spinning —
+          e.g. amnesiac flooding after a churned-in edge closes a cycle.
+          [w_missing] is empty for these witnesses. *)
 
 val describe_kind : kind -> string
 
@@ -133,6 +160,7 @@ type result = {
   witnesses : witness list;
   unsound : int;  (** Witnesses of kind [Unsound]. *)
   starved : int;
+  livelocked : int;  (** Witnesses of kind [Livelock]. *)
 }
 
 val trials : config -> graph:Digraph.t -> fault list array

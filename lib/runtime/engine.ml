@@ -44,6 +44,23 @@ let no_vfaults_stats =
     replayed = 0;
   }
 
+type churn_stats = {
+  adds : int;
+  removes : int;
+  heals : int;
+  messages_lost_in_flight : int;
+  window_violations : int;
+}
+
+let no_churn_stats =
+  {
+    adds = 0;
+    removes = 0;
+    heals = 0;
+    messages_lost_in_flight = 0;
+    window_violations = 0;
+  }
+
 type 'state report = {
   outcome : outcome;
   deliveries : int;
@@ -60,6 +77,7 @@ type 'state report = {
   states : 'state array;
   fault_stats : fault_stats;
   vfault_stats : vertex_fault_stats;
+  churn_stats : churn_stats;
 }
 
 exception Codec_mismatch of string
@@ -97,6 +115,11 @@ type obs_hooks = {
   c_stuttered : Obs.Registry.counter;
   c_checkpoints : Obs.Registry.counter;
   c_replayed : Obs.Registry.counter;
+  c_churn_adds : Obs.Registry.counter;
+  c_churn_removes : Obs.Registry.counter;
+  c_churn_heals : Obs.Registry.counter;
+  c_churn_lost : Obs.Registry.counter;
+  c_churn_violations : Obs.Registry.counter;
   c_receive_ns : Obs.Registry.counter;
   h_message_bits : Obs.Registry.histogram;
   h_receive_ns : Obs.Registry.histogram;
@@ -127,6 +150,12 @@ let obs_hooks ?(track = 0) (o : Obs.t) =
     c_stuttered = Obs.Registry.counter reg "engine.stuttered";
     c_checkpoints = Obs.Registry.counter reg "engine.checkpoints";
     c_replayed = Obs.Registry.counter reg "engine.replayed";
+    c_churn_adds = Obs.Registry.counter reg "engine.churn.adds";
+    c_churn_removes = Obs.Registry.counter reg "engine.churn.removes";
+    c_churn_heals = Obs.Registry.counter reg "engine.churn.heals";
+    c_churn_lost = Obs.Registry.counter reg "engine.churn.lost_in_flight";
+    c_churn_violations =
+      Obs.Registry.counter reg "engine.churn.window_violations";
     c_receive_ns = Obs.Registry.counter reg "engine.receive_ns";
     h_message_bits = Obs.Registry.histogram reg "engine.message_bits";
     h_receive_ns = Obs.Registry.histogram reg "engine.receive_ns_hist";
@@ -249,8 +278,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none)
-      ?(vfaults = Vfaults.none) ?supervisor ?(verify_codec = false) ?obs
-      ?on_deliver ?on_pop ?on_undelivered g =
+      ?(vfaults = Vfaults.none) ?(churn = Churn.none) ?supervisor
+      ?(verify_codec = false) ?obs ?on_deliver ?on_pop ?on_undelivered g =
     let oh = Option.map (fun o -> obs_hooks o) obs in
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
@@ -287,6 +316,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let fi = Faults.Instance.start faults in
     let vfaulty = not (Vfaults.is_none vfaults) in
     let vfi = Vfaults.Instance.start vfaults in
+    let churny = not (Churn.is_none churn) in
+    let ci = Churn.Instance.start churn in
     let supervised = supervisor <> None in
     (* Checkpoints: one state snapshot per vertex (initially pi0), plus the
        visited flag as of the snapshot.  States are immutable values, so
@@ -475,6 +506,39 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                replay schedule must re-deliver exactly those seqs to keep
                the per-vertex fault clocks aligned. *)
             (match on_pop with Some hook -> hook f.seq | None -> ());
+            (* The churn fate comes first, on the edge's own offer clock: a
+               copy offered on an absent edge is consumed (it occupies a
+               replay-schedule slot, so [on_pop] already saw it) but never
+               crossed the channel — no bits are charged to the edge, no
+               symbol is recorded, and the vertex fates never fire. *)
+            let cfate =
+              if churny then Churn.Instance.on_offer ci ~edge:f.edge
+              else Churn.Cross
+            in
+            if cfate <> Churn.Cross then begin
+              match oh with
+              | None -> ()
+              | Some h ->
+                  Obs.Registry.incr h.c_deliveries;
+                  decr until_sample;
+                  if !until_sample <= 0 then begin
+                    until_sample := h.oh_sample_every;
+                    obs_sample ()
+                  end;
+                  let tl = h.oh_timeline and track = h.oh_track in
+                  let mark kind =
+                    Obs.Timeline.instant tl ~track
+                      (Printf.sprintf "churn.%s:%d" kind f.edge)
+                  in
+                  (match cfate with
+                  | Churn.Removed left ->
+                      mark "remove";
+                      if left = 0 then mark "heal"
+                  | Churn.Back `Heal -> mark "heal"
+                  | Churn.Back `Add -> mark "add"
+                  | Churn.Down | Churn.Cross -> ())
+            end
+            else begin
             (* Charge the exact wire size. *)
             let w = Bitio.Bit_writer.create () in
             P.encode w f.msg;
@@ -687,7 +751,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                 if f.tv = t && P.accepting state' then begin
                   outcome := Terminated;
                   running := false
-                end))
+                end)
+            end)
       end
     done;
     (* Surface what never got delivered — the in-flight part of the final
@@ -713,6 +778,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           Obs.Registry.add h.c_dropped (Faults.Instance.dropped_copies fi);
           Obs.Registry.add h.c_extra (Faults.Instance.extra_copies fi);
           Obs.Registry.add h.c_delayed (Faults.Instance.delayed_copies fi)
+        end;
+        if churny then begin
+          (* Same folding discipline as the edge-fault counters: the churn
+             instance is the source of truth, so [engine.churn.*] reconciles
+             exactly with [churn_stats] across runs sharing one sink. *)
+          Obs.Registry.add h.c_churn_adds (Churn.Instance.adds ci);
+          Obs.Registry.add h.c_churn_removes (Churn.Instance.removes ci);
+          Obs.Registry.add h.c_churn_heals (Churn.Instance.heals ci);
+          Obs.Registry.add h.c_churn_lost (Churn.Instance.lost ci);
+          Obs.Registry.add h.c_churn_violations
+            (Churn.Instance.window_violations ci)
         end;
         Obs.Timeline.end_span h.oh_timeline ~track:h.oh_track "engine.run"
     | None -> ());
@@ -746,6 +822,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         replayed = !replayed;
       }
     in
+    let churn_stats =
+      if not churny then no_churn_stats
+      else
+        {
+          adds = Churn.Instance.adds ci;
+          removes = Churn.Instance.removes ci;
+          heals = Churn.Instance.heals ci;
+          messages_lost_in_flight = Churn.Instance.lost ci;
+          window_violations = Churn.Instance.window_violations ci;
+        }
+    in
     {
       outcome = !outcome;
       deliveries = !deliveries;
@@ -762,5 +849,6 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       states;
       fault_stats;
       vfault_stats;
+      churn_stats;
     }
 end

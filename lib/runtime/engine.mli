@@ -78,6 +78,21 @@ type vertex_fault_stats = {
 
 val no_vfaults_stats : vertex_fault_stats
 
+type churn_stats = {
+  adds : int;  (** Initially-absent edges that appeared. *)
+  removes : int;  (** Removal transitions fired. *)
+  heals : int;  (** Removed edges that came back up. *)
+  messages_lost_in_flight : int;
+      (** Copies swallowed by an absent edge (charged no bits — they never
+          crossed the wire). *)
+  window_violations : int;
+      (** Outages breaching the installed {!Churn} T-interval contract;
+          0 without a contract, and 0 by construction after
+          {!Churn.constrain}. *)
+}
+
+val no_churn_stats : churn_stats
+
 type 'state report = {
   outcome : outcome;
   deliveries : int;  (** Total messages delivered. *)
@@ -99,6 +114,9 @@ type 'state report = {
   fault_stats : fault_stats;  (** What the fault plan actually did. *)
   vfault_stats : vertex_fault_stats;
       (** What the vertex-fault plan and the supervisor actually did. *)
+  churn_stats : churn_stats;
+      (** What the churn adversary actually did; reconciles exactly with the
+          [engine.churn.*] Obs counters. *)
 }
 
 type event = {
@@ -125,6 +143,7 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?step_limit:int ->
     ?faults:Faults.t ->
     ?vfaults:Vfaults.t ->
+    ?churn:Churn.t ->
     ?supervisor:Supervisor.config ->
     ?verify_codec:bool ->
     ?obs:Obs.t ->
@@ -134,8 +153,14 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     Digraph.t ->
     P.state report
   (** Defaults: [scheduler = Fifo], [payload_bits = 0],
-      [step_limit = 10_000_000], no faults, no vertex faults, no
-      supervisor, [verify_codec = false].
+      [step_limit = 10_000_000], no faults, no vertex faults, no churn,
+      no supervisor, [verify_codec = false].
+
+      [churn] layers the edge add/remove adversary {e under} the fault and
+      vertex-fault filters: a copy popped for delivery on a currently-absent
+      edge is consumed (visible to [on_pop], so replays stay faithful) but
+      charged no bits and never reaches the edge- or vertex-fault coins.
+      Churn clocks are edge-local — see {!Churn}.
 
       With [supervisor] armed, per-vertex checkpoints are durable: an
       [Amnesia] crash restores from the last checkpoint exactly like

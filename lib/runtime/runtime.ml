@@ -7,6 +7,8 @@
       corrupt / kill), all seeded;
     - {!Vfaults} — per-vertex fault plans (crash-stop, restart with amnesia
       or from checkpoint, stutter), composing with {!Faults};
+    - {!Churn} — edge add/remove adversary with a T-interval-connectivity
+      contract, composing with both fault layers;
     - {!Supervisor} — the self-healing layer: per-vertex checkpoints and
       backoff retransmission;
     - {!Chaos} — joint edge-and-vertex fault-space search with witness
@@ -26,6 +28,7 @@ module Sync_engine = Sync_engine
 module Scheduler = Scheduler
 module Faults = Faults
 module Vfaults = Vfaults
+module Churn = Churn
 module Supervisor = Supervisor
 module Chaos = Chaos
 module Campaign = Campaign
