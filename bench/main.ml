@@ -30,6 +30,7 @@ let outcome_str = function
   | E.Terminated -> "terminated"
   | E.Quiescent -> "quiescent"
   | E.Step_limit -> "step-limit"
+  | E.Cancelled -> "cancelled"
 
 (* Average float-valued measurements over seeds. *)
 let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
@@ -329,7 +330,7 @@ let e12 () =
       match outcome' with
       | E.Terminated -> if visited then incr term_ok else incr term_bad
       | E.Quiescent -> incr quiescent
-      | E.Step_limit -> ()
+      | E.Step_limit | E.Cancelled -> ()
     done;
     pf "%34s %10d %12d %12d\n" name !term_ok !term_bad !quiescent
   in
@@ -1016,14 +1017,8 @@ let churn_bench ~small () =
   pf "  \"zero_overhead\": %b,\n" zero_overhead;
   pf "  \"amnesiac\": {\"quiesce_outcome\": %S, \"livelock_outcome\": %S, \
       \"split\": %b},\n"
-    (match quiesce.E.outcome with
-    | E.Terminated -> "terminated"
-    | E.Quiescent -> "quiescent"
-    | E.Step_limit -> "step-limit")
-    (match livelock.E.outcome with
-    | E.Terminated -> "terminated"
-    | E.Quiescent -> "quiescent"
-    | E.Step_limit -> "step-limit")
+    (outcome_str quiesce.E.outcome)
+    (outcome_str livelock.E.outcome)
     amnesiac_split;
   pf "  \"negative\": {\"trials\": %d, \"witnesses\": %d, \"livelocked\": \
       %d, \"unsound\": %d, \"all_replay_confirmed\": %b},\n"
@@ -1034,6 +1029,200 @@ let churn_bench ~small () =
     (sweep_unsound = 0 && sweep_heals > 0 && clamped_violations = 0
     && raw_violations > 0 && zero_overhead && amnesiac_split
     && neg.Ch.livelocked > 0 && neg.Ch.unsound = 0 && neg_confirmed);
+  pf "}\n"
+
+(* E19: the serve layer under load.  Drives [Server.handle_line] directly —
+   the same function the socket loop calls, minus syscalls — with an
+   open-loop mixed-session flood from the main domain while worker domains
+   execute, then audits every contract at once: no stuck sessions, no
+   unsound results, byte-identical payloads for equal submissions under
+   concurrent load, and exact metrics reconciliation. *)
+let serve_bench ~small () =
+  let module S = Serve.Server in
+  let module J = Obs.Json in
+  let sessions = if small then 1200 else 5000 in
+  let workers = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let config =
+    {
+      S.default_config with
+      graphs =
+        [ ("small", "comb:8"); ("mid", "random:30:5"); ("grid", "grid:6x6") ];
+      workers;
+      max_queue = 256;
+      credits = 1 lsl 20;  (* backpressure under test here is the queue *)
+      step_limit = 200_000;
+    }
+  in
+  let server =
+    match S.create ~config () with Ok s -> s | Error e -> failwith e
+  in
+  S.start_workers server;
+  let submit_line i =
+    (* Pairs (2k, 2k+1) are equal submissions under distinct ids: every
+       session participates in the byte-determinism audit. *)
+    let seed = i / 2 in
+    let id = Printf.sprintf "b%d" i in
+    match seed mod 3 with
+    | 0 ->
+        Printf.sprintf
+          "{\"op\":\"submit\",\"id\":\"%s\",\"protocol\":\"flood\",\"graph\":\"small\",\"seed\":%d}"
+          id seed
+    | 1 ->
+        Printf.sprintf
+          "{\"op\":\"submit\",\"id\":\"%s\",\"protocol\":\"counting\",\"graph\":\"grid\",\"scheduler\":\"random\",\"seed\":%d}"
+          id seed
+    | _ ->
+        Printf.sprintf
+          "{\"op\":\"submit\",\"id\":\"%s\",\"protocol\":\"general\",\"graph\":\"mid\",\"scheduler\":\"random\",\"seed\":%d,\"churn\":{\"rate\":0.05,\"seed\":%d}}"
+          id seed seed
+  in
+  let ok_of resp =
+    match J.parse resp with
+    | Ok v -> (
+        match Option.map J.to_bool_opt (J.member "ok" v) with
+        | Some (Some b) -> b
+        | _ -> false)
+    | Error _ -> false
+  in
+  let code_of resp =
+    match J.parse resp with
+    | Ok v -> (
+        match
+          Option.bind (J.member "error" v) (fun e ->
+              Option.bind (J.member "code" e) J.to_string_opt)
+        with
+        | Some c -> c
+        | None -> "")
+    | Error _ -> ""
+  in
+  let t0 = Unix.gettimeofday () in
+  let overloads = ref 0 in
+  for i = 0 to sessions - 1 do
+    let line = submit_line i in
+    let rec push () =
+      let resp = S.handle_line server ~conn:(i mod 8) line in
+      if not (ok_of resp) then
+        if code_of resp = "overloaded" then begin
+          (* open-loop producer hit admission control: back off and retry *)
+          incr overloads;
+          Unix.sleepf 0.0005;
+          push ()
+        end
+        else failwith ("submit rejected: " ^ resp)
+    in
+    push ()
+  done;
+  let finals =
+    Array.init sessions (fun i ->
+        let id = Printf.sprintf "b%d" i in
+        match S.await server id with
+        | Some st -> (id, st)
+        | None -> failwith ("lost session " ^ id))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stuck =
+    Array.fold_left
+      (fun acc (_, st) ->
+        match st with Serve.Session.Done _ -> acc | _ -> acc + 1)
+      0 finals
+  in
+  (* Fetch every result over the wire path and audit it. *)
+  let results =
+    Array.map
+      (fun (id, _) ->
+        let resp =
+          S.handle_line server ~conn:0
+            (Printf.sprintf "{\"op\":\"result\",\"id\":\"%s\"}" id)
+        in
+        if not (ok_of resp) then failwith ("result failed: " ^ resp);
+        match J.parse resp with
+        | Ok v -> (
+            match J.member "result" v with
+            | Some r -> (id, J.to_string r, r)
+            | None -> failwith "missing result")
+        | Error _ -> failwith "unparseable result")
+      finals
+  in
+  let int_member name v =
+    match Option.bind (J.member name v) J.to_int_opt with
+    | Some i -> i
+    | None -> -1
+  in
+  let unsound =
+    Array.fold_left
+      (fun acc (_, _, v) ->
+        let terminated =
+          match Option.bind (J.member "outcome" v) J.to_string_opt with
+          | Some "terminated" -> true
+          | _ -> false
+        in
+        let all_visited =
+          match Option.bind (J.member "all_visited" v) J.to_bool_opt with
+          | Some b -> b
+          | None -> false
+        in
+        if terminated && not all_visited then acc + 1 else acc)
+      0 results
+  in
+  let determinism_ok = ref true in
+  Array.iteri
+    (fun i (_, json, _) ->
+      if i mod 2 = 1 then
+        let _, json', _ = results.(i - 1) in
+        if json <> json' then determinism_ok := false)
+    results;
+  let sum_deliveries =
+    Array.fold_left (fun acc (_, _, v) -> acc + int_member "deliveries" v) 0 results
+  in
+  let metrics_resp = S.handle_line server ~conn:0 "{\"op\":\"metrics\"}" in
+  let metrics_deliveries =
+    match J.parse metrics_resp with
+    | Ok v -> (
+        match
+          Option.bind (J.member "result" v) (fun r ->
+              Option.bind (J.member "counters" r) (fun c ->
+                  Option.bind
+                    (J.member "sessions.engine.deliveries" c)
+                    J.to_int_opt))
+        with
+        | Some n -> n
+        | None -> -1)
+    | Error _ -> -1
+  in
+  let reconcile_ok = metrics_deliveries = sum_deliveries in
+  let latencies_ms =
+    Array.to_list
+      (Array.map
+         (fun (id, _, _) ->
+           match S.session_times server id with
+           | Some (t_in, t_out) -> (t_out -. t_in) *. 1000.0
+           | None -> nan)
+         results)
+  in
+  let pcts = Metrics.percentiles [ 50.0; 99.0 ] latencies_ms in
+  let p50, p99 =
+    match pcts with [ a; b ] -> (a, b) | _ -> (nan, nan)
+  in
+  S.stop server;
+  let pass =
+    stuck = 0 && unsound = 0 && !determinism_ok && reconcile_ok
+    && Array.length results = sessions
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E19-serve\",\n";
+  pf "  \"sessions\": %d,\n" sessions;
+  pf "  \"workers\": %d,\n" workers;
+  pf "  \"wall_seconds\": %.3f,\n" wall_s;
+  pf "  \"sessions_per_sec\": %.1f,\n" (float_of_int sessions /. wall_s);
+  pf "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n" p50 p99;
+  pf "  \"overload_retries\": %d,\n" !overloads;
+  pf "  \"stuck\": %d,\n" stuck;
+  pf "  \"unsound\": %d,\n" unsound;
+  pf "  \"determinism_ok\": %b,\n" !determinism_ok;
+  pf "  \"reconcile\": {\"sum_deliveries\": %d, \"metrics_deliveries\": %d, \
+      \"ok\": %b},\n"
+    sum_deliveries metrics_deliveries reconcile_ok;
+  pf "  \"pass\": %b\n" pass;
   pf "}\n"
 
 let all_tables =
@@ -1063,6 +1252,8 @@ let () =
           else if a = "chaos:small" then chaos_bench ~small:true ()
           else if a = "churn" then churn_bench ~small:false ()
           else if a = "churn:small" then churn_bench ~small:true ()
+          else if a = "serve" then serve_bench ~small:false ()
+          else if a = "serve:small" then serve_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
@@ -1070,6 +1261,6 @@ let () =
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
                    timing, throughput[:small], obs[:small], chaos[:small], \
-                   churn[:small])\n"
+                   churn[:small], serve[:small])\n"
                   a)
         args

@@ -24,91 +24,10 @@ let pf = Printf.printf
 
 (* {1 Family specifications} *)
 
-let family_doc =
-  "Network family: comb:N | path:N | diamond | fig8 | cycle:K | grid:RxC | \
-   full-tree:H:D | pruned:H:D | skeleton:N | random-tree:N:SEED | \
-   random-dag:N:SEED | random:N:SEED | layered:EDGES[:SEED] | ring:N | \
-   bidirected:N:SEED.  Append \
-   '+trap' to hang a trap vertex off the first internal vertex (e.g. \
-   'cycle:5+trap')."
+let family_doc = "Network family: " ^ F.spec_doc ^ " (e.g. 'cycle:5+trap')."
 
 let parse_family spec =
-  let spec, trap =
-    match String.index_opt spec '+' with
-    | Some i when String.sub spec i (String.length spec - i) = "+trap" ->
-        (String.sub spec 0 i, true)
-    | _ -> (spec, false)
-  in
-  let parts = String.split_on_char ':' spec in
-  let int s = int_of_string_opt s in
-  let base =
-    match parts with
-    | [ "comb"; n ] -> Option.map F.comb (int n)
-    | [ "path"; n ] -> Option.map F.path (int n)
-    | [ "diamond" ] -> Some (F.diamond ())
-    | [ "fig8" ] -> Some (F.figure_eight ())
-    | [ "cycle"; k ] -> Option.map (fun k -> F.cycle_with_exit ~k) (int k)
-    | [ "grid"; rc ] -> (
-        match String.split_on_char 'x' rc with
-        | [ r; c ] -> (
-            match (int r, int c) with
-            | Some rows, Some cols -> Some (F.grid_dag ~rows ~cols)
-            | _ -> None)
-        | _ -> None)
-    | [ "full-tree"; h; d ] -> (
-        match (int h, int d) with
-        | Some height, Some degree -> Some (F.full_tree ~height ~degree)
-        | _ -> None)
-    | [ "pruned"; h; d ] -> (
-        match (int h, int d) with
-        | Some height, Some degree -> Some (F.pruned_tree ~height ~degree)
-        | _ -> None)
-    | [ "skeleton"; n ] ->
-        Option.map (fun n -> F.skeleton ~n ~subset:(Array.make n true)) (int n)
-    | [ "random-tree"; n; seed ] -> (
-        match (int n, int seed) with
-        | Some n, Some seed ->
-            Some (F.random_grounded_tree (Prng.create seed) ~n ~t_edge_prob:0.3)
-        | _ -> None)
-    | [ "random-dag"; n; seed ] -> (
-        match (int n, int seed) with
-        | Some n, Some seed ->
-            Some
-              (F.random_dag (Prng.create seed) ~n ~extra_edges:n ~t_edge_prob:0.2)
-        | _ -> None)
-    | [ "random"; n; seed ] -> (
-        match (int n, int seed) with
-        | Some n, Some seed ->
-            Some
-              (F.random_digraph (Prng.create seed) ~n ~extra_edges:n
-                 ~back_edges:(n / 4) ~t_edge_prob:0.2)
-        | _ -> None)
-    | [ "layered"; e ] ->
-        Option.map
-          (fun e -> F.random_layered_large (Prng.create 42) ~target_edges:e)
-          (int e)
-    | [ "layered"; e; seed ] -> (
-        match (int e, int seed) with
-        | Some e, Some seed ->
-            Some (F.random_layered_large (Prng.create seed) ~target_edges:e)
-        | _ -> None)
-    | [ "ring"; n ] -> Option.map (fun n -> F.bidirected_ring ~n) (int n)
-    | [ "bidirected"; n; seed ] -> (
-        match (int n, int seed) with
-        | Some n, Some seed ->
-            Some (F.bidirected_random (Prng.create seed) ~n ~extra_edges:n)
-        | _ -> None)
-    | _ -> None
-  in
-  match base with
-  | None -> Error (`Msg (Printf.sprintf "cannot parse family %S" spec))
-  | Some g ->
-      Ok
-        (if trap then
-           match G.internal_vertices g with
-           | v :: _ -> F.add_trap g ~from_vertex:v
-           | [] -> g
-         else g)
+  match F.of_spec spec with Ok g -> Ok g | Error e -> Error (`Msg e)
 
 let family_conv =
   Cmdliner.Arg.conv
@@ -168,7 +87,8 @@ let describe_stats (st : Anonet.stats) =
     (match st.outcome with
     | E.Terminated -> "terminated"
     | E.Quiescent -> "quiescent (no termination)"
-    | E.Step_limit -> "step limit");
+    | E.Step_limit -> "step limit"
+    | E.Cancelled -> "cancelled");
   pf "deliveries       : %d\n" st.deliveries;
   pf "total bits       : %d\n" st.total_bits;
   pf "bandwidth        : %d bits (busiest edge)\n" st.max_edge_bits;
@@ -327,7 +247,7 @@ let finish (st : Anonet.stats) =
   | E.Terminated ->
       pf "\nerror: terminated with unvisited vertices (soundness violation)\n";
       `Ok 2
-  | E.Quiescent | E.Step_limit ->
+  | E.Quiescent | E.Step_limit | E.Cancelled ->
       pf "\nerror: protocol did not terminate\n";
       `Ok 1
 
@@ -493,7 +413,8 @@ let trace_cmd =
       (match r.outcome with
       | E.Terminated -> "terminated"
       | E.Quiescent -> "quiescent"
-      | E.Step_limit -> "step limit")
+      | E.Step_limit -> "step limit"
+      | E.Cancelled -> "cancelled")
       r.deliveries;
     print_string (Runtime.Trace.render ~limit tr);
     0
@@ -602,13 +523,14 @@ let faults_cmd =
             let all = Array.for_all (fun v -> v) r.visited in
             (match r.outcome with
             | E.Terminated -> if all then incr sound else incr false_term
-            | E.Quiescent | E.Step_limit -> ());
+            | E.Quiescent | E.Step_limit | E.Cancelled -> ());
             let f = r.fault_stats in
             pf "%5d %12s %6d/%-2d %9d %9d | %7d %6d %7d %7d %7d %5d\n" seed
               (match r.outcome with
               | E.Terminated -> if all then "terminated" else "FALSE-TERM"
               | E.Quiescent -> "quiescent"
-              | E.Step_limit -> "step-limit")
+              | E.Step_limit -> "step-limit"
+              | E.Cancelled -> "cancelled")
               visited n r.deliveries r.final_in_flight f.dropped_copies
               f.extra_copies f.delayed_copies f.corrupted_deliveries
               f.garbled_drops
@@ -727,7 +649,8 @@ let check_cmd =
               (match rep.r_outcome with
               | E.Terminated -> "terminated"
               | E.Quiescent -> "quiescent"
-              | E.Step_limit -> "step limit")
+              | E.Step_limit -> "step limit"
+              | E.Cancelled -> "cancelled")
               rep.r_deliveries
               (String.concat "; " (List.map string_of_int rep.r_unreached));
             print_string rep.r_trace)
@@ -797,7 +720,8 @@ let obs_cmd =
             (match r.E.outcome with
             | E.Terminated -> "terminated"
             | E.Quiescent -> "quiescent"
-            | E.Step_limit -> "step limit")
+            | E.Step_limit -> "step limit"
+            | E.Cancelled -> "cancelled")
             r.E.deliveries r.E.total_bits;
           let snap = Obs.Registry.snapshot o.Obs.registry in
           pf "\n%-28s %14s\n" "counter / gauge" "value";
@@ -1234,6 +1158,217 @@ let churn_cmd =
         (const run $ amnesiac_t $ budget_t $ seed_t $ rate_t $ t_interval_t
        $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
+(* {1 Serving}
+
+   [anonet serve] hosts the long-lived session service; [anonet client]
+   talks to one over its Unix socket — raw request lines, or the packaged
+   smoke probe CI runs. *)
+
+let serve_cmd =
+  let graph_t =
+    Arg.(
+      value
+      & opt_all string [ "small=comb:8" ]
+      & info [ "g"; "graph" ] ~docv:"NAME=FAMILY"
+          ~doc:
+            ("Add a named graph to the server table (repeatable).  FAMILY \
+              grammar: " ^ F.spec_doc ^ "."))
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket at $(docv).")
+  in
+  let stdio_t =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve stdin/stdout as connection 0 (NDJSON request per line); \
+             EOF shuts down when no socket is configured.")
+  in
+  let workers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing sessions concurrently.")
+  in
+  let max_queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound; submissions beyond it get the typed \
+             'overloaded' error immediately.")
+  in
+  let credits_t =
+    Arg.(
+      value & opt int 32
+      & info [ "credits" ] ~docv:"N"
+          ~doc:
+            "Max unfinished sessions per connection; beyond it: 'no_credit'.")
+  in
+  let step_limit_t =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "step-limit" ] ~docv:"N"
+          ~doc:"Default delivery budget for sessions that name none.")
+  in
+  let run graphs socket stdio workers max_queue credits step_limit =
+    let parse_pair spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+          Ok
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None -> Error (Printf.sprintf "--graph %S is not NAME=FAMILY" spec)
+    in
+    let rec parse_pairs acc = function
+      | [] -> Ok (List.rev acc)
+      | spec :: rest -> (
+          match parse_pair spec with
+          | Ok p -> parse_pairs (p :: acc) rest
+          | Error _ as e -> e)
+    in
+    match parse_pairs [] graphs with
+    | Error e -> `Error (false, e)
+    | Ok pairs -> (
+        if socket = None && not stdio then
+          `Error (false, "need --socket PATH, --stdio, or both")
+        else
+          let config =
+            {
+              Serve.Server.default_config with
+              graphs = pairs;
+              workers;
+              max_queue;
+              credits;
+              step_limit;
+            }
+          in
+          match Serve.Server.create ~config () with
+          | Error e -> `Error (false, e)
+          | Ok server ->
+              if not stdio then begin
+                pf "anonet serve: graphs [%s], %d workers, queue %d\n"
+                  (String.concat "; " (List.map fst pairs))
+                  workers max_queue;
+                Option.iter (pf "listening on %s\n%!") socket
+              end;
+              Serve.Server.serve_loop ?socket ~stdio server;
+              `Ok 0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host the long-lived session service: graphs loaded once, NDJSON \
+          submit/status/result/cancel/metrics/shutdown over stdio and/or a \
+          Unix socket, bounded admission, per-connection credits, live \
+          rolled-up metrics.")
+    Term.(
+      ret
+        (const run $ graph_t $ socket_t $ stdio_t $ workers_t $ max_queue_t
+       $ credits_t $ step_limit_t))
+
+let client_cmd =
+  let socket_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Server's Unix socket path.")
+  in
+  let smoke_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "smoke" ] ~docv:"N"
+          ~doc:
+            "Run the end-to-end smoke probe: N mixed sessions (flood, \
+             counting, churned general; every seed twice), then verify \
+             byte-determinism and that the server's merged metrics \
+             reconcile with the collected results.  Exits nonzero on any \
+             failure.")
+  in
+  let shutdown_t =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request after everything else.")
+  in
+  let lines_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:"Raw NDJSON request lines, sent in order; responses print to \
+                stdout.")
+  in
+  let run socket smoke shutdown lines =
+    let send_lines () =
+      match lines with
+      | [] -> Ok ()
+      | lines -> (
+          match Serve.Client.connect socket with
+          | Error e -> Error e
+          | Ok c ->
+              let rec go = function
+                | [] ->
+                    Serve.Client.close c;
+                    Ok ()
+                | l :: rest -> (
+                    match Serve.Client.request c l with
+                    | Ok resp ->
+                        print_endline resp;
+                        go rest
+                    | Error e ->
+                        Serve.Client.close c;
+                        Error e)
+              in
+              go lines)
+    in
+    let run_smoke () =
+      match smoke with
+      | None -> Ok true
+      | Some n -> (
+          match Serve.Client.smoke ~sessions:n ~socket () with
+          | Error e -> Error e
+          | Ok r ->
+              pf
+                "smoke: %d sessions, %d results, determinism=%b \
+                 reconcile=%b (sum=%d metrics=%d)\n"
+                r.Serve.Client.sessions r.Serve.Client.ok_results
+                r.Serve.Client.determinism_ok r.Serve.Client.reconcile_ok
+                r.Serve.Client.sum_deliveries r.Serve.Client.metrics_deliveries;
+              Ok
+                (r.Serve.Client.determinism_ok && r.Serve.Client.reconcile_ok
+                && r.Serve.Client.ok_results = r.Serve.Client.sessions))
+    in
+    match send_lines () with
+    | Error e -> `Error (false, e)
+    | Ok () -> (
+        match run_smoke () with
+        | Error e -> `Error (false, e)
+        | Ok healthy ->
+            let sd =
+              if shutdown then
+                match Serve.Client.shutdown ~socket with
+                | Ok resp ->
+                    print_endline resp;
+                    true
+                | Error e ->
+                    pf "shutdown failed: %s\n" e;
+                    false
+              else true
+            in
+            `Ok (if healthy && sd then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running 'anonet serve' over its Unix socket: send raw \
+          request lines, run the smoke probe, or ask it to shut down.")
+    Term.(ret (const run $ socket_t $ smoke_t $ shutdown_t $ lines_t))
+
 let main_cmd =
   let doc =
     "Distributed broadcasting and mapping protocols in directed anonymous \
@@ -1241,6 +1376,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
     [ run_cmd; sync_cmd; label_cmd; map_cmd; trace_cmd; dot_cmd; faults_cmd;
-      check_cmd; obs_cmd; chaos_cmd; churn_cmd ]
+      check_cmd; obs_cmd; chaos_cmd; churn_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

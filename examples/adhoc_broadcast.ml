@@ -22,6 +22,7 @@ let outcome = function
   | E.Terminated -> "terminated"
   | E.Quiescent -> "quiescent"
   | E.Step_limit -> "limit"
+  | E.Cancelled -> "cancelled"
 
 let firmware_bits = 1024
 

@@ -30,7 +30,8 @@ let () =
     (match stats.outcome with
     | Runtime.Engine.Terminated -> "terminated"
     | Runtime.Engine.Quiescent -> "quiescent"
-    | Runtime.Engine.Step_limit -> "step limit")
+    | Runtime.Engine.Step_limit -> "step limit"
+    | Runtime.Engine.Cancelled -> "cancelled")
     stats.deliveries stats.total_bits;
 
   match map with

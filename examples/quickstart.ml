@@ -14,7 +14,8 @@ let describe (st : Anonet.stats) =
     (match st.outcome with
     | Runtime.Engine.Terminated -> "terminated (t knows everyone got m)"
     | Runtime.Engine.Quiescent -> "quiescent (t cannot declare completion)"
-    | Runtime.Engine.Step_limit -> "step limit");
+    | Runtime.Engine.Step_limit -> "step limit"
+    | Runtime.Engine.Cancelled -> "cancelled");
   pf "  messages delivered : %d\n" st.deliveries;
   pf "  total bits on wire : %d\n" st.total_bits;
   pf "  bandwidth (1 edge) : %d bits\n" st.max_edge_bits;

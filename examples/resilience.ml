@@ -30,7 +30,7 @@ let tally name run =
     match r with
     | E.Terminated -> if visited_all then incr ok else incr false_term
     | E.Quiescent -> incr stuck
-    | E.Step_limit -> ()
+    | E.Step_limit | E.Cancelled -> ()
   done;
   pf "  %-34s %8d %12d %10d\n" name !ok !false_term !stuck
 

@@ -108,5 +108,6 @@ let map_network ?scheduler ?payload_bits g =
         Mapping.extract_map r.states.(Digraph.terminal g)
     | Runtime.Engine.Quiescent -> Error "protocol did not terminate (quiescent)"
     | Runtime.Engine.Step_limit -> Error "step limit reached"
+    | Runtime.Engine.Cancelled -> Error "run cancelled"
   in
   (stats_of_report r, map)

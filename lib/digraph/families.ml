@@ -401,3 +401,93 @@ let random_dynamic prng ~n ~extra_edges ~back_edges ~t_edge_prob
         })
   in
   (g, adds @ removes)
+
+(* {1 Family specifications}
+
+   One textual grammar for naming a family instance — shared by the CLI's
+   [--family] converter and the serving layer's graph table, so a spec that
+   works on the command line is exactly what a server config or a [submit]
+   request may use. *)
+
+let spec_doc =
+  "comb:N | path:N | diamond | fig8 | cycle:K | grid:RxC | full-tree:H:D | \
+   pruned:H:D | skeleton:N | random-tree:N:SEED | random-dag:N:SEED | \
+   random:N:SEED | layered:EDGES[:SEED] | ring:N | bidirected:N:SEED; \
+   append '+trap' to hang a trap vertex off the first internal vertex"
+
+let of_spec spec =
+  let spec, trap =
+    match String.index_opt spec '+' with
+    | Some i when String.sub spec i (String.length spec - i) = "+trap" ->
+        (String.sub spec 0 i, true)
+    | _ -> (spec, false)
+  in
+  let parts = String.split_on_char ':' spec in
+  let int s = int_of_string_opt s in
+  let base =
+    match parts with
+    | [ "comb"; n ] -> Option.map comb (int n)
+    | [ "path"; n ] -> Option.map path (int n)
+    | [ "diamond" ] -> Some (diamond ())
+    | [ "fig8" ] -> Some (figure_eight ())
+    | [ "cycle"; k ] -> Option.map (fun k -> cycle_with_exit ~k) (int k)
+    | [ "grid"; rc ] -> (
+        match String.split_on_char 'x' rc with
+        | [ r; c ] -> (
+            match (int r, int c) with
+            | Some rows, Some cols -> Some (grid_dag ~rows ~cols)
+            | _ -> None)
+        | _ -> None)
+    | [ "full-tree"; h; d ] -> (
+        match (int h, int d) with
+        | Some height, Some degree -> Some (full_tree ~height ~degree)
+        | _ -> None)
+    | [ "pruned"; h; d ] -> (
+        match (int h, int d) with
+        | Some height, Some degree -> Some (pruned_tree ~height ~degree)
+        | _ -> None)
+    | [ "skeleton"; n ] ->
+        Option.map (fun n -> skeleton ~n ~subset:(Array.make n true)) (int n)
+    | [ "random-tree"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some (random_grounded_tree (Prng.create seed) ~n ~t_edge_prob:0.3)
+        | _ -> None)
+    | [ "random-dag"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some (random_dag (Prng.create seed) ~n ~extra_edges:n ~t_edge_prob:0.2)
+        | _ -> None)
+    | [ "random"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some
+              (random_digraph (Prng.create seed) ~n ~extra_edges:n
+                 ~back_edges:(n / 4) ~t_edge_prob:0.2)
+        | _ -> None)
+    | [ "layered"; e ] ->
+        Option.map
+          (fun e -> random_layered_large (Prng.create 42) ~target_edges:e)
+          (int e)
+    | [ "layered"; e; seed ] -> (
+        match (int e, int seed) with
+        | Some e, Some seed ->
+            Some (random_layered_large (Prng.create seed) ~target_edges:e)
+        | _ -> None)
+    | [ "ring"; n ] -> Option.map (fun n -> bidirected_ring ~n) (int n)
+    | [ "bidirected"; n; seed ] -> (
+        match (int n, int seed) with
+        | Some n, Some seed ->
+            Some (bidirected_random (Prng.create seed) ~n ~extra_edges:n)
+        | _ -> None)
+    | _ -> None
+  in
+  match base with
+  | None -> Error (Printf.sprintf "cannot parse family %S" spec)
+  | Some g ->
+      Ok
+        (if trap then
+           match Graph.internal_vertices g with
+           | v :: _ -> add_trap g ~from_vertex:v
+           | [] -> g
+         else g)

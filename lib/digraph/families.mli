@@ -134,3 +134,16 @@ val random_dynamic :
     bounded outages.  Defaults: [removals = 4], [max_at = 4], [max_down = 3].
     Deterministic from the PRNG state; feed the script to
     [Runtime.Churn.of_dynamic]. *)
+
+(** {1 Family specifications} *)
+
+val spec_doc : string
+(** Human-readable grammar summary of {!of_spec}, for CLI help strings. *)
+
+val of_spec : string -> (Graph.t, string) result
+(** Parse a textual family spec — ["comb:32"], ["random:50:7"],
+    ["grid:4x5"], ["layered:20000:3"], ["cycle:5+trap"], ... — into the
+    graph it names.  Randomized families embed their PRNG seed in the spec,
+    so a spec is a complete, reproducible name for one instance: the same
+    string always yields the same graph.  This is the grammar behind the
+    CLI's [--family] and the serving layer's graph table. *)

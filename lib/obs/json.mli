@@ -24,9 +24,46 @@ val buf_float : Buffer.t -> float -> unit
 val escape : string -> string
 (** [escape s] is the JSON string literal for [s], quotes included. *)
 
+val to_channel : out_channel -> (Buffer.t -> unit) -> unit
+(** [to_channel oc emit] renders [emit] into a scratch buffer, writes the
+    result to [oc] as one newline-terminated line and flushes — the NDJSON
+    framing discipline of [anonet serve].  Rendering before writing keeps a
+    raising emitter from leaving a torn frame on the wire. *)
+
 val validate : string -> (unit, int) result
 (** Structural well-formedness check of one complete JSON document
     (trailing whitespace allowed, trailing garbage not).  [Error pos] gives
     the byte offset of the first offence.  Builds no document tree. *)
 
 val valid : string -> bool
+
+(** {1 Documents}
+
+    A full parser for the serving layer's request side.  Same grammar as
+    {!validate}; numbers keep their source lexeme, so {!to_string} of a
+    parsed document never respells a number. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of string  (** The unconverted source lexeme. *)
+  | String of string  (** Escapes decoded ([\uXXXX] re-encoded as UTF-8). *)
+  | Array of value list
+  | Object of (string * value) list  (** Members in source order. *)
+
+val parse : string -> (value, int) result
+(** One complete document; [Error pos] as in {!validate}. *)
+
+val to_string : value -> string
+(** Compact serialization: member order preserved, strings re-escaped with
+    {!buf_string}, number lexemes verbatim. *)
+
+val buf_value : Buffer.t -> value -> unit
+
+val member : string -> value -> value option
+(** Object member by key ([None] on non-objects too). *)
+
+val to_int_opt : value -> int option
+val to_float_opt : value -> float option
+val to_string_opt : value -> string option
+val to_bool_opt : value -> bool option

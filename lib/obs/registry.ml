@@ -169,6 +169,39 @@ let diff ~older ~newer =
       | e, _ -> (name, e))
     newer
 
+(* Roll a snapshot up into another registry, each entry under [prefix ^
+   name].  Counters and histogram contents {e add} (so per-session deltas
+   accumulate into server-wide totals), gauges take the incoming reading.
+   Registration is idempotent — merging the same names again reuses the
+   existing cells — and a prefixed name already registered with another
+   kind raises [Invalid_argument], exactly like direct registration.
+
+   Cell updates here are plain stores: concurrent merges into one registry
+   must be serialized by the caller (the serve layer holds one rollup lock
+   across each merge). *)
+let merge ~into ?(prefix = "") snap =
+  List.iter
+    (fun (name, entry) ->
+      let name = prefix ^ name in
+      match entry with
+      | Counter v -> add (counter into name) v
+      | Gauge v -> set (gauge into name) v
+      | Histogram { h_count; h_sum; h_buckets } ->
+          let h =
+            register into name
+              (fun () ->
+                H { h_count = 0; h_sum = 0; h_buckets = Array.make n_buckets 0 })
+              (function H h -> Some h | _ -> None)
+          in
+          h.h_count <- h.h_count + h_count;
+          h.h_sum <- h.h_sum + h_sum;
+          List.iter
+            (fun (i, c) ->
+              if i >= 0 && i < n_buckets then
+                h.h_buckets.(i) <- h.h_buckets.(i) + c)
+            h_buckets)
+    snap
+
 let to_json snap =
   let b = Buffer.create 512 in
   let section kind keep emit =

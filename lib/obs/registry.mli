@@ -70,6 +70,16 @@ val diff : older:snapshot -> newer:snapshot -> snapshot
 (** What happened between two snapshots: counters and histograms subtract,
     gauges keep the newer reading, entries missing from [newer] drop. *)
 
+val merge : into:t -> ?prefix:string -> snapshot -> unit
+(** Roll [snap] up into [into], each entry under [prefix ^ name]: counters
+    and histogram contents {e add}, gauges take the incoming reading.
+    Registration is idempotent — merging the same names again reuses the
+    cells — so any number of per-session snapshots fold into one
+    server-wide registry without double-registration.
+    @raise Invalid_argument if a prefixed name is already registered with
+    another kind.  Concurrent merges into one registry must be serialized
+    by the caller (cell updates are plain stores). *)
+
 val find : snapshot -> string -> int option
 (** Counter or gauge value by name. *)
 

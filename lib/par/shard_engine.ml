@@ -5,6 +5,7 @@ let st_running = 0
 let st_terminated = 1
 let st_step_limit = 2
 let st_quiescent = 3
+let st_cancelled = 4
 
 module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
   module E = Runtime.Engine
@@ -61,7 +62,13 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
 
   let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none)
-      ?(vfaults = Runtime.Vfaults.none) ?(churn = Runtime.Churn.none) ?obs g =
+      ?(vfaults = Runtime.Vfaults.none) ?(churn = Runtime.Churn.none) ?stop
+      ?obs g =
+    (* Cooperative cancellation: every shard polls the (caller-supplied,
+       domain-safe) hook once per scheduling round; the first to see [true]
+       publishes [Cancelled] and the others stop at their next check, with
+       undelivered copies folded into [leftover]/[final_in_flight]. *)
+    let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
     let domains =
       match domains with
       | Some d when d < 1 -> invalid_arg "Shard_engine.run: domains < 1"
@@ -361,6 +368,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       | Some (tl, _) -> Obs.Timeline.begin_span tl ~track:d "par.shard"
       | None -> ());
       while Atomic.get status = st_running do
+        if stop_now () then
+          ignore (Atomic.compare_and_set status st_running st_cancelled);
         release_due ();
         match Mailbox.take_all mb with
         | _ :: _ as batch ->
@@ -434,6 +443,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       match Atomic.get status with
       | st when st = st_terminated -> E.Terminated
       | st when st = st_step_limit -> E.Step_limit
+      | st when st = st_cancelled -> E.Cancelled
       | _ -> if P.accepting states.(t) then E.Terminated else E.Quiescent
     in
     let seen_all = Hashtbl.create 64 in
@@ -546,8 +556,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     { report; leftover = List.map (fun f -> f.msg) leftover_flights }
 
   let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?churn
-      ?obs g =
+      ?stop ?obs g =
     (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults
-       ?churn ?obs g)
+       ?churn ?stop ?obs g)
       .report
 end

@@ -75,13 +75,21 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?faults:Runtime.Faults.t ->
     ?vfaults:Runtime.Vfaults.t ->
     ?churn:Runtime.Churn.t ->
+    ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
     Digraph.t ->
     full
   (** Defaults: [domains = Domain.recommended_domain_count ()] (clamped to
       at least 1), [sharding = `Round_robin], [payload_bits = 0],
-      [step_limit = 10_000_000], no faults.  The report's [final_in_flight]
-      always equals [List.length leftover].
+      [step_limit = 10_000_000], no faults, no [stop] hook.  The report's
+      [final_in_flight] always equals [List.length leftover].
+
+      [stop], when given, must be safe to call from any domain (the serve
+      layer reads one [Atomic.t]); every shard polls it once per scheduling
+      round, and the first [true] publishes outcome
+      {!Runtime.Engine.Cancelled} via the same compare-and-set as the other
+      stop conditions — undelivered copies land in [leftover] with in-flight
+      accounting intact.
 
       [obs], when given, records per-shard telemetry on track [d] (the
       shard index): a [par.shard] span covering the worker's life,
@@ -100,6 +108,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?faults:Runtime.Faults.t ->
     ?vfaults:Runtime.Vfaults.t ->
     ?churn:Runtime.Churn.t ->
+    ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
     Digraph.t ->
     P.state Runtime.Engine.report

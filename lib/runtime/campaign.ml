@@ -264,7 +264,7 @@ let run ?(step_limit = 200_000) ?(max_shrinks = 8) ~runners ~graphs ~grid ~seeds
                             dark_edges = s.fault_stats.dead_edges;
                           }
                           :: !starvations
-                  | Engine.Step_limit -> incr step_limited)
+                  | Engine.Step_limit | Engine.Cancelled -> incr step_limited)
                 seeds;
               cells :=
                 {

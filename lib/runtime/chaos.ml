@@ -523,7 +523,8 @@ let buf_witness b w =
        (match w.w_outcome with
        | Engine.Terminated -> "terminated"
        | Engine.Quiescent -> "quiescent"
-       | Engine.Step_limit -> "step_limit")
+       | Engine.Step_limit -> "step_limit"
+       | Engine.Cancelled -> "cancelled")
        w.w_deliveries w.w_total_bits);
   Json.buf_int_list b w.w_schedule;
   Buffer.add_char b '}'

@@ -1,4 +1,4 @@
-type outcome = Terminated | Quiescent | Step_limit
+type outcome = Terminated | Quiescent | Step_limit | Cancelled
 
 type fault_stats = {
   dropped_copies : int;
@@ -279,7 +279,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none)
       ?(vfaults = Vfaults.none) ?(churn = Churn.none) ?supervisor
-      ?(verify_codec = false) ?obs ?on_deliver ?on_pop ?on_undelivered g =
+      ?(verify_codec = false) ?stop ?obs ?on_deliver ?on_pop ?on_undelivered g =
+    (* Cooperative cancellation: polled between deliveries, so a [true]
+       stops the run at a message boundary with the accounting intact
+       (undelivered copies stay counted in [final_in_flight] and reach
+       [on_undelivered], exactly as under [Step_limit]). *)
+    let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
     let oh = Option.map (fun o -> obs_hooks o) obs in
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
@@ -474,6 +479,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     while !running do
       if !deliveries >= step_limit then begin
         outcome := Step_limit;
+        running := false
+      end
+      else if stop_now () then begin
+        outcome := Cancelled;
         running := false
       end
       else begin

@@ -40,6 +40,12 @@ type outcome =
   | Terminated  (** The terminal's stopping predicate fired. *)
   | Quiescent  (** No messages in flight and the terminal never accepted. *)
   | Step_limit  (** Aborted; indicates a diverging protocol or a tiny limit. *)
+  | Cancelled
+      (** The caller's [stop] hook returned [true] between two deliveries
+          (cooperative cancellation — deadlines and [cancel] requests in the
+          serving layer).  In-flight accounting is intact: undelivered
+          copies stay counted in [final_in_flight] and reach
+          [on_undelivered], exactly as under [Step_limit]. *)
 
 type fault_stats = {
   dropped_copies : int;
@@ -146,6 +152,7 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?churn:Churn.t ->
     ?supervisor:Supervisor.config ->
     ?verify_codec:bool ->
+    ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
     ?on_deliver:(event -> P.message -> unit) ->
     ?on_pop:(int -> unit) ->
@@ -154,7 +161,12 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     P.state report
   (** Defaults: [scheduler = Fifo], [payload_bits = 0],
       [step_limit = 10_000_000], no faults, no vertex faults, no churn,
-      no supervisor, [verify_codec = false].
+      no supervisor, [verify_codec = false], no [stop] hook.
+
+      [stop], when given, is polled between deliveries; the first [true]
+      ends the run with outcome {!Cancelled} at a message boundary — no
+      partial receive, no accounting leak.  The serving layer implements
+      both [cancel] requests and per-session deadlines with it.
 
       [churn] layers the edge add/remove adversary {e under} the fault and
       vertex-fault filters: a copy popped for delivery on a currently-absent

@@ -1,0 +1,36 @@
+(** Unix-socket client for the serve protocol.
+
+    Request/response over one connection — the server answers every frame
+    with exactly one frame in order, so {!request} is a blocking
+    round-trip.  {!smoke} is the end-to-end probe used by [anonet client
+    smoke] and CI: a mixed flood/counting/churned load with every seed
+    submitted twice, checking byte-determinism and the metrics
+    reconciliation contract purely from the client side of the socket. *)
+
+type t
+
+val connect : string -> (t, string) result
+val close : t -> unit
+
+val request : t -> string -> (string, string) result
+(** Send one frame, read one response frame. *)
+
+val result_of : string -> (Obs.Json.value, string) result
+(** Unwrap a response envelope: the ["result"] value, or the error code
+    ([Error "overloaded"], ...). *)
+
+type smoke_report = {
+  sessions : int;
+  ok_results : int;
+  determinism_ok : bool;  (** Equal submissions rendered equal bytes. *)
+  reconcile_ok : bool;
+      (** ["sessions.engine.deliveries"] = sum of result deliveries. *)
+  sum_deliveries : int;
+  metrics_deliveries : int;
+}
+
+val smoke : ?sessions:int -> socket:string -> unit -> (smoke_report, string) result
+(** Needs a server with a graph named ["small"].  Default 30 sessions. *)
+
+val shutdown : socket:string -> (string, string) result
+(** Connect, send [{"op":"shutdown"}], return the raw response. *)

@@ -1,0 +1,21 @@
+(** Bounded multi-producer multi-consumer job queue — the admission-control
+    half of the server.
+
+    {!try_push} never blocks: a full (or closed) queue answers [false]
+    immediately, which the server turns into a typed [overloaded] error
+    instead of invisible latency.  {!pop} blocks; {!close} wakes every
+    consumer and lets them drain what was already accepted, so graceful
+    shutdown finishes admitted work. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+val try_push : 'a t -> 'a -> bool
+val pop : 'a t -> 'a option
+(** Blocks until an item or {!close}; [None] = closed and drained. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking; for driving jobs inline (tests, [workers = 0]). *)
+
+val close : 'a t -> unit
+val length : 'a t -> int

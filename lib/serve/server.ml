@@ -1,0 +1,499 @@
+(* The long-lived broadcast service.
+
+   One [t] owns: the graph table (family specs resolved once at startup,
+   shared read-only by every session), the session table, a bounded
+   admission queue drained by [workers] domains, per-connection submission
+   credits, and a server-wide [Obs.Registry] into which every finished
+   session's private registry is rolled up under the "sessions." prefix.
+
+   [handle_line] is the whole protocol: the stdio/socket event loop, the
+   in-process tests and the bench all drive the same function, so wire
+   coverage is engine coverage.  It is safe to call from any domain — the
+   tables take their own locks, server counters are atomic, and the merge
+   lock serializes every touch of the shared registry (whose cell updates
+   are plain stores).
+
+   Metrics reconciliation contract: a worker merges a session's registry
+   {e before} publishing its final state, so any client that has observed
+   a session finish observes a server registry that already contains it —
+   "sessions.engine.deliveries" equals the sum of [deliveries] over the
+   results the client has collected, exactly. *)
+
+module R = Obs.Registry
+
+type config = {
+  graphs : (string * string) list;  (* name -> family spec *)
+  workers : int;  (* 0 = drain via [step] (tests) *)
+  max_queue : int;
+  credits : int;  (* max unfinished sessions per connection *)
+  step_limit : int;  (* default when a submit names none *)
+  sample_every : int;  (* per-session Obs sampling cadence *)
+  max_line : int;
+}
+
+let default_config =
+  {
+    graphs = [ ("small", "comb:8") ];
+    workers = 2;
+    max_queue = 64;
+    credits = 32;
+    step_limit = 10_000_000;
+    sample_every = 1 lsl 20;
+    max_line = Wire.default_max_line;
+  }
+
+type t = {
+  cfg : config;
+  graphs : (string * Digraph.t) list;
+  sessions : Session.table;
+  queue : Session.t Sched.t;
+  registry : R.t;
+  merge_lock : Mutex.t;
+  c_submitted : R.acounter;
+  c_completed : R.acounter;
+  c_cancelled : R.acounter;
+  c_failed : R.acounter;
+  c_rejected_overloaded : R.acounter;
+  c_rejected_no_credit : R.acounter;
+  c_frames : R.acounter;
+  c_frame_errors : R.acounter;
+  shutdown_flag : bool Atomic.t;
+  credits_tbl : (int, int) Hashtbl.t;
+  credits_lock : Mutex.t;
+  mutable worker_doms : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let create ?(config = default_config) () =
+  if config.workers < 0 then Error "workers must be >= 0"
+  else if config.max_queue < 1 then Error "max_queue must be >= 1"
+  else if config.credits < 1 then Error "credits must be >= 1"
+  else if config.graphs = [] then Error "at least one --graph is required"
+  else
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, spec) :: rest -> (
+          if List.mem_assoc name acc then
+            Error (Printf.sprintf "duplicate graph name %S" name)
+          else
+            match Digraph.Families.of_spec spec with
+            | Ok g -> resolve ((name, g) :: acc) rest
+            | Error e -> Error (Printf.sprintf "graph %S: %s" name e))
+    in
+    match resolve [] config.graphs with
+    | Error _ as e -> e
+    | Ok graphs ->
+        let registry = R.create () in
+        let t =
+          {
+            cfg = config;
+            graphs;
+            sessions = Session.create_table ();
+            queue = Sched.create ~cap:config.max_queue;
+            registry;
+            merge_lock = Mutex.create ();
+            c_submitted = R.acounter registry "server.sessions.submitted";
+            c_completed = R.acounter registry "server.sessions.completed";
+            c_cancelled = R.acounter registry "server.sessions.cancelled";
+            c_failed = R.acounter registry "server.sessions.failed";
+            c_rejected_overloaded =
+              R.acounter registry "server.rejected.overloaded";
+            c_rejected_no_credit =
+              R.acounter registry "server.rejected.no_credit";
+            c_frames = R.acounter registry "server.frames";
+            c_frame_errors = R.acounter registry "server.frame_errors";
+            shutdown_flag = Atomic.make false;
+            credits_tbl = Hashtbl.create 8;
+            credits_lock = Mutex.create ();
+            worker_doms = [];
+            stopped = false;
+          }
+        in
+        Ok t
+
+(* {1 Credits} *)
+
+let credit_take t conn =
+  Mutex.lock t.credits_lock;
+  let used = Option.value ~default:0 (Hashtbl.find_opt t.credits_tbl conn) in
+  let got = used < t.cfg.credits in
+  if got then Hashtbl.replace t.credits_tbl conn (used + 1);
+  Mutex.unlock t.credits_lock;
+  got
+
+let credit_release t conn =
+  Mutex.lock t.credits_lock;
+  (match Hashtbl.find_opt t.credits_tbl conn with
+  | Some used when used > 0 -> Hashtbl.replace t.credits_tbl conn (used - 1)
+  | _ -> ());
+  Mutex.unlock t.credits_lock
+
+(* {1 Session completion}
+
+   The single door through which a live session becomes finished:
+   transition under the table lock, then release the connection credit
+   exactly once (the [credit_released] flag is flipped under the lock, so
+   a cancel racing a worker cannot double-release). *)
+
+let finish t (s : Session.t) (state : Session.state) =
+  let released =
+    Session.transition t.sessions s (fun s ->
+        match s.Session.state with
+        | Queued | Running ->
+            s.Session.state <- state;
+            s.Session.t_finished <- Unix.gettimeofday ();
+            let fresh = not s.Session.credit_released in
+            s.Session.credit_released <- true;
+            fresh
+        | _ -> false)
+  in
+  if released then begin
+    credit_release t s.Session.conn;
+    R.aincr
+      (match state with
+      | Done _ -> t.c_completed
+      | Cancelled _ -> t.c_cancelled
+      | _ -> t.c_failed)
+  end;
+  released
+
+(* {1 Executing one session (worker side)} *)
+
+let execute t (s : Session.t) =
+  let claim =
+    Session.transition t.sessions s (fun s ->
+        match s.Session.state with
+        | Queued ->
+            s.Session.state <- Running;
+            true
+        | _ -> false  (* cancelled while queued; nothing to do *))
+  in
+  if claim then begin
+    let sub = s.Session.submit in
+    let g = List.assoc sub.Proto.sub_graph t.graphs in
+    let obs = Obs.create ~sample_every:t.cfg.sample_every () in
+    (* The stop hook runs between deliveries on this worker's domain: the
+       cancel flag is checked every time, the deadline only every 1024
+       polls so [gettimeofday] stays off the hot path. *)
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+        sub.Proto.sub_deadline_ms
+    in
+    let countdown = ref 0 in
+    let stop () =
+      Atomic.get s.Session.cancel
+      ||
+      match deadline with
+      | None -> false
+      | Some d ->
+          decr countdown;
+          !countdown <= 0
+          && begin
+               countdown := 1024;
+               Unix.gettimeofday () > d
+             end
+    in
+    match
+      Runner.run ~stop ~obs ~step_limit:t.cfg.step_limit sub g
+    with
+    | exception e ->
+        ignore
+          (finish t s
+             (Session.Failed (Proto.Bad_request, Printexc.to_string e)))
+    | res ->
+        (* Roll the session's telemetry up BEFORE publishing the final
+           state: metrics seen after a result are never behind it. *)
+        Mutex.lock t.merge_lock;
+        R.merge ~into:t.registry ~prefix:"sessions."
+          (R.snapshot obs.Obs.registry);
+        Mutex.unlock t.merge_lock;
+        Session.transition t.sessions s (fun s ->
+            s.Session.deliveries <- res.Runner.r_deliveries;
+            s.Session.total_bits <- res.Runner.r_total_bits);
+        let state =
+          match res.Runner.r_outcome with
+          | Runtime.Engine.Cancelled ->
+              if Atomic.get s.Session.cancel then Session.Cancelled "cancel"
+              else Session.Cancelled "deadline"
+          | _ -> Session.Done res.Runner.json
+        in
+        ignore (finish t s state)
+  end
+
+let step t =
+  match Sched.try_pop t.queue with
+  | None -> false
+  | Some s ->
+      execute t s;
+      true
+
+let worker_loop t () =
+  let rec go () =
+    match Sched.pop t.queue with
+    | None -> ()
+    | Some s ->
+        execute t s;
+        go ()
+  in
+  go ()
+
+let start_workers t =
+  if t.worker_doms = [] && t.cfg.workers > 0 then
+    t.worker_doms <-
+      List.init t.cfg.workers (fun _ -> Domain.spawn (worker_loop t))
+
+(* Close the queue and join the workers; accepted sessions drain first. *)
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.shutdown_flag true;
+    Sched.close t.queue;
+    List.iter Domain.join t.worker_doms;
+    t.worker_doms <- [];
+    (* Anything still queued was never claimed: fail it visibly rather
+       than leaving clients polling a session that will never finish. *)
+    let rec drain () =
+      match Sched.try_pop t.queue with
+      | None -> ()
+      | Some s ->
+          ignore
+            (finish t s (Session.Failed (Proto.Shutting_down, "server stopped")));
+          drain ()
+    in
+    drain ()
+  end
+
+let shutting_down t = Atomic.get t.shutdown_flag
+
+(* {1 Request dispatch} *)
+
+let handle_submit t ~conn (sub : Proto.submit) =
+  let id = sub.Proto.sub_id in
+  if Atomic.get t.shutdown_flag then
+    Proto.error ~id Proto.Shutting_down "server is shutting down"
+  else if not (Runner.protocol_known sub.Proto.sub_protocol) then
+    Proto.error ~id Proto.Unknown_protocol
+      (Printf.sprintf "unknown protocol %S (one of: %s)"
+         sub.Proto.sub_protocol
+         (String.concat ", " Runner.protocol_names))
+  else if not (List.mem_assoc sub.Proto.sub_graph t.graphs) then
+    Proto.error ~id Proto.Unknown_graph
+      (Printf.sprintf "unknown graph %S (one of: %s)" sub.Proto.sub_graph
+         (String.concat ", " (List.map fst t.graphs)))
+  else if not (credit_take t conn) then begin
+    R.aincr t.c_rejected_no_credit;
+    Proto.error ~id Proto.No_credit
+      (Printf.sprintf "connection has %d unfinished sessions" t.cfg.credits)
+  end
+  else
+    match Session.add t.sessions ~conn ~now:(Unix.gettimeofday ()) sub with
+    | Error () ->
+        credit_release t conn;
+        Proto.error ~id Proto.Duplicate_id
+          (Printf.sprintf "session %S already exists" id)
+    | Ok s ->
+        if Sched.try_push t.queue s then begin
+          R.aincr t.c_submitted;
+          Proto.ok ~id (Proto.state_result "queued")
+        end
+        else begin
+          Session.remove t.sessions id;
+          credit_release t conn;
+          R.aincr t.c_rejected_overloaded;
+          Proto.error ~id Proto.Overloaded
+            (Printf.sprintf "admission queue full (%d)" t.cfg.max_queue)
+        end
+
+let with_session t id f =
+  match Session.find t.sessions id with
+  | None ->
+      Proto.error ~id Proto.Unknown_id (Printf.sprintf "no session %S" id)
+  | Some s -> f s
+
+let handle_status t id =
+  with_session t id (fun s ->
+      Proto.ok ~id
+        (Proto.state_result (Session.state_name (Session.state t.sessions s))))
+
+let handle_result t id =
+  with_session t id (fun s ->
+      match Session.state t.sessions s with
+      | Session.Done json -> Proto.ok ~id json
+      | Session.Failed (code, msg) -> Proto.error ~id code msg
+      | Session.Cancelled reason ->
+          Proto.error ~id Proto.Cancelled_error
+            (Printf.sprintf "session cancelled (%s)" reason)
+      | (Session.Queued | Session.Running) as st ->
+          Proto.error ~id Proto.Not_done
+            (Printf.sprintf "session is %s" (Session.state_name st)))
+
+let handle_cancel t id =
+  with_session t id (fun s ->
+      Atomic.set s.Session.cancel true;
+      (* A queued session dies right here; a running one is asked to stop
+         (the worker will observe the flag between deliveries) and a
+         finished one is left alone — cancel is idempotent. *)
+      if Session.state t.sessions s = Session.Queued then
+        ignore (finish t s (Session.Cancelled "cancel"));
+      let answer =
+        match Session.state t.sessions s with
+        | Session.Running -> "cancelling"
+        | st -> Session.state_name st
+      in
+      Proto.ok ~id (Proto.state_result answer))
+
+let metrics_json t =
+  Mutex.lock t.merge_lock;
+  let g = R.gauge t.registry "server.queue_depth" in
+  R.set g (Sched.length t.queue);
+  let live =
+    Session.fold t.sessions
+      (fun s acc -> if Session.finished s.Session.state then acc else acc + 1)
+      0
+  in
+  R.set (R.gauge t.registry "server.sessions.live") live;
+  let snap = R.snapshot t.registry in
+  Mutex.unlock t.merge_lock;
+  R.to_json snap
+
+let handle_line t ~conn line =
+  R.aincr t.c_frames;
+  match Proto.parse_request line with
+  | Error (id, code, msg) ->
+      R.aincr t.c_frame_errors;
+      Proto.error ?id code msg
+  | Ok (Proto.Submit sub) -> handle_submit t ~conn sub
+  | Ok (Proto.Status id) -> handle_status t id
+  | Ok (Proto.Result id) -> handle_result t id
+  | Ok (Proto.Cancel id) -> handle_cancel t id
+  | Ok Proto.Metrics -> Proto.ok (metrics_json t)
+  | Ok Proto.Shutdown ->
+      Atomic.set t.shutdown_flag true;
+      Proto.ok (Proto.state_result "shutting_down")
+
+(* {1 Introspection (tests and bench)} *)
+
+let registry t = t.registry
+let queue_length t = Sched.length t.queue
+let graph_names t = List.map fst t.graphs
+
+let await t id =
+  Option.map (fun s -> Session.await t.sessions s) (Session.find t.sessions id)
+
+let session_times t id =
+  Option.map
+    (fun (s : Session.t) -> (s.Session.t_submitted, s.Session.t_finished))
+    (Session.find t.sessions id)
+
+let session_counts t id =
+  Option.map
+    (fun (s : Session.t) -> (s.Session.deliveries, s.Session.total_bits))
+    (Session.find t.sessions id)
+
+(* {1 The stdio / socket event loop}
+
+   Single-threaded [Unix.select]: protocol work is cheap (submission is
+   enqueue-and-ack; the engines run on worker domains), so one loop thread
+   multiplexes stdin and every socket connection without further locking.
+   Connection 0 is stdin/stdout; accepted sockets get ids from 1. *)
+
+type conn_io = {
+  cid : int;
+  fd : Unix.file_descr;
+  reply_fd : Unix.file_descr;  (* = fd except for the stdin/stdout pair *)
+  w : Wire.t;
+}
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let serve_loop ?socket ?(stdio = false) t =
+  if socket = None && not stdio then
+    invalid_arg "Server.serve_loop: need a socket path, --stdio, or both";
+  start_workers t;
+  let listener =
+    Option.map
+      (fun path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 16;
+        (fd, path))
+      socket
+  in
+  let conns = Hashtbl.create 8 in
+  let next_cid = ref 1 in
+  if stdio then
+    Hashtbl.replace conns Unix.stdin
+      {
+        cid = 0;
+        fd = Unix.stdin;
+        reply_fd = Unix.stdout;
+        w = Wire.create ~max_line:t.cfg.max_line ();
+      };
+  let stdio_only = stdio && listener = None in
+  let buf = Bytes.create 65536 in
+  let drop c =
+    Hashtbl.remove conns c.fd;
+    if c.cid > 0 then try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let handle_events c events =
+    List.iter
+      (fun ev ->
+        let resp =
+          match ev with
+          | Wire.Line line -> handle_line t ~conn:c.cid line
+          | Wire.Overflow ->
+              R.aincr t.c_frame_errors;
+              Proto.error Proto.Parse_error
+                (Printf.sprintf "line exceeds %d bytes" t.cfg.max_line)
+        in
+        write_all c.reply_fd (resp ^ "\n"))
+      events
+  in
+  while not (Atomic.get t.shutdown_flag) do
+    let fds =
+      (match listener with Some (fd, _) -> [ fd ] | None -> [])
+      @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    match Unix.select fds [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            match listener with
+            | Some (lfd, _) when fd = lfd ->
+                let cfd, _ = Unix.accept lfd in
+                let cid = !next_cid in
+                incr next_cid;
+                Hashtbl.replace conns cfd
+                  {
+                    cid;
+                    fd = cfd;
+                    reply_fd = cfd;
+                    w = Wire.create ~max_line:t.cfg.max_line ();
+                  }
+            | _ -> (
+                match Hashtbl.find_opt conns fd with
+                | None -> ()
+                | Some c -> (
+                    match Unix.read c.fd buf 0 (Bytes.length buf) with
+                    | exception Unix.Unix_error _ -> drop c
+                    | 0 ->
+                        drop c;
+                        if c.cid = 0 && stdio_only then
+                          Atomic.set t.shutdown_flag true
+                    | n -> handle_events c (Wire.feed c.w buf 0 n))))
+          ready
+  done;
+  Hashtbl.iter (fun _ c -> if c.cid > 0 then drop c) conns;
+  Option.iter
+    (fun (fd, path) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    listener;
+  stop t

@@ -1,0 +1,78 @@
+(** The long-lived multi-session broadcast service.
+
+    One {!t} owns a graph table (family specs resolved once at startup),
+    the session table, a bounded admission queue drained by worker
+    domains, per-connection submission credits, and a server-wide
+    [Obs.Registry] into which every finished session's telemetry is
+    rolled up under the ["sessions."] prefix.
+
+    {!handle_line} {e is} the protocol — the stdio/socket event loop, the
+    in-process tests and the bench all drive the same function — and is
+    safe to call from any domain.
+
+    Reconciliation contract: a worker merges a session's registry before
+    publishing its final state, so a [metrics] snapshot taken after
+    observing a result already contains that session —
+    ["sessions.engine.deliveries"] equals the sum of [deliveries] over
+    the results observed so far, exactly. *)
+
+type config = {
+  graphs : (string * string) list;
+      (** Name -> family spec ({!Digraph.Families.of_spec} grammar). *)
+  workers : int;  (** 0 = no domains; drain with {!step} (tests). *)
+  max_queue : int;  (** Admission-queue bound; beyond it: [overloaded]. *)
+  credits : int;
+      (** Max unfinished sessions per connection; beyond it: [no_credit]. *)
+  step_limit : int;  (** Default when a submit names none. *)
+  sample_every : int;  (** Per-session [Obs] sampling cadence. *)
+  max_line : int;  (** Wire frame bound. *)
+}
+
+val default_config : config
+(** One graph ["small" = comb:8], 2 workers, queue 64, 32 credits. *)
+
+type t
+
+val create : ?config:config -> unit -> (t, string) result
+(** Resolves every graph spec; [Error] names the offending spec.  Worker
+    domains are NOT spawned yet — {!serve_loop} does, or call
+    {!start_workers} yourself. *)
+
+val handle_line : t -> conn:int -> string -> string
+(** Process one request frame, return one response frame (no newline).
+    [conn] scopes submission credits; any int is a valid connection. *)
+
+val start_workers : t -> unit
+val step : t -> bool
+(** Run one queued session inline on the calling domain ([false] = queue
+    empty).  Deterministic drain for [workers = 0] tests. *)
+
+val stop : t -> unit
+(** Close the admission queue, join the workers (accepted sessions finish
+    first), fail anything still queued.  Idempotent. *)
+
+val shutting_down : t -> bool
+(** A [shutdown] request was received (or {!stop} ran). *)
+
+val serve_loop : ?socket:string -> ?stdio:bool -> t -> unit
+(** Run the single-threaded select loop until a [shutdown] request (or
+    EOF on stdin in stdio-only mode), then {!stop}.  [socket] is a Unix
+    domain socket path (unlinked and rebound on entry, removed on exit);
+    [stdio] serves connection 0 on stdin/stdout.  At least one of the two
+    is required. *)
+
+(** {1 Introspection} (tests and bench) *)
+
+val registry : t -> Obs.Registry.t
+val queue_length : t -> int
+val graph_names : t -> string list
+
+val await : t -> string -> Session.state option
+(** Block until the session finishes; [None] = unknown id.  Needs a
+    drainer (workers or a {!step} caller) to ever return. *)
+
+val session_times : t -> string -> (float * float) option
+(** [(submitted, finished)] wall-clock stamps, for latency measurement. *)
+
+val session_counts : t -> string -> (int * int) option
+(** [(deliveries, total_bits)] from the session's report. *)

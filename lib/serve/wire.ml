@@ -1,0 +1,52 @@
+(* Newline-delimited framing with bounded lines.
+
+   One decoder per connection.  [feed] accepts an arbitrary byte slice —
+   lines split across reads, several lines in one read — and returns the
+   completed frames in arrival order.  A line longer than [max_line] yields
+   a single [`Overflow] event and the decoder discards bytes until the next
+   newline, so one abusive (or corrupt) frame costs its sender one error
+   response instead of unbounded server memory — and never kills the
+   connection, let alone the server. *)
+
+type event = Line of string | Overflow
+
+type t = {
+  buf : Buffer.t;
+  max_line : int;
+  mutable discarding : bool;
+}
+
+let default_max_line = 1 lsl 20
+
+let create ?(max_line = default_max_line) () =
+  if max_line < 1 then invalid_arg "Wire.create: max_line must be >= 1";
+  { buf = Buffer.create 256; max_line; discarding = false }
+
+(* A completed line, with one trailing CR stripped so CRLF peers work. *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  Buffer.clear t.buf;
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let feed t bytes off len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    invalid_arg "Wire.feed: slice out of bounds";
+  let out = ref [] in
+  for i = off to off + len - 1 do
+    let c = Bytes.get bytes i in
+    if t.discarding then begin
+      if c = '\n' then t.discarding <- false
+    end
+    else if c = '\n' then out := Line (take_line t) :: !out
+    else if Buffer.length t.buf >= t.max_line then begin
+      Buffer.clear t.buf;
+      t.discarding <- true;
+      out := Overflow :: !out
+    end
+    else Buffer.add_char t.buf c
+  done;
+  List.rev !out
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+let pending t = Buffer.length t.buf > 0 || t.discarding

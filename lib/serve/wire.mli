@@ -1,0 +1,34 @@
+(** Newline-delimited framing for the serve wire protocol.
+
+    One decoder per connection; {!feed} it whatever byte slices the socket
+    yields and it hands back completed frames in order, surviving frames
+    split across reads, several frames per read, and oversized or garbage
+    input.  Framing errors are {e events}, not exceptions: the connection
+    (and the server) always outlives them. *)
+
+type event =
+  | Line of string
+      (** One complete frame, newline stripped (a trailing CR too, so CRLF
+          peers work).  May be empty or arbitrary garbage — framing does
+          not validate JSON. *)
+  | Overflow
+      (** The current line exceeded [max_line] before its newline arrived.
+          Emitted once per offending line; the decoder discards the rest of
+          the line and resynchronizes at the next newline. *)
+
+type t
+
+val default_max_line : int
+(** 1 MiB. *)
+
+val create : ?max_line:int -> unit -> t
+
+val feed : t -> bytes -> int -> int -> event list
+(** [feed t bytes off len] consumes a slice and returns the events it
+    completes, in arrival order. *)
+
+val feed_string : t -> string -> event list
+
+val pending : t -> bool
+(** A partial line is buffered (or being discarded) — i.e. EOF now would
+    drop bytes. *)

@@ -23,6 +23,7 @@ let outcome_string (o : Runtime.Engine.outcome) =
   | Runtime.Engine.Terminated -> "terminated"
   | Runtime.Engine.Quiescent -> "quiescent"
   | Runtime.Engine.Step_limit -> "step-limit"
+  | Runtime.Engine.Cancelled -> "cancelled"
 
 let outcome =
   let pp fmt o = Format.pp_print_string fmt (outcome_string o) in

@@ -135,7 +135,7 @@ let prop_drops_never_false_terminate =
       match r.outcome with
       | E.Terminated -> Array.for_all (fun v -> v) r.visited
       | E.Quiescent -> true
-      | E.Step_limit -> false)
+      | E.Step_limit | E.Cancelled -> false)
 
 let prop_drops_safe_for_scalar =
   qcheck_to_alcotest ~count:60 "drops: scalar protocols never falsely terminate"
@@ -146,7 +146,7 @@ let prop_drops_safe_for_scalar =
       match r.outcome with
       | E.Terminated -> Array.for_all (fun v -> v) r.visited
       | E.Quiescent -> true
-      | E.Step_limit -> false)
+      | E.Step_limit | E.Cancelled -> false)
 
 (* A duplicated alpha delta is indistinguishable from a detected cycle, so
    even the interval protocol can beta-flood coverage for values whose alpha

@@ -89,6 +89,84 @@ let test_snapshot_diff () =
   Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
   Alcotest.(check bool) "snapshot JSON valid" true (Obs.Json.valid (R.to_json newer))
 
+(* Rollup: fold per-session snapshots into a server-wide registry. *)
+let test_merge_rollup () =
+  let session = R.create () in
+  R.add (R.counter session "engine.deliveries") 7;
+  R.set (R.gauge session "depth") 3;
+  let h = R.histogram session "bits" in
+  List.iter (R.observe h) [ 1; 900 ];
+  let snap = R.snapshot session in
+  let server = R.create () in
+  R.merge ~into:server ~prefix:"sessions." snap;
+  R.merge ~into:server ~prefix:"sessions." snap;
+  let merged = R.snapshot server in
+  Alcotest.(check (option int))
+    "counters add across merges" (Some 14)
+    (R.find merged "sessions.engine.deliveries");
+  Alcotest.(check (option int))
+    "gauges take the incoming reading" (Some 3)
+    (R.find merged "sessions.depth");
+  (match R.find_histogram merged "sessions.bits" with
+  | Some (count, sum, buckets) ->
+      Alcotest.(check int) "hist count adds" 4 count;
+      Alcotest.(check int) "hist sum adds" 1802 sum;
+      Alcotest.(check (list (pair int int))) "buckets add" [ (1, 2); (10, 2) ] buckets
+  | None -> Alcotest.fail "histogram missing after merge");
+  (* Unprefixed merge reuses cells idempotently... *)
+  let plain = R.create () in
+  R.merge ~into:plain snap;
+  Alcotest.(check (option int)) "no prefix" (Some 7)
+    (R.find (R.snapshot plain) "engine.deliveries");
+  (* ...and a kind collision under the prefixed name is loud. *)
+  ignore (R.histogram server "sessions.clash");
+  let bad = R.create () in
+  R.incr (R.counter bad "clash");
+  Alcotest.check_raises "kind collision"
+    (Invalid_argument
+       "Obs.Registry: \"sessions.clash\" already registered with another kind")
+    (fun () -> R.merge ~into:server ~prefix:"sessions." (R.snapshot bad))
+
+(* The value parser: bytes survive a parse/print round trip — including
+   control characters and the exact lexemes of numbers. *)
+let test_json_value_roundtrip () =
+  let module J = Obs.Json in
+  let cases =
+    [
+      "{\"a\":[1,2.50,-0.125e2],\"b\":\"tab\\tnl\\nq\\\"\",\"c\":null}";
+      "{\"ctl\":\"\\u0000\\u001f\\u0007\"}";
+      "[true,false,[],{},\"\",1e-9,100000000000000000000]";
+      "\"plain\"";
+      "-0.0";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok v -> Alcotest.(check string) "byte-faithful" s (J.to_string v)
+      | Error i -> Alcotest.failf "parse %s failed at %d" s i)
+    cases;
+  (* escape emits parseable text for every byte. *)
+  let wild = String.init 256 Char.chr in
+  (match J.parse (J.escape wild) with
+  | Ok v ->
+      Alcotest.(check (option string)) "escape round-trips all bytes"
+        (Some wild) (J.to_string_opt v)
+  | Error i -> Alcotest.failf "escaped string unparseable at %d" i);
+  (* accessors *)
+  match J.parse "{\"n\":3,\"f\":1.5,\"s\":\"x\",\"b\":true}" with
+  | Error _ -> Alcotest.fail "parse failed"
+  | Ok v ->
+      Alcotest.(check (option int)) "int" (Some 3)
+        (Option.bind (J.member "n" v) J.to_int_opt);
+      Alcotest.(check (option (float 1e-9))) "float" (Some 1.5)
+        (Option.bind (J.member "f" v) J.to_float_opt);
+      Alcotest.(check (option string)) "string" (Some "x")
+        (Option.bind (J.member "s" v) J.to_string_opt);
+      Alcotest.(check (option bool)) "bool" (Some true)
+        (Option.bind (J.member "b" v) J.to_bool_opt);
+      Alcotest.(check bool) "missing member" true (J.member "zz" v = None)
+
 (* {1 Timeline} *)
 
 let fake_clock () =
@@ -383,6 +461,8 @@ let () =
           Alcotest.test_case "cells" `Quick test_registry_cells;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "snapshot + diff + json" `Quick test_snapshot_diff;
+          Alcotest.test_case "merge rollup" `Quick test_merge_rollup;
+          Alcotest.test_case "json value round-trip" `Quick test_json_value_roundtrip;
         ] );
       ( "timeline",
         [

@@ -271,6 +271,32 @@ let test_edge_first_use () =
   Alcotest.(check bool) "steps increasing" true
     (List.map snd first_uses = List.sort compare (List.map snd first_uses))
 
+(* Cooperative cancellation: the hook is polled once per message boundary,
+   a [true] ends the run as [Cancelled] with the accounting intact — the
+   copies never delivered are all in [final_in_flight] and each reaches
+   [on_undelivered] exactly once. *)
+let test_cancelled_outcome () =
+  let g = F.grid_dag ~rows:4 ~cols:4 in
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 3
+  in
+  let undelivered = ref 0 in
+  let r = Hops_engine.run ~stop ~on_undelivered:(fun _ -> incr undelivered) g in
+  Alcotest.check outcome "cancelled" E.Cancelled r.outcome;
+  Alcotest.(check int) "three deliveries happened first" 3 r.deliveries;
+  Alcotest.(check bool) "messages were in flight" true (r.final_in_flight > 0);
+  Alcotest.(check int) "every leftover surfaced" r.final_in_flight !undelivered
+
+let test_stop_never_true_is_free () =
+  let g = F.comb 5 in
+  let plain = Flood_engine.run g in
+  let r = Flood_engine.run ~stop:(fun () -> false) g in
+  Alcotest.check outcome "same outcome" plain.outcome r.outcome;
+  Alcotest.(check int) "same deliveries" plain.deliveries r.deliveries;
+  Alcotest.(check int) "same bits" plain.total_bits r.total_bits
+
 let prop_flood_visits_all_digraphs =
   qcheck_to_alcotest ~count:80 "flood visits every vertex of any network"
     arb_digraph (fun g ->
@@ -305,6 +331,8 @@ let () =
           Alcotest.test_case "in-flight high water" `Quick test_in_flight_highwater;
           Alcotest.test_case "trace render" `Quick test_trace_render;
           Alcotest.test_case "trace render limit" `Quick test_trace_render_limit;
+          Alcotest.test_case "cancelled outcome" `Quick test_cancelled_outcome;
+          Alcotest.test_case "inert stop hook" `Quick test_stop_never_true_is_free;
         ] );
       ( "schedulers",
         [

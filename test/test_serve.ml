@@ -1,0 +1,370 @@
+(* The serve subsystem: NDJSON framing (including overflow resync and a
+   chunking fuzz), the full session lifecycle over [Server.handle_line]
+   (the exact function the socket loop calls), admission control and
+   credits, cancellation in every phase, byte-determinism of results
+   under concurrent load, and exact metrics reconciliation. *)
+
+open Helpers
+module W = Serve.Wire
+module S = Serve.Server
+module J = Obs.Json
+
+(* {1 Wire framing} *)
+
+let lines_of evs =
+  List.filter_map (function W.Line l -> Some l | W.Overflow -> None) evs
+
+let test_wire_basic () =
+  let w = W.create () in
+  Alcotest.(check (list string))
+    "two lines in one chunk" [ "a"; "bb" ]
+    (lines_of (W.feed_string w "a\nbb\n"));
+  Alcotest.(check (list string)) "partial buffered" [] (lines_of (W.feed_string w "cc"));
+  Alcotest.(check bool) "pending visible" true (W.pending w);
+  Alcotest.(check (list string))
+    "completed across feeds" [ "ccd" ]
+    (lines_of (W.feed_string w "d\n"));
+  Alcotest.(check (list string))
+    "CR stripped" [ "x" ]
+    (lines_of (W.feed_string w "x\r\n"));
+  Alcotest.(check (list string))
+    "empty line is a frame" [ "" ]
+    (lines_of (W.feed_string w "\n"))
+
+let test_wire_overflow () =
+  let w = W.create ~max_line:4 () in
+  let evs = W.feed_string w "abcdefgh\nok\n" in
+  Alcotest.(check int) "one overflow event" 1
+    (List.length (List.filter (( = ) W.Overflow) evs));
+  Alcotest.(check (list string)) "resyncs after newline" [ "ok" ] (lines_of evs);
+  (* Overflow split across feeds: the discard mode must persist. *)
+  let w = W.create ~max_line:4 () in
+  ignore (W.feed_string w "12345");
+  ignore (W.feed_string w "67890");
+  let evs = W.feed_string w "123\nfine\n" in
+  Alcotest.(check (list string)) "later frames survive" [ "fine" ] (lines_of evs)
+
+(* Any chunking of the same byte stream yields the same frames. *)
+let prop_wire_chunking =
+  qcheck_to_alcotest ~count:100 "framing is chunking-invariant"
+    QCheck.(
+      pair
+        (small_list (string_gen_of_size (Gen.int_range 0 12) (Gen.char_range 'a' 'z')))
+        (int_range 1 7))
+    (fun (lines, chunk) ->
+      let stream = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let w = W.create () in
+      let got = ref [] in
+      let n = String.length stream in
+      let i = ref 0 in
+      while !i < n do
+        let len = min chunk (n - !i) in
+        got := !got @ lines_of (W.feed_string w (String.sub stream !i len));
+        i := !i + len
+      done;
+      !got = lines)
+
+(* {1 Server helpers} *)
+
+let mk ?(workers = 0) ?(max_queue = 64) ?(credits = 32) () =
+  let config =
+    {
+      S.default_config with
+      graphs = [ ("small", "comb:4"); ("mid", "random:12:3") ];
+      workers;
+      max_queue;
+      credits;
+      (* counting on the cyclic [mid] graph runs to the step limit; keep
+         those sessions short — the contracts under test don't care. *)
+      step_limit = 20_000;
+    }
+  in
+  match S.create ~config () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "server create: %s" e
+
+let req t ?(conn = 0) line = S.handle_line t ~conn line
+
+let parse_resp resp =
+  match J.parse resp with
+  | Ok v -> v
+  | Error i -> Alcotest.failf "unparseable response at %d: %s" i resp
+
+let is_ok resp =
+  match Option.bind (J.member "ok" (parse_resp resp)) J.to_bool_opt with
+  | Some b -> b
+  | None -> Alcotest.failf "no \"ok\" in %s" resp
+
+let err_code resp =
+  match
+    Option.bind (J.member "error" (parse_resp resp)) (fun e ->
+        Option.bind (J.member "code" e) J.to_string_opt)
+  with
+  | Some c -> c
+  | None -> Alcotest.failf "no error code in %s" resp
+
+let state_of resp =
+  match
+    Option.bind (J.member "result" (parse_resp resp)) (fun r ->
+        Option.bind (J.member "state" r) J.to_string_opt)
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "no state in %s" resp
+
+let result_json resp =
+  match J.member "result" (parse_resp resp) with
+  | Some r -> r
+  | None -> Alcotest.failf "no result in %s" resp
+
+let submit_line ?(protocol = "flood") ?(graph = "small") ?(seed = 1) ?deadline_ms
+    ?step_limit id =
+  Printf.sprintf
+    "{\"op\":\"submit\",\"id\":%s,\"protocol\":%s,\"graph\":%s,\"seed\":%d%s%s}"
+    (J.escape id) (J.escape protocol) (J.escape graph) seed
+    (match deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf ",\"deadline_ms\":%d" ms)
+    (match step_limit with
+    | None -> ""
+    | Some l -> Printf.sprintf ",\"step_limit\":%d" l)
+
+let status t id = req t (Printf.sprintf "{\"op\":\"status\",\"id\":%s}" (J.escape id))
+let result t id = req t (Printf.sprintf "{\"op\":\"result\",\"id\":%s}" (J.escape id))
+let cancel t id = req t (Printf.sprintf "{\"op\":\"cancel\",\"id\":%s}" (J.escape id))
+
+(* {1 Lifecycle} *)
+
+let test_lifecycle () =
+  let t = mk () in
+  let r = req t (submit_line "a") in
+  Alcotest.(check bool) "submit accepted" true (is_ok r);
+  Alcotest.(check string) "queued" "queued" (state_of (status t "a"));
+  Alcotest.(check string) "result early" "not_done" (err_code (result t "a"));
+  Alcotest.(check bool) "step runs it" true (S.step t);
+  Alcotest.(check bool) "queue drained" false (S.step t);
+  Alcotest.(check string) "done" "done" (state_of (status t "a"));
+  let v = result_json (result t "a") in
+  Alcotest.(check (option string))
+    "flood quiesces" (Some "quiescent")
+    (Option.bind (J.member "outcome" v) J.to_string_opt);
+  Alcotest.(check (option bool))
+    "covers the graph" (Some true)
+    (Option.bind (J.member "all_visited" v) J.to_bool_opt);
+  let d = Option.bind (J.member "deliveries" v) J.to_int_opt in
+  Alcotest.(check bool) "deliveries counted" true (Option.value ~default:0 d > 0);
+  (* Reconciliation: the merged registry equals the one result we saw. *)
+  let m = result_json (req t "{\"op\":\"metrics\"}") in
+  Alcotest.(check (option int))
+    "metrics reconcile with the report" d
+    (Option.bind (J.member "counters" m)
+       (fun c -> Option.bind (J.member "sessions.engine.deliveries" c) J.to_int_opt));
+  S.stop t
+
+let test_bad_frames () =
+  let t = mk () in
+  Alcotest.(check string) "garbage" "parse_error" (err_code (req t "not json"));
+  Alcotest.(check string) "unknown op" "bad_request"
+    (err_code (req t "{\"op\":\"frobnicate\",\"id\":\"x\"}"));
+  Alcotest.(check string) "missing id" "bad_request"
+    (err_code (req t "{\"op\":\"status\"}"));
+  Alcotest.(check string) "unknown protocol" "unknown_protocol"
+    (err_code (req t (submit_line ~protocol:"telepathy" "x")));
+  Alcotest.(check string) "unknown graph" "unknown_graph"
+    (err_code (req t (submit_line ~graph:"nowhere" "x")));
+  Alcotest.(check string) "bad scheduler" "bad_request"
+    (err_code
+       (req t "{\"op\":\"submit\",\"id\":\"x\",\"protocol\":\"flood\",\"graph\":\"small\",\"scheduler\":\"psychic\"}"));
+  Alcotest.(check string) "unknown session" "unknown_id" (err_code (status t "ghost"));
+  (* The connection survives all of the above. *)
+  Alcotest.(check bool) "still serving" true (is_ok (req t (submit_line "ok")));
+  S.stop t
+
+let test_duplicate_id () =
+  let t = mk () in
+  Alcotest.(check bool) "first" true (is_ok (req t (submit_line "dup")));
+  Alcotest.(check string) "second rejected" "duplicate_id"
+    (err_code (req t (submit_line "dup")));
+  Alcotest.(check bool) "original unharmed" true (S.step t);
+  Alcotest.(check string) "and finishes" "done" (state_of (status t "dup"));
+  (* A finished id is still taken: results must stay addressable. *)
+  Alcotest.(check string) "still taken after finish" "duplicate_id"
+    (err_code (req t (submit_line "dup")));
+  S.stop t
+
+(* {1 Admission control} *)
+
+let test_overloaded () =
+  let t = mk ~max_queue:1 () in
+  Alcotest.(check bool) "fills the queue" true (is_ok (req t (submit_line "q1")));
+  let r = req t (submit_line "q2") in
+  Alcotest.(check string) "overflow typed" "overloaded" (err_code r);
+  (* Rollback: the refused session left no trace and the id is reusable. *)
+  Alcotest.(check string) "no ghost session" "unknown_id" (err_code (status t "q2"));
+  ignore (S.step t);
+  Alcotest.(check bool) "slot freed after drain" true (is_ok (req t (submit_line "q2")));
+  ignore (S.step t);
+  Alcotest.(check string) "retry completes" "done" (state_of (status t "q2"));
+  S.stop t
+
+let test_no_credit () =
+  let t = mk ~credits:1 () in
+  Alcotest.(check bool) "conn 0 first" true (is_ok (req t ~conn:0 (submit_line "c1")));
+  Alcotest.(check string) "conn 0 second refused" "no_credit"
+    (err_code (req t ~conn:0 (submit_line "c2")));
+  Alcotest.(check bool) "credits are per-connection" true
+    (is_ok (req t ~conn:1 (submit_line "c3")));
+  ignore (S.step t);
+  ignore (S.step t);
+  Alcotest.(check bool) "credit returns on finish" true
+    (is_ok (req t ~conn:0 (submit_line "c4")));
+  ignore (S.step t);
+  S.stop t
+
+(* {1 Cancellation} *)
+
+let test_cancel_queued () =
+  let t = mk () in
+  ignore (req t (submit_line "z"));
+  Alcotest.(check string) "cancel answers final state" "cancelled"
+    (state_of (cancel t "z"));
+  Alcotest.(check string) "status agrees" "cancelled" (state_of (status t "z"));
+  Alcotest.(check string) "result is a typed error" "cancelled"
+    (err_code (result t "z"));
+  (* The dead session is still in the queue; popping it must be a no-op. *)
+  Alcotest.(check bool) "worker pops the corpse" true (S.step t);
+  Alcotest.(check string) "not resurrected" "cancelled" (state_of (status t "z"));
+  Alcotest.(check string) "cancel is idempotent" "cancelled" (state_of (cancel t "z"));
+  S.stop t
+
+let test_deadline () =
+  let t = mk () in
+  (* The deadline clock starts when the worker picks the session up, so a
+     fast run cannot be caught by it — use one that would grind for ages
+     (counting on the cyclic graph, huge step limit) and give it 5ms: the
+     engine's periodic deadline poll must kill it mid-run. *)
+  ignore
+    (req t
+       (submit_line ~protocol:"counting" ~graph:"mid" ~step_limit:10_000_000
+          ~deadline_ms:5 "d"));
+  ignore (S.step t);
+  Alcotest.(check string) "deadline cancels" "cancelled" (state_of (status t "d"));
+  let resp = result t "d" in
+  Alcotest.(check string) "typed error" "cancelled" (err_code resp);
+  let msg =
+    match
+      Option.bind (J.member "error" (parse_resp resp)) (fun e ->
+          Option.bind (J.member "msg" e) J.to_string_opt)
+    with
+    | Some m -> m
+    | None -> ""
+  in
+  Alcotest.(check bool) "names the deadline" true
+    (let n = String.length msg in
+     let rec go i = i + 8 <= n && (String.sub msg i 8 = "deadline" || go (i + 1)) in
+     go 0);
+  S.stop t
+
+let test_cancel_running_race () =
+  (* Real workers, a burst of sessions, cancels racing execution: every
+     session must still reach a final state — none stuck, none lost. *)
+  let t = mk ~workers:2 () in
+  S.start_workers t;
+  let n = 24 in
+  for i = 0 to n - 1 do
+    let id = Printf.sprintf "r%d" i in
+    ignore (req t (submit_line ~graph:"mid" ~protocol:"counting" ~seed:i id))
+  done;
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then ignore (cancel t (Printf.sprintf "r%d" i))
+  done;
+  for i = 0 to n - 1 do
+    let id = Printf.sprintf "r%d" i in
+    match S.await t id with
+    | Some (Serve.Session.Done _ | Serve.Session.Cancelled _) -> ()
+    | Some st ->
+        Alcotest.failf "session %s ended %s" id (Serve.Session.state_name st)
+    | None -> Alcotest.failf "session %s lost" id
+  done;
+  S.stop t
+
+(* {1 Determinism and reconciliation under concurrency} *)
+
+let test_concurrent_determinism () =
+  let t = mk ~workers:4 () in
+  S.start_workers t;
+  let n = 8 in
+  for i = 0 to n - 1 do
+    ignore
+      (req t ~conn:i
+         (submit_line ~graph:"mid" ~protocol:"counting" ~seed:42
+            (Printf.sprintf "det%d" i)))
+  done;
+  let payloads =
+    List.init n (fun i ->
+        let id = Printf.sprintf "det%d" i in
+        ignore (S.await t id);
+        J.to_string (result_json (result t id)))
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "same seed, same bytes" (List.hd payloads) p)
+    payloads;
+  (* Exact rollup: merged deliveries = n * the per-run count. *)
+  let one =
+    match
+      Option.bind
+        (J.member "deliveries" (parse_resp (List.hd payloads)))
+        J.to_int_opt
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "no deliveries"
+  in
+  let m = result_json (req t "{\"op\":\"metrics\"}") in
+  Alcotest.(check (option int))
+    "rollup is exact" (Some (n * one))
+    (Option.bind (J.member "counters" m)
+       (fun c -> Option.bind (J.member "sessions.engine.deliveries" c) J.to_int_opt));
+  S.stop t
+
+let test_shutdown_refuses_submits () =
+  let t = mk () in
+  ignore (req t (submit_line "pre"));
+  S.stop t;
+  Alcotest.(check string) "queued work failed visibly" "shutting_down"
+    (err_code (result t "pre"));
+  Alcotest.(check string) "new submits refused" "shutting_down"
+    (err_code (req t (submit_line "post")))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "framing" `Quick test_wire_basic;
+          Alcotest.test_case "overflow + resync" `Quick test_wire_overflow;
+          prop_wire_chunking;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "submit/status/result/metrics" `Quick test_lifecycle;
+          Alcotest.test_case "bad frames" `Quick test_bad_frames;
+          Alcotest.test_case "duplicate id" `Quick test_duplicate_id;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overloaded" `Quick test_overloaded;
+          Alcotest.test_case "no_credit" `Quick test_no_credit;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "queued" `Quick test_cancel_queued;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "running races" `Quick test_cancel_running_race;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "8-way same-seed determinism" `Quick
+            test_concurrent_determinism;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_refuses_submits;
+        ] );
+    ]
