@@ -1031,6 +1031,89 @@ let churn_bench ~small () =
     && neg.Ch.livelocked > 0 && neg.Ch.unsound = 0 && neg_confirmed);
   pf "}\n"
 
+(* {1 E20 — flat-core engine throughput (JSON)} *)
+
+(* Prices the flat engine against the classic one on the E15 flood
+   workload — same graph, same schedule, byte-identical reports (asserted
+   here on every field the payload renders).  Two rows: the Fifo run takes
+   the certified flood fast path (ring of edge indices, absorbed
+   deliveries as two array ops), the Lifo run takes the generic flat path
+   (CSR adjacency + arena-backed messages + encode memo), so the JSON
+   separates "fast path" from "flat engine baseline" gains.  Classic and
+   flat runs interleave so machine drift lands on both sides. *)
+let flatcore_bench ~small () =
+  let target_edges = if small then 30_000 else 120_000 in
+  let repeats = if small then 3 else 5 in
+  let g = F.random_layered_large (Prng.create 42) ~target_edges in
+  let module Cn = Runtime.Engine.Make (Anonet.Flood) in
+  let module Fn = Flatcore.Engine.Make (Anonet.Flood) in
+  let t0 = Unix.gettimeofday () in
+  let csr = Flatcore.Csr.of_digraph g in
+  let compile_s = Unix.gettimeofday () -. t0 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let same (a : _ E.report) (b : _ E.report) =
+    a.E.outcome = b.E.outcome
+    && a.E.deliveries = b.E.deliveries
+    && a.E.total_bits = b.E.total_bits
+    && a.E.max_edge_bits = b.E.max_edge_bits
+    && a.E.max_message_bits = b.E.max_message_bits
+    && a.E.max_in_flight = b.E.max_in_flight
+    && a.E.final_in_flight = b.E.final_in_flight
+    && a.E.distinct_messages = b.E.distinct_messages
+    && a.E.visited = b.E.visited
+  in
+  let row sched =
+    let classic () = Cn.run ~scheduler:sched g in
+    let flat () = Fn.run_csr ~scheduler:sched csr in
+    ignore (classic ());
+    ignore (flat ());
+    let pairs = List.init repeats (fun _ -> (timed classic, timed flat)) in
+    let classic_med = Metrics.median (List.map (fun ((t, _), _) -> t) pairs) in
+    let flat_med = Metrics.median (List.map (fun (_, (t, _)) -> t) pairs) in
+    let parity =
+      List.for_all (fun ((_, cr), (_, fr)) -> same cr fr) pairs
+    in
+    let (_, (cr : _ E.report)), _ = List.hd pairs in
+    (cr.E.deliveries, classic_med, flat_med, parity)
+  in
+  let fifo = row Runtime.Scheduler.Fifo in
+  let lifo = row Runtime.Scheduler.Lifo in
+  let deliveries, _, _, _ = fifo in
+  let speedup (_, c, f, _) = c /. f in
+  let parity_all (_, _, _, p) = p in
+  let parity = parity_all fifo && parity_all lifo in
+  let pass = parity && speedup fifo >= (if small then 1.5 else 3.0) in
+  pf "{\n";
+  pf "  \"experiment\": \"E20-flatcore\",\n";
+  pf "  \"protocol\": \"flood\",\n";
+  pf "  \"graph\": {\"vertices\": %d, \"edges\": %d},\n" (G.n_vertices g)
+    (G.n_edges g);
+  pf "  \"repeats\": %d,\n" repeats;
+  pf "  \"deliveries\": %d,\n" deliveries;
+  pf "  \"csr_compile_s\": %.6f,\n" compile_s;
+  pf "  \"series\": [";
+  List.iteri
+    (fun i (path, sched, (deliveries, c, f, _)) ->
+      if i > 0 then pf ",";
+      pf
+        "\n\
+        \    {\"path\": %S, \"scheduler\": %S, \"classic_median_s\": %.6f, \
+         \"flat_median_s\": %.6f, \"classic_deliveries_per_s\": %.0f, \
+         \"flat_deliveries_per_s\": %.0f, \"speedup\": %.2f}"
+        path sched c f
+        (float_of_int deliveries /. c)
+        (float_of_int deliveries /. f)
+        (c /. f))
+    [ ("fast", "fifo", fifo); ("generic", "lifo", lifo) ];
+  pf "\n  ],\n";
+  pf "  \"parity\": %b,\n" parity;
+  pf "  \"pass\": %b\n" pass;
+  pf "}\n"
+
 (* E19: the serve layer under load.  Drives [Server.handle_line] directly —
    the same function the socket loop calls, minus syscalls — with an
    open-loop mixed-session flood from the main domain while worker domains
@@ -1254,6 +1337,8 @@ let () =
           else if a = "churn:small" then churn_bench ~small:true ()
           else if a = "serve" then serve_bench ~small:false ()
           else if a = "serve:small" then serve_bench ~small:true ()
+          else if a = "flatcore" then flatcore_bench ~small:false ()
+          else if a = "flatcore:small" then flatcore_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
@@ -1261,6 +1346,6 @@ let () =
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
                    timing, throughput[:small], obs[:small], chaos[:small], \
-                   churn[:small], serve[:small])\n"
+                   churn[:small], serve[:small], flatcore[:small])\n"
                   a)
         args

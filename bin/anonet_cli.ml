@@ -49,6 +49,16 @@ let scheduler_conv =
   Cmdliner.Arg.conv
     (parse_scheduler, fun fmt s -> Format.pp_print_string fmt (Runtime.Scheduler.describe s))
 
+let parse_engine s =
+  match Flatcore.kind_of_string s with
+  | Some k -> Ok k
+  | None -> Error (`Msg (Printf.sprintf "unknown engine %S (classic | flat)" s))
+
+let engine_conv =
+  Cmdliner.Arg.conv
+    ( parse_engine,
+      fun fmt k -> Format.pp_print_string fmt (Flatcore.string_of_kind k) )
+
 (* {1 Common terms} *)
 
 open Cmdliner
@@ -64,6 +74,17 @@ let scheduler_t =
     value
     & opt scheduler_conv Runtime.Scheduler.Fifo
     & info [ "scheduler" ] ~docv:"SCHED" ~doc:"fifo | lifo | random:SEED")
+
+let engine_t =
+  Arg.(
+    value
+    & opt engine_conv Flatcore.Classic
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "classic | flat.  The flat engine executes on the CSR-compiled \
+           graph with arena-backed messages; it runs the identical delivery \
+           schedule, so reports match the classic engine byte for byte — a \
+           pure performance knob.")
 
 let payload_t =
   Arg.(
@@ -264,13 +285,16 @@ let run_cmd =
   in
   (* One unified path: resolve the protocol module, pick the sequential or
      sharded engine, thread the optional [Obs] sink through either. *)
-  let run g protocol scheduler payload domains churn_rate churn_t churn_seed
-      sample trace_out metrics_out csv_out =
+  let run g protocol scheduler engine payload domains churn_rate churn_t
+      churn_seed sample trace_out metrics_out csv_out =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
         try
           if domains < 1 then invalid_arg "--domains must be at least 1";
+          if engine = Flatcore.Flat && domains > 1 then
+            invalid_arg
+              "--engine flat is the sequential fast engine; drop --domains";
           let obs = make_obs ~sample trace_out metrics_out csv_out in
           let churn = churn_of ~rate:churn_rate ~t:churn_t ~seed:churn_seed g in
           describe_graph g;
@@ -278,8 +302,10 @@ let run_cmd =
             pf "protocol: %s, domains: %d (sharded engine), payload: %d bits\n\n"
               protocol domains payload
           else
-            pf "protocol: %s, scheduler: %s, payload: %d bits\n\n" protocol
+            pf "protocol: %s, scheduler: %s, engine: %s, payload: %d bits\n\n"
+              protocol
               (Runtime.Scheduler.describe scheduler)
+              (Flatcore.string_of_kind engine)
               payload;
           let r, churn_stats =
             if domains > 1 then
@@ -287,8 +313,15 @@ let run_cmd =
               let r = En.run ~domains ~payload_bits:payload ~churn ?obs g in
               (Anonet.stats_of_report r, r.E.churn_stats)
             else
-              let module En = Runtime.Engine.Make (P) in
-              let r = En.run ~scheduler ~payload_bits:payload ~churn ?obs g in
+              let r =
+                match engine with
+                | Flatcore.Flat ->
+                    let module En = Flatcore.Engine.Make (P) in
+                    En.run ~scheduler ~payload_bits:payload ~churn ?obs g
+                | Flatcore.Classic ->
+                    let module En = Runtime.Engine.Make (P) in
+                    En.run ~scheduler ~payload_bits:payload ~churn ?obs g
+              in
               (Anonet.stats_of_report r, r.E.churn_stats)
           in
           if not (Runtime.Churn.is_none churn) then describe_churn churn_stats;
@@ -302,8 +335,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated network and print stats.")
     Term.(
-      ret (const run $ family_t $ protocol_t $ scheduler_t $ payload_t
-         $ domains_t $ churn_rate_t $ churn_t_t $ churn_seed_t
+      ret (const run $ family_t $ protocol_t $ scheduler_t $ engine_t
+         $ payload_t $ domains_t $ churn_rate_t $ churn_t_t $ churn_seed_t
          $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let label_cmd =
@@ -468,8 +501,8 @@ let faults_cmd =
              sends, receive-side dedup, and a checksum that turns bit corruption \
              into detected drops.")
   in
-  let run g protocol scheduler drop duplicate delay corrupt kill seeds k domains
-      sample trace_out metrics_out csv_out =
+  let run g protocol scheduler engine drop duplicate delay corrupt kill seeds k
+      domains sample trace_out metrics_out csv_out =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -490,20 +523,33 @@ let faults_cmd =
                         (P))
           in
           if domains < 1 then invalid_arg "--domains must be at least 1";
+          if engine = Flatcore.Flat && domains > 1 then
+            invalid_arg
+              "--engine flat is the sequential fast engine; drop --domains";
           (* One sink across the sweep: counters accumulate over all seeds. *)
           let obs = make_obs ~sample trace_out metrics_out csv_out in
           let module En = Runtime.Engine.Make (Q) in
+          let module Fn = Flatcore.Engine.Make (Q) in
           let module Pn = Par.Engine.Make (Q) in
+          (* The faulty runs share one CSR: compiled once, swept many times. *)
+          let csr =
+            if engine = Flatcore.Flat then Some (Flatcore.Csr.of_digraph g)
+            else None
+          in
           let engine_run ~faults g =
             if domains > 1 then Pn.run ~domains ~faults ?obs g
-            else En.run ~scheduler ~faults ?obs g
+            else
+              match csr with
+              | Some csr -> Fn.run_csr ~scheduler ~faults ?obs csr
+              | None -> En.run ~scheduler ~faults ?obs g
           in
           describe_graph g;
           if domains > 1 then
             pf "protocol: %s, domains: %d (sharded engine)\n" Q.name domains
           else
-            pf "protocol: %s, scheduler: %s\n" Q.name
-              (Runtime.Scheduler.describe scheduler);
+            pf "protocol: %s, scheduler: %s, engine: %s\n" Q.name
+              (Runtime.Scheduler.describe scheduler)
+              (Flatcore.string_of_kind engine);
           pf "faults  : drop=%.3f duplicate=%.3f delay<=%d corrupt=%.3f kill=%.3f\n\n"
             drop duplicate delay corrupt kill;
           let n = G.n_vertices g in
@@ -556,9 +602,9 @@ let faults_cmd =
           and print a per-seed outcome table with fault counters.")
     Term.(
       ret
-        (const run $ family_t $ protocol_t $ scheduler_t $ drop_t $ duplicate_t
-       $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t $ domains_t
-       $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+        (const run $ family_t $ protocol_t $ scheduler_t $ engine_t $ drop_t
+       $ duplicate_t $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t
+       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
 
 let check_cmd =
   let max_edges_t =
@@ -593,8 +639,8 @@ let check_cmd =
              Its split ships the whole commodity on one out-edge, so this must \
              find a false-termination counterexample and exit 1.")
   in
-  let run max_edges protocol max_states sabotage domains sample trace_out
-      metrics_out csv_out =
+  let run max_edges protocol engine max_states sabotage domains sample
+      trace_out metrics_out csv_out =
     let module X = Runtime.Explore in
     let module CS = Anonet.Check_suite in
     if sample < 1 then `Error (false, "--sample must be at least 1")
@@ -644,7 +690,7 @@ let check_cmd =
             pf "\n%s on %s: %s\n" c.c_protocol c.c_family (X.describe_kind v.kind);
             pf "schedule: [%s]\n"
               (String.concat "; " (List.map string_of_int v.schedule));
-            let rep = c.c_replay v.schedule in
+            let rep = c.c_replay ~engine v.schedule in
             pf "replayed through the engine: %s, %d deliveries, unvisited: [%s]\n"
               (match rep.r_outcome with
               | E.Terminated -> "terminated"
@@ -677,8 +723,9 @@ let check_cmd =
           with status 1.")
     Term.(
       ret
-        (const run $ max_edges_t $ protocol_t $ max_states_t $ sabotage_t
-       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+        (const run $ max_edges_t $ protocol_t $ engine_t $ max_states_t
+       $ sabotage_t $ domains_t $ sample_t $ trace_out_t $ metrics_out_t
+       $ csv_out_t))
 
 let obs_cmd =
   let protocol_t =
@@ -1042,7 +1089,7 @@ let churn_cmd =
                ~back_edges:2 ~t_edge_prob:0.3 ()));
     }
   in
-  let run amnesiac budget seed rate t_interval json_out sample trace_out
+  let run amnesiac budget seed rate t_interval engine json_out sample trace_out
       metrics_out csv_out =
     try
       if budget < 1 then invalid_arg "--budget must be at least 1";
@@ -1116,13 +1163,24 @@ let churn_cmd =
             | None -> churn
             | Some t -> Runtime.Churn.with_contract ~t_interval:t g churn
           in
+          (* Engine parity covers the replay scheduler too, so the trace of
+             the violating schedule is identical either way. *)
           let replay_one (module P : Runtime.Protocol_intf.PROTOCOL) =
-            let module En = Runtime.Engine.Make (P) in
-            ignore
-              (En.run
-                 ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
-                 ~faults ~vfaults ~churn ?supervisor
-                 ~step_limit:cfg.Ch.step_limit ~obs:o g)
+            match engine with
+            | Flatcore.Flat ->
+                let module En = Flatcore.Engine.Make (P) in
+                ignore
+                  (En.run
+                     ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
+                     ~faults ~vfaults ~churn ?supervisor
+                     ~step_limit:cfg.Ch.step_limit ~obs:o g)
+            | Flatcore.Classic ->
+                let module En = Runtime.Engine.Make (P) in
+                ignore
+                  (En.run
+                     ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
+                     ~faults ~vfaults ~churn ?supervisor
+                     ~step_limit:cfg.Ch.step_limit ~obs:o g)
           in
           replay_one
             (if amnesiac then (module Anonet.Amnesiac_flood)
@@ -1156,7 +1214,8 @@ let churn_cmd =
     Term.(
       ret
         (const run $ amnesiac_t $ budget_t $ seed_t $ rate_t $ t_interval_t
-       $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+       $ engine_t $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t
+       $ csv_out_t))
 
 (* {1 Serving}
 
@@ -1216,7 +1275,7 @@ let serve_cmd =
       & info [ "step-limit" ] ~docv:"N"
           ~doc:"Default delivery budget for sessions that name none.")
   in
-  let run graphs socket stdio workers max_queue credits step_limit =
+  let run graphs socket stdio workers max_queue credits step_limit engine =
     let parse_pair spec =
       match String.index_opt spec '=' with
       | Some i ->
@@ -1246,15 +1305,18 @@ let serve_cmd =
               max_queue;
               credits;
               step_limit;
+              default_engine = Flatcore.string_of_kind engine;
             }
           in
           match Serve.Server.create ~config () with
           | Error e -> `Error (false, e)
           | Ok server ->
               if not stdio then begin
-                pf "anonet serve: graphs [%s], %d workers, queue %d\n"
+                pf "anonet serve: graphs [%s], %d workers, queue %d, \
+                    default engine %s\n"
                   (String.concat "; " (List.map fst pairs))
-                  workers max_queue;
+                  workers max_queue
+                  (Flatcore.string_of_kind engine);
                 Option.iter (pf "listening on %s\n%!") socket
               end;
               Serve.Server.serve_loop ?socket ~stdio server;
@@ -1270,7 +1332,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ graph_t $ socket_t $ stdio_t $ workers_t $ max_queue_t
-       $ credits_t $ step_limit_t))
+       $ credits_t $ step_limit_t $ engine_t))
 
 let client_cmd =
   let socket_t =

@@ -20,8 +20,12 @@ type case = {
     ?obs:Obs.t ->
     unit ->
     Runtime.Explore.result;
-  c_replay : int list -> Runtime.Explore.replay;
-      (** Replay a recorded schedule through the real engine. *)
+  c_replay : ?engine:Flatcore.kind -> int list -> Runtime.Explore.replay;
+      (** Replay a recorded schedule through a real engine —
+          [Flatcore.Classic] (the default) or [Flatcore.Flat].  Both must
+          reproduce a recorded counterexample byte-for-byte: seq numbers
+          are engine-independent because the flat engine assigns them in
+          the identical send order. *)
 }
 
 val make :

@@ -51,6 +51,20 @@ let in_degree g v = Array.length g.in_adj.(v)
 let out_neighbor g v j = g.out_adj.(v).(j)
 let in_origin g v i = g.in_adj.(v).(i)
 
+let iter_out g v f =
+  let a = g.out_adj.(v) in
+  for j = 0 to Array.length a - 1 do
+    f j (Array.unsafe_get a j)
+  done
+
+let fold_out g v ~init f =
+  let a = g.out_adj.(v) in
+  let acc = ref init in
+  for j = 0 to Array.length a - 1 do
+    acc := f !acc j (Array.unsafe_get a j)
+  done;
+  !acc
+
 let out_port_target_port g u j =
   let v = g.out_adj.(u).(j) in
   (* Find which in-port of v corresponds to (u, j). *)

@@ -26,6 +26,15 @@ val in_degree : t -> vertex -> int
 val out_neighbor : t -> vertex -> int -> vertex
 (** [out_neighbor g v j] is the head of [v]'s [j]-th out-edge. *)
 
+val iter_out : t -> vertex -> (int -> vertex -> unit) -> unit
+(** [iter_out g v f] calls [f j head] for each out-port [j] of [v] in port
+    order — the allocation-free replacement for walking [edges] or pairing
+    ports by hand in hot loops. *)
+
+val fold_out : t -> vertex -> init:'a -> ('a -> int -> vertex -> 'a) -> 'a
+(** [fold_out g v ~init f] folds [f acc j head] over [v]'s out-ports in
+    port order. *)
+
 val in_origin : t -> vertex -> int -> vertex * int
 (** [in_origin g v i] is [(u, j)]: [v]'s [i]-th in-edge is [u]'s [j]-th
     out-edge. *)

@@ -1,0 +1,49 @@
+(** The query surface of a port-numbered directed anonymous network,
+    abstracted over the representation.
+
+    {!Graph} (pointer-y adjacency arrays, cheap to build incrementally) and
+    [Flatcore.Graph] (compressed-sparse-row int arrays, built once and
+    cache-friendly to traverse) both satisfy [S] — the NetCore-style
+    module-type seam that lets engines and analyses swap the layout without
+    touching call sites.  Everything from {!Graph} except [make] is here:
+    construction is representation-specific, queries are not. *)
+
+module type S = sig
+  type vertex = int
+  type t
+
+  val n_vertices : t -> int
+  val n_edges : t -> int
+  val source : t -> vertex
+  val terminal : t -> vertex
+  val out_degree : t -> vertex -> int
+  val in_degree : t -> vertex -> int
+  val out_neighbor : t -> vertex -> int -> vertex
+  val in_origin : t -> vertex -> int -> vertex * int
+  val out_port_target_port : t -> vertex -> int -> vertex * int
+  val iter_out : t -> vertex -> (int -> vertex -> unit) -> unit
+  val fold_out : t -> vertex -> init:'a -> ('a -> int -> vertex -> 'a) -> 'a
+  val edges : t -> (vertex * vertex) list
+  val edge_index : t -> vertex -> int -> int
+  val edge_of_index : t -> int -> vertex * int
+  val max_out_degree : t -> int
+  val vertices : t -> vertex list
+  val internal_vertices : t -> vertex list
+  val reachable_from_s : t -> bool array
+  val coreachable_to_t : t -> bool array
+  val all_reachable : t -> bool
+  val all_coreachable : t -> bool
+  val is_dag : t -> bool
+  val topological_order : t -> vertex list option
+  val is_grounded_tree : t -> bool
+  val classify : t -> [ `Grounded_tree | `Dag | `General ]
+  val scc : t -> int array * int
+  val validate : ?allow_multi_root:bool -> t -> (unit, string) result
+  val equal : t -> t -> bool
+  val distances_from : t -> vertex -> int array
+  val longest_path_dag : t -> int
+  val diameter_from_s : t -> int
+  val canonical_signature : t -> int * int * (int * int * int) list
+  val isomorphic : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

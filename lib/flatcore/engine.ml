@@ -1,0 +1,1030 @@
+(* The flat execution engine: Runtime.Engine semantics over a CSR graph,
+   an arena of encoded message slots, and — when a pre-run probe certifies
+   the protocol as flood-shaped — a specialized loop that delivers messages
+   as pure int arithmetic.
+
+   The contract is Engine_sig.S: for equal inputs, every field of the
+   returned report and every deterministic [engine.*] Obs counter is
+   byte-for-byte identical to [Runtime.Engine.Make].  The flat engine is a
+   different evaluation order of the same math, never a different
+   semantics, and [test/test_flatcore.ml] property-tests exactly that
+   across protocols x graph families x faults x vfaults x churn x
+   schedulers.
+
+   Where the classic engine spends its per-delivery budget:
+   - a [Bit_writer] allocation + encode to learn the wire size,
+   - a [length ^ ":" ^ bytes] key string + hashtable probe for
+     [distinct_messages],
+   - a heap-allocated flight record and a queue cell per copy.
+
+   Here a message is encoded once per physically-distinct value at send
+   time (a pointer-equality memo catches the overwhelmingly common case of
+   a protocol re-sending one value on every port) into a bump arena of
+   bytes; the slot id rides with the copy, so a delivery charges bits and
+   dedups symbols with two int loads and a byte flag.  The fast path goes
+   further and keeps the whole in-flight pool as one int array of edge
+   indices. *)
+
+module E = Runtime.Engine
+module Scheduler = Runtime.Scheduler
+module Faults = Runtime.Faults
+module Vfaults = Runtime.Vfaults
+module Churn = Runtime.Churn
+module Supervisor = Runtime.Supervisor
+module Binheap = Runtime.Binheap
+
+(* {1 The message arena}
+
+   One slot per distinct wire encoding: the bytes live in a single growing
+   buffer, the per-slot tables give offset and exact bit length, and
+   [seen] marks slots whose encoding crossed an edge at least once — the
+   flat representation of the classic engine's distinct-symbol table. *)
+
+type arena = {
+  mutable buf : Bytes.t;
+  mutable used : int;
+  mutable off : int array;  (* per slot: byte offset into [buf] *)
+  mutable len_bits : int array;  (* per slot: exact encoded length *)
+  mutable seen : Bytes.t;  (* per slot: '\001' once delivered across an edge *)
+  mutable n_slots : int;
+  mutable distinct : int;  (* slots marked seen *)
+  index : (string, int) Hashtbl.t;  (* encoding key -> slot *)
+}
+
+let arena_create () =
+  {
+    buf = Bytes.create 256;
+    used = 0;
+    off = Array.make 16 0;
+    len_bits = Array.make 16 0;
+    seen = Bytes.make 16 '\000';
+    n_slots = 0;
+    distinct = 0;
+    index = Hashtbl.create 64;
+  }
+
+let arena_add a bytes len_bits =
+  let blen = String.length bytes in
+  if a.used + blen > Bytes.length a.buf then begin
+    let cap = Stdlib.max (a.used + blen) (2 * Bytes.length a.buf) in
+    let bigger = Bytes.create cap in
+    Bytes.blit a.buf 0 bigger 0 a.used;
+    a.buf <- bigger
+  end;
+  Bytes.blit_string bytes 0 a.buf a.used blen;
+  if a.n_slots = Array.length a.off then begin
+    let cap = 2 * a.n_slots in
+    let grow arr = Array.append arr (Array.make a.n_slots 0) in
+    a.off <- grow a.off;
+    a.len_bits <- grow a.len_bits;
+    let seen = Bytes.make cap '\000' in
+    Bytes.blit a.seen 0 seen 0 a.n_slots;
+    a.seen <- seen
+  end;
+  let slot = a.n_slots in
+  a.off.(slot) <- a.used;
+  a.len_bits.(slot) <- len_bits;
+  a.used <- a.used + blen;
+  a.n_slots <- slot + 1;
+  slot
+
+(* The stored encoding, re-materialized as a string (corrupt/verify paths
+   only — never on the fault-free hot path). *)
+let arena_string a slot =
+  Bytes.sub_string a.buf a.off.(slot) ((a.len_bits.(slot) + 7) / 8)
+
+let arena_mark_seen a slot =
+  if Bytes.get a.seen slot = '\000' then begin
+    Bytes.set a.seen slot '\001';
+    a.distinct <- a.distinct + 1
+  end
+
+module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
+  type state = P.state
+  type message = P.message
+
+  (* A copy in flight.  [fv/fp/tv/tp] of the classic flight are all
+     recoverable from [edge] via the CSR arrays, so only the scheduling
+     identity, the fault bit, the protocol value (for [receive]) and the
+     arena slot (for everything charged by wire size) travel. *)
+  type flight = { seq : int; edge : int; corrupt : bool; msg : P.message; slot : int }
+
+  (* In-flight pools, one per scheduling policy — the same structures (and
+     therefore the same PRNG draw sequences and tie-breaks) as the classic
+     engine's. *)
+  let make_pool scheduler =
+    match (scheduler : Scheduler.t) with
+    | Fifo ->
+        let q = Queue.create () in
+        ( (fun f -> Queue.add f q),
+          (fun () -> Queue.take_opt q),
+          fun () ->
+            let l = List.of_seq (Queue.to_seq q) in
+            Queue.clear q;
+            l )
+    | Lifo ->
+        let st = ref [] in
+        ( (fun f -> st := f :: !st),
+          (fun () ->
+            match !st with
+            | [] -> None
+            | f :: rest ->
+                st := rest;
+                Some f),
+          fun () ->
+            let l = !st in
+            st := [];
+            l )
+    | Random g ->
+        let arr = ref [||] and len = ref 0 in
+        let push f =
+          if !len = Array.length !arr then begin
+            let cap = Stdlib.max 16 (2 * !len) in
+            let bigger = Array.make cap f in
+            Array.blit !arr 0 bigger 0 !len;
+            arr := bigger
+          end;
+          !arr.(!len) <- f;
+          incr len
+        in
+        let pop () =
+          if !len = 0 then None
+          else begin
+            let i = Prng.int g !len in
+            let f = !arr.(i) in
+            decr len;
+            !arr.(i) <- !arr.(!len);
+            Some f
+          end
+        in
+        let drain () =
+          let l = Array.to_list (Array.sub !arr 0 !len) in
+          len := 0;
+          l
+        in
+        (push, pop, drain)
+    | Edge_priority prio ->
+        let h = Binheap.create () in
+        let pop () = Option.map snd (Binheap.pop h) in
+        let rec drain acc =
+          match pop () with None -> List.rev acc | Some f -> drain (f :: acc)
+        in
+        ((fun f -> Binheap.push h (prio f.edge, f.seq) f), pop, fun () -> drain [])
+    | Replay order ->
+        let pool : (int, flight) Hashtbl.t = Hashtbl.create 32 in
+        let remaining = ref order in
+        let push f = Hashtbl.replace pool f.seq f in
+        let pop () =
+          match !remaining with
+          | [] -> None
+          | s :: rest -> (
+              match Hashtbl.find_opt pool s with
+              | Some f ->
+                  remaining := rest;
+                  Hashtbl.remove pool s;
+                  Some f
+              | None -> None)
+        in
+        let drain () =
+          let l = Hashtbl.fold (fun _ f acc -> f :: acc) pool [] in
+          Hashtbl.reset pool;
+          List.sort (fun a b -> compare a.seq b.seq) l
+        in
+        (push, pop, drain)
+
+  let flip_bit s b =
+    let bytes = Bytes.of_string s in
+    let i = b / 8 in
+    Bytes.set bytes i
+      (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (7 - (b mod 8)))));
+    Bytes.to_string bytes
+
+  (* {1 The flood certificate}
+
+     The fast path replaces [P.receive] on already-saturated vertices with
+     nothing at all, which is sound only for protocols whose behavior it
+     can certify up front:
+
+     - the root emits one physically-shared message value [m0], and every
+       send any receive ever produces is pointer-equal to it (checked live
+       on each executed receive — a pointer compare per send);
+     - from the state one receive of [m0] produces, any further receive of
+       [m0] on any in-port returns that very state (pointer-equal) and no
+       sends — the vertex is {e absorbing}.
+
+     Absorption is probed per distinct (out_degree, in_degree) pair over
+     every in-port, assuming only that [receive] is a pure function of its
+     arguments — the same purity the classic engine already relies on to
+     share checkpoint snapshots.  Probing is O(sum in_degree^2) over the
+     distinct degree pairs; a budget keeps pathological degree profiles on
+     the generic path instead. *)
+  let certify_flood csr =
+    let od_s = Csr.out_degree csr (Csr.source csr) in
+    match P.root_emit ~out_degree:od_s with
+    | [] -> None
+    | (_, m0) :: _ as emits ->
+        if not (List.for_all (fun (_, m) -> m == m0) emits) then None
+        else begin
+          let n = Csr.n_vertices csr and m = Csr.n_edges csr in
+          let pairs = Hashtbl.create 16 in
+          for v = 0 to n - 1 do
+            let idg = Csr.in_degree csr v in
+            if idg > 0 then Hashtbl.replace pairs (Csr.out_degree csr v, idg) ()
+          done;
+          let budget =
+            Hashtbl.fold (fun (_, idg) () acc -> acc + (idg * (idg + 1))) pairs 0
+          in
+          if budget > (4 * m) + 4096 then None
+          else begin
+            let ok = ref true in
+            let check_pair (od, idg) () =
+              if !ok then begin
+                let st0 = P.initial_state ~out_degree:od ~in_degree:idg in
+                for i = 0 to idg - 1 do
+                  if !ok then begin
+                    let st1, sends =
+                      P.receive ~out_degree:od ~in_degree:idg st0 m0 ~in_port:i
+                    in
+                    if not (List.for_all (fun (_, s) -> s == m0) sends) then
+                      ok := false
+                    else
+                      for i' = 0 to idg - 1 do
+                        if !ok then
+                          match
+                            P.receive ~out_degree:od ~in_degree:idg st1 m0
+                              ~in_port:i'
+                          with
+                          | st2, [] when st2 == st1 -> ()
+                          | _ -> ok := false
+                      done
+                  end
+                done
+              end
+            in
+            Hashtbl.iter check_pair pairs;
+            if !ok then Some (m0, emits) else None
+          end
+        end
+
+  (* {1 The fast path}
+
+     Fault-free FIFO only: the pool degenerates to one int array of edge
+     indices consumed left to right (send order is delivery order, so the
+     k-th pop is seq k), and a vertex's first receive — executed for real,
+     so final states match the classic run bit-for-bit — flips it to
+     absorbed, after which its deliveries touch two arrays and nothing
+     else.  Total pushes are bounded by [root emissions + m] because an
+     absorbing vertex emits at most once. *)
+  let run_flood csr ~payload_bits ~step_limit ~stop ~oh (m0 : P.message)
+      (emits : (int * P.message) list) =
+    let n = Csr.n_vertices csr and ne = Csr.n_edges csr in
+    let s = Csr.source csr and t = Csr.terminal csr in
+    let row = csr.Csr.row
+    and head_arr = csr.Csr.head
+    and tgt_port = csr.Csr.tgt_port in
+    let bpm =
+      let w = Bitio.Bit_writer.create () in
+      P.encode w m0;
+      Bitio.Bit_writer.length w + payload_bits
+    in
+    let states =
+      Array.init n (fun v ->
+          P.initial_state
+            ~out_degree:(Csr.out_degree csr v)
+            ~in_degree:(Csr.in_degree csr v))
+    in
+    let visited = Array.make n false in
+    let absorbed = Bytes.make n '\000' in
+    let edge_messages = Array.make (Stdlib.max ne 1) 0 in
+    let deliveries = ref 0 in
+    let n_visited = ref 0 in
+    let max_state_bits = ref 0 in
+    (* One push per root emission plus at most one emission burst per
+       vertex; grown defensively since the certificate does not bound a
+       burst's length. *)
+    let ring = ref (Array.make (List.length emits + ne + 1) 0) in
+    let tail = ref 0 and head = ref 0 in
+    let max_in_flight = ref 0 in
+    let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
+    let until_sample =
+      ref (match oh with Some h -> h.E.oh_sample_every | None -> max_int)
+    in
+    let time_receive = ref false in
+    (* [bits_total] is passed in because the classic engine samples
+       [engine.total_bits] {e before} charging the current delivery. *)
+    let obs_sample ~bits_total =
+      match oh with
+      | None -> ()
+      | Some h ->
+          let tl = h.E.oh_timeline and track = h.E.oh_track in
+          let in_flight = !tail - !head in
+          Obs.Registry.set h.E.g_in_flight in_flight;
+          Obs.Registry.set h.E.g_wavefront !n_visited;
+          (* entered - delivered - in_flight: every pop is a delivery here,
+             so the residual is identically 0 — sampled anyway to keep the
+             reconciliation series present. *)
+          Obs.Registry.set h.E.g_residual 0;
+          Obs.Timeline.sample tl ~track "engine.in_flight" (float_of_int in_flight);
+          Obs.Timeline.sample tl ~track "engine.wavefront" (float_of_int !n_visited);
+          Obs.Timeline.sample tl ~track "engine.cut_residual" 0.0;
+          Obs.Timeline.sample tl ~track "engine.deliveries" (float_of_int !deliveries);
+          Obs.Timeline.sample tl ~track "engine.total_bits"
+            (float_of_int bits_total)
+    in
+    (match oh with
+    | Some h -> Obs.Timeline.begin_span h.E.oh_timeline ~track:h.E.oh_track "engine.run"
+    | None -> ());
+    let push_edge e =
+      let r = !ring in
+      let r =
+        if !tail = Array.length r then begin
+          let bigger = Array.make (2 * Array.length r) 0 in
+          Array.blit r 0 bigger 0 !tail;
+          ring := bigger;
+          bigger
+        end
+        else r
+      in
+      r.(!tail) <- e;
+      incr tail;
+      let fl = !tail - !head in
+      if fl > !max_in_flight then max_in_flight := fl
+    in
+    List.iter
+      (fun (j, _) ->
+        (match oh with Some h -> Obs.Registry.incr h.E.c_sends | None -> ());
+        push_edge (row.(s) + j))
+      emits;
+    visited.(s) <- true;
+    incr n_visited;
+    let outcome = ref E.Quiescent in
+    let running = ref true in
+    while !running do
+      if !deliveries >= step_limit then begin
+        outcome := E.Step_limit;
+        running := false
+      end
+      else if stop_now () then begin
+        outcome := E.Cancelled;
+        running := false
+      end
+      else if !head = !tail then begin
+        outcome := (if P.accepting states.(t) then E.Terminated else E.Quiescent);
+        running := false
+      end
+      else begin
+        let e = Array.unsafe_get !ring !head in
+        incr head;
+        incr deliveries;
+        (match oh with
+        | Some h ->
+            Obs.Registry.incr h.E.c_deliveries;
+            Obs.Registry.add h.E.c_bits bpm;
+            Obs.Registry.observe h.E.h_message_bits bpm;
+            decr until_sample;
+            if !until_sample <= 0 then begin
+              until_sample := h.E.oh_sample_every;
+              time_receive := true;
+              obs_sample ~bits_total:((!deliveries - 1) * bpm)
+            end
+        | None -> ());
+        Array.unsafe_set edge_messages e (Array.unsafe_get edge_messages e + 1);
+        let tv = Array.unsafe_get head_arr e in
+        if Bytes.unsafe_get absorbed tv = '\001' then begin
+          (* The classic engine would run a receive returning the same
+             state and no sends; the sampled-receive histogram still gets
+             its observation so counts reconcile. *)
+          match oh with
+          | Some h when !time_receive ->
+              time_receive := false;
+              Obs.Registry.observe h.E.h_receive_ns 0
+          | _ -> ()
+        end
+        else begin
+          if not visited.(tv) then begin
+            visited.(tv) <- true;
+            incr n_visited
+          end;
+          let t0 =
+            match oh with
+            | Some h when !time_receive -> Obs.Timeline.now h.E.oh_timeline
+            | _ -> 0.0
+          in
+          let st', sends =
+            P.receive
+              ~out_degree:(Csr.out_degree csr tv)
+              ~in_degree:(Csr.in_degree csr tv)
+              states.(tv) m0 ~in_port:(Array.unsafe_get tgt_port e)
+          in
+          (match oh with
+          | Some h when !time_receive ->
+              time_receive := false;
+              let ns =
+                int_of_float ((Obs.Timeline.now h.E.oh_timeline -. t0) *. 1e9)
+              in
+              Obs.Registry.add h.E.c_receive_ns ns;
+              Obs.Registry.observe h.E.h_receive_ns ns
+          | _ -> ());
+          states.(tv) <- st';
+          let b = P.state_bits st' in
+          if b > !max_state_bits then max_state_bits := b;
+          Bytes.unsafe_set absorbed tv '\001';
+          let base = row.(tv) in
+          List.iter
+            (fun (j, m) ->
+              if m != m0 then
+                failwith "Flatcore.Engine: protocol violated its flood certificate";
+              (match oh with Some h -> Obs.Registry.incr h.E.c_sends | None -> ());
+              push_edge (base + j))
+            sends;
+          if tv = t && P.accepting st' then begin
+            outcome := E.Terminated;
+            running := false
+          end
+        end
+      end
+    done;
+    (match oh with
+    | Some h ->
+        obs_sample ~bits_total:(!deliveries * bpm);
+        Obs.Timeline.end_span h.E.oh_timeline ~track:h.E.oh_track "engine.run"
+    | None -> ());
+    let edge_bits = Array.map (fun c -> c * bpm) edge_messages in
+    {
+      E.outcome = !outcome;
+      deliveries = !deliveries;
+      total_bits = !deliveries * bpm;
+      max_edge_bits = Array.fold_left Stdlib.max 0 edge_bits;
+      max_message_bits = (if !deliveries > 0 then bpm else 0);
+      max_state_bits = !max_state_bits;
+      max_in_flight = !max_in_flight;
+      final_in_flight = !tail - !head;
+      distinct_messages = (if !deliveries > 0 then 1 else 0);
+      edge_messages;
+      edge_bits;
+      visited;
+      states;
+      fault_stats = E.no_faults_stats;
+      vfault_stats = E.no_vfaults_stats;
+      churn_stats = E.no_churn_stats;
+    }
+
+  (* {1 The generic path}
+
+     A delivery-for-delivery transcription of [Runtime.Engine.Make(P).run]:
+     same fault / vfault / churn fate order, same PRNG streams, same pool
+     behavior, same Obs counter updates — with targets resolved through
+     the CSR arrays and wire sizes through the arena instead of a
+     per-delivery encode. *)
+  let run_generic csr ~scheduler ~payload_bits ~step_limit ~faults ~vfaults
+      ~churn ~supervisor ~verify_codec ~stop ~oh ~on_deliver ~on_pop
+      ~on_undelivered () =
+    let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
+    let n = Csr.n_vertices csr in
+    let ne = Csr.n_edges csr in
+    let t = Csr.terminal csr in
+    let row = csr.Csr.row
+    and head_arr = csr.Csr.head
+    and tgt_port = csr.Csr.tgt_port
+    and src = csr.Csr.src in
+    let states =
+      Array.init n (fun v ->
+          P.initial_state
+            ~out_degree:(Csr.out_degree csr v)
+            ~in_degree:(Csr.in_degree csr v))
+    in
+    let initial_of v =
+      P.initial_state
+        ~out_degree:(Csr.out_degree csr v)
+        ~in_degree:(Csr.in_degree csr v)
+    in
+    let visited = Array.make n false in
+    let edge_messages = Array.make (Stdlib.max ne 1) 0 in
+    let edge_bits = Array.make (Stdlib.max ne 1) 0 in
+    let total_bits = ref 0 in
+    let max_message_bits = ref 0 in
+    let deliveries = ref 0 in
+    let corrupted_deliveries = ref 0 in
+    let garbled_drops = ref 0 in
+    let checksum_rejects = ref 0 in
+    let arena = arena_create () in
+    (* Encode-once memo: protocols overwhelmingly re-send one physical
+       message value (flood's token, a just-built commodity fanned over
+       every port), so most sends resolve their slot with one pointer
+       compare. *)
+    let memo : (P.message * int) option ref = ref None in
+    let slot_of msg =
+      match !memo with
+      | Some (m, s) when m == msg -> s
+      | _ ->
+          let w = Bitio.Bit_writer.create () in
+          P.encode w msg;
+          let len_bits = Bitio.Bit_writer.length w in
+          let bytes = Bitio.Bit_writer.to_string w in
+          let key = string_of_int len_bits ^ ":" ^ bytes in
+          let slot =
+            match Hashtbl.find_opt arena.index key with
+            | Some s -> s
+            | None ->
+                let s = arena_add arena bytes len_bits in
+                Hashtbl.add arena.index key s;
+                s
+          in
+          memo := Some (msg, slot);
+          slot
+    in
+    let push, pop, drain = make_pool scheduler in
+    let faulty = not (Faults.is_none faults) in
+    let fi = Faults.Instance.start faults in
+    let vfaulty = not (Vfaults.is_none vfaults) in
+    let vfi = Vfaults.Instance.start vfaults in
+    let churny = not (Churn.is_none churn) in
+    let ci = Churn.Instance.start churn in
+    let supervised = supervisor <> None in
+    let need_ckpt = vfaulty || supervised in
+    let ckpt = if need_ckpt then Array.copy states else [||] in
+    let ckpt_visited = if need_ckpt then Array.make n false else [||] in
+    let ckpt_cadence =
+      match supervisor with
+      | Some (c : Supervisor.config) -> c.checkpoint_every
+      | None -> 1
+    in
+    let vdeliv = Array.make (if need_ckpt then n else 0) 0 in
+    let lost_state_bits = ref 0 in
+    let checkpoints = ref 0 in
+    let replayed = ref 0 in
+    let delayed : (int * int, flight) Binheap.t = Binheap.create () in
+    let next_seq = ref 0 in
+    let max_state_bits = ref 0 in
+    let in_flight = ref 0 in
+    let max_in_flight = ref 0 in
+    let n_visited = ref 0 in
+    let mark_visited v =
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        incr n_visited
+      end
+    in
+    let entered = ref 0 in
+    let note_state st =
+      let b = P.state_bits st in
+      if b > !max_state_bits then max_state_bits := b
+    in
+    let enter f ~delay =
+      incr in_flight;
+      incr entered;
+      if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+      if delay = 0 then push f
+      else Binheap.push delayed (!deliveries + delay, f.seq) f
+    in
+    let until_sample =
+      ref (match oh with Some h -> h.E.oh_sample_every | None -> max_int)
+    in
+    let time_receive = ref false in
+    let obs_sample () =
+      match oh with
+      | None -> ()
+      | Some h ->
+          let tl = h.E.oh_timeline and track = h.E.oh_track in
+          Obs.Registry.set h.E.g_in_flight !in_flight;
+          Obs.Registry.set h.E.g_wavefront !n_visited;
+          let residual = !entered - !deliveries - !in_flight in
+          Obs.Registry.set h.E.g_residual residual;
+          Obs.Timeline.sample tl ~track "engine.in_flight" (float_of_int !in_flight);
+          Obs.Timeline.sample tl ~track "engine.wavefront" (float_of_int !n_visited);
+          Obs.Timeline.sample tl ~track "engine.cut_residual" (float_of_int residual);
+          Obs.Timeline.sample tl ~track "engine.deliveries" (float_of_int !deliveries);
+          Obs.Timeline.sample tl ~track "engine.total_bits" (float_of_int !total_bits)
+    in
+    let last_msg : P.message option array =
+      Array.make (if supervised then Stdlib.max ne 1 else 1) None
+    in
+    let sup_prng =
+      Prng.create
+        (match supervisor with Some (c : Supervisor.config) -> c.seed | None -> 0)
+    in
+    let retries_left =
+      ref
+        (match supervisor with
+        | Some (c : Supervisor.config) -> c.max_retries
+        | None -> 0)
+    in
+    let sup_round = ref 0 in
+    let send ?(extra_delay = 0) fv fp msg =
+      let edge = row.(fv) + fp in
+      (match oh with Some h -> Obs.Registry.incr h.E.c_sends | None -> ());
+      if supervised then last_msg.(edge) <- Some msg;
+      let slot = slot_of msg in
+      if not faulty then begin
+        enter { seq = !next_seq; edge; corrupt = false; msg; slot } ~delay:extra_delay;
+        incr next_seq
+      end
+      else
+        List.iter
+          (fun ({ delay; flip_bit = corrupt } : Faults.copy_fate) ->
+            enter { seq = !next_seq; edge; corrupt; msg; slot }
+              ~delay:(delay + extra_delay);
+            incr next_seq)
+          (Faults.Instance.on_send fi ~edge)
+    in
+    let retransmit () =
+      match supervisor with
+      | None -> false
+      | Some (cfg : Supervisor.config) ->
+          let sent = ref false in
+          for e = 0 to ne - 1 do
+            match last_msg.(e) with
+            | Some msg when Vfaults.Instance.is_up vfi ~vertex:src.(e) ->
+                let fv = src.(e) in
+                let extra_delay = Supervisor.backoff cfg sup_prng ~round:!sup_round in
+                send ~extra_delay fv (e - row.(fv)) msg;
+                incr replayed;
+                (match oh with Some h -> Obs.Registry.incr h.E.c_replayed | None -> ());
+                sent := true
+            | _ -> ()
+          done;
+          incr sup_round;
+          decr retries_left;
+          !sent
+    in
+    let release_due () =
+      let continue = ref true in
+      while !continue do
+        match Binheap.peek delayed with
+        | Some ((release, _), _) when release <= !deliveries -> (
+            match Binheap.pop delayed with
+            | Some (_, f) -> push f
+            | None -> continue := false)
+        | _ -> continue := false
+      done
+    in
+    (match oh with
+    | Some h -> Obs.Timeline.begin_span h.E.oh_timeline ~track:h.E.oh_track "engine.run"
+    | None -> ());
+    let se = Csr.source csr in
+    List.iter
+      (fun (j, msg) -> send se j msg)
+      (P.root_emit ~out_degree:(Csr.out_degree csr se));
+    mark_visited se;
+    let outcome = ref E.Quiescent in
+    let running = ref true in
+    while !running do
+      if !deliveries >= step_limit then begin
+        outcome := E.Step_limit;
+        running := false
+      end
+      else if stop_now () then begin
+        outcome := E.Cancelled;
+        running := false
+      end
+      else begin
+        release_due ();
+        match pop () with
+        | None -> (
+            match Binheap.pop delayed with
+            | Some (_, f) -> push f
+            | None ->
+                if P.accepting states.(t) then begin
+                  outcome := E.Terminated;
+                  running := false
+                end
+                else if !retries_left > 0 && retransmit () then ()
+                else begin
+                  outcome := E.Quiescent;
+                  running := false
+                end)
+        | Some f -> (
+            incr deliveries;
+            decr in_flight;
+            (match on_pop with Some hook -> hook f.seq | None -> ());
+            let cfate =
+              if churny then Churn.Instance.on_offer ci ~edge:f.edge
+              else Churn.Cross
+            in
+            if cfate <> Churn.Cross then begin
+              match oh with
+              | None -> ()
+              | Some h ->
+                  Obs.Registry.incr h.E.c_deliveries;
+                  decr until_sample;
+                  if !until_sample <= 0 then begin
+                    until_sample := h.E.oh_sample_every;
+                    obs_sample ()
+                  end;
+                  let tl = h.E.oh_timeline and track = h.E.oh_track in
+                  let mark kind =
+                    Obs.Timeline.instant tl ~track
+                      (Printf.sprintf "churn.%s:%d" kind f.edge)
+                  in
+                  (match cfate with
+                  | Churn.Removed left ->
+                      mark "remove";
+                      if left = 0 then mark "heal"
+                  | Churn.Back `Heal -> mark "heal"
+                  | Churn.Back `Add -> mark "add"
+                  | Churn.Down | Churn.Cross -> ())
+            end
+            else begin
+              let len_bits = arena.len_bits.(f.slot) in
+              let bits = len_bits + payload_bits in
+              (match oh with
+              | Some h ->
+                  Obs.Registry.incr h.E.c_deliveries;
+                  Obs.Registry.add h.E.c_bits bits;
+                  Obs.Registry.observe h.E.h_message_bits bits;
+                  decr until_sample;
+                  if !until_sample <= 0 then begin
+                    until_sample := h.E.oh_sample_every;
+                    time_receive := true;
+                    obs_sample ()
+                  end
+              | None -> ());
+              if verify_codec then begin
+                let r =
+                  Bitio.Bit_reader.of_string ~length_bits:len_bits
+                    (arena_string arena f.slot)
+                in
+                let decoded =
+                  try P.decode r
+                  with exn ->
+                    raise
+                      (E.Codec_mismatch
+                         (Printf.sprintf "%s: decode raised %s" P.name
+                            (Printexc.to_string exn)))
+                in
+                if not (P.equal_message decoded f.msg) then
+                  raise
+                    (E.Codec_mismatch
+                       (Format.asprintf "%s: %a decoded as %a" P.name
+                          P.pp_message f.msg P.pp_message decoded));
+                if not (Bitio.Bit_reader.at_end r) then
+                  raise
+                    (E.Codec_mismatch
+                       (Printf.sprintf "%s: %d trailing bits after decode"
+                          P.name
+                          (Bitio.Bit_reader.remaining r)))
+              end;
+              arena_mark_seen arena f.slot;
+              total_bits := !total_bits + bits;
+              edge_messages.(f.edge) <- edge_messages.(f.edge) + 1;
+              edge_bits.(f.edge) <- edge_bits.(f.edge) + bits;
+              if bits > !max_message_bits then max_message_bits := bits;
+              let tv = head_arr.(f.edge) in
+              let vfate =
+                if vfaulty then Vfaults.Instance.on_deliver vfi ~vertex:tv
+                else Vfaults.Deliver
+              in
+              match vfate with
+              | Vfaults.Stutter -> (
+                  match oh with
+                  | Some h -> Obs.Registry.incr h.E.c_stuttered
+                  | None -> ())
+              | Vfaults.Down_drop -> (
+                  match oh with
+                  | Some h ->
+                      Obs.Registry.incr h.E.c_down_drops;
+                      let nr = Vfaults.Instance.restarts vfi in
+                      let seen = Obs.Registry.value h.E.c_restarts in
+                      if nr > seen then Obs.Registry.add h.E.c_restarts (nr - seen)
+                  | None -> ())
+              | Vfaults.Crash (recovery, _downtime) -> (
+                  (match oh with
+                  | Some h -> Obs.Registry.incr h.E.c_crashes
+                  | None -> ());
+                  let old_bits = P.state_bits states.(tv) in
+                  match recovery with
+                  | Vfaults.Stop -> ()
+                  | Vfaults.Amnesia when not supervised ->
+                      lost_state_bits := !lost_state_bits + old_bits;
+                      (match oh with
+                      | Some h -> Obs.Registry.add h.E.c_lost_state_bits old_bits
+                      | None -> ());
+                      states.(tv) <- initial_of tv;
+                      if visited.(tv) then begin
+                        visited.(tv) <- false;
+                        decr n_visited
+                      end
+                  | Vfaults.Amnesia | Vfaults.Restore ->
+                      let restored = ckpt.(tv) in
+                      let lost = Stdlib.max 0 (old_bits - P.state_bits restored) in
+                      lost_state_bits := !lost_state_bits + lost;
+                      (match oh with
+                      | Some h -> Obs.Registry.add h.E.c_lost_state_bits lost
+                      | None -> ());
+                      states.(tv) <- restored;
+                      if ckpt_visited.(tv) then mark_visited tv
+                      else if visited.(tv) then begin
+                        visited.(tv) <- false;
+                        decr n_visited
+                      end)
+              | Vfaults.Deliver -> (
+                  let delivered =
+                    if not f.corrupt then Some f.msg
+                    else if len_bits = 0 then Some f.msg
+                    else begin
+                      let b =
+                        Faults.Instance.corrupt_bit fi ~edge:f.edge
+                          ~length_bits:len_bits
+                      in
+                      let s = flip_bit (arena_string arena f.slot) b in
+                      let r = Bitio.Bit_reader.of_string ~length_bits:len_bits s in
+                      match P.decode r with
+                      | decoded ->
+                          if not (P.equal_message decoded f.msg) then begin
+                            incr corrupted_deliveries;
+                            match oh with
+                            | Some h -> Obs.Registry.incr h.E.c_corrupted
+                            | None -> ()
+                          end;
+                          Some decoded
+                      | exception Runtime.Protocol_intf.Checksum_reject ->
+                          incr checksum_rejects;
+                          (match oh with
+                          | Some h -> Obs.Registry.incr h.E.c_checksum_rejects
+                          | None -> ());
+                          None
+                      | exception _ ->
+                          incr garbled_drops;
+                          (match oh with
+                          | Some h -> Obs.Registry.incr h.E.c_garbled
+                          | None -> ());
+                          None
+                    end
+                  in
+                  match delivered with
+                  | None -> ()
+                  | Some msg ->
+                      let tp = tgt_port.(f.edge) in
+                      (match on_deliver with
+                      | Some hook ->
+                          let fv = src.(f.edge) in
+                          hook
+                            {
+                              E.step = !deliveries;
+                              seq = f.seq;
+                              from_vertex = fv;
+                              from_port = f.edge - row.(fv);
+                              to_vertex = tv;
+                              to_port = tp;
+                              bits;
+                            }
+                            msg
+                      | None -> ());
+                      mark_visited tv;
+                      let t0 =
+                        match oh with
+                        | Some h when !time_receive -> Obs.Timeline.now h.E.oh_timeline
+                        | _ -> 0.0
+                      in
+                      let state', sends =
+                        P.receive
+                          ~out_degree:(Csr.out_degree csr tv)
+                          ~in_degree:(Csr.in_degree csr tv)
+                          states.(tv) msg ~in_port:tp
+                      in
+                      (match oh with
+                      | Some h when !time_receive ->
+                          time_receive := false;
+                          let ns =
+                            int_of_float
+                              ((Obs.Timeline.now h.E.oh_timeline -. t0) *. 1e9)
+                          in
+                          Obs.Registry.add h.E.c_receive_ns ns;
+                          Obs.Registry.observe h.E.h_receive_ns ns
+                      | _ -> ());
+                      states.(tv) <- state';
+                      note_state state';
+                      if need_ckpt then begin
+                        vdeliv.(tv) <- vdeliv.(tv) + 1;
+                        if vdeliv.(tv) mod ckpt_cadence = 0 then begin
+                          ckpt.(tv) <- state';
+                          ckpt_visited.(tv) <- true;
+                          incr checkpoints;
+                          match oh with
+                          | Some h -> Obs.Registry.incr h.E.c_checkpoints
+                          | None -> ()
+                        end
+                      end;
+                      List.iter (fun (j, msg) -> send tv j msg) sends;
+                      if tv = t && P.accepting state' then begin
+                        outcome := E.Terminated;
+                        running := false
+                      end)
+            end)
+      end
+    done;
+    (match on_undelivered with
+    | None -> ()
+    | Some hook ->
+        List.iter (fun f -> hook f.msg) (drain ());
+        let continue = ref true in
+        while !continue do
+          match Binheap.pop delayed with
+          | Some (_, f) -> hook f.msg
+          | None -> continue := false
+        done);
+    (match oh with
+    | Some h ->
+        obs_sample ();
+        if faulty then begin
+          Obs.Registry.add h.E.c_dropped (Faults.Instance.dropped_copies fi);
+          Obs.Registry.add h.E.c_extra (Faults.Instance.extra_copies fi);
+          Obs.Registry.add h.E.c_delayed (Faults.Instance.delayed_copies fi)
+        end;
+        if churny then begin
+          Obs.Registry.add h.E.c_churn_adds (Churn.Instance.adds ci);
+          Obs.Registry.add h.E.c_churn_removes (Churn.Instance.removes ci);
+          Obs.Registry.add h.E.c_churn_heals (Churn.Instance.heals ci);
+          Obs.Registry.add h.E.c_churn_lost (Churn.Instance.lost ci);
+          Obs.Registry.add h.E.c_churn_violations
+            (Churn.Instance.window_violations ci)
+        end;
+        Obs.Timeline.end_span h.E.oh_timeline ~track:h.E.oh_track "engine.run"
+    | None -> ());
+    let fault_stats =
+      if not faulty then
+        {
+          E.no_faults_stats with
+          corrupted_deliveries = !corrupted_deliveries;
+          garbled_drops = !garbled_drops;
+          checksum_rejects = !checksum_rejects;
+        }
+      else
+        {
+          E.dropped_copies = Faults.Instance.dropped_copies fi;
+          extra_copies = Faults.Instance.extra_copies fi;
+          delayed_copies = Faults.Instance.delayed_copies fi;
+          corrupted_deliveries = !corrupted_deliveries;
+          garbled_drops = !garbled_drops;
+          checksum_rejects = !checksum_rejects;
+          dead_edges = Faults.Instance.dead_edges fi;
+        }
+    in
+    let vfault_stats =
+      {
+        E.crashes = Vfaults.Instance.crashes vfi;
+        restarts = Vfaults.Instance.restarts vfi;
+        lost_state_bits = !lost_state_bits;
+        down_drops = Vfaults.Instance.down_drops vfi;
+        stuttered = Vfaults.Instance.stuttered vfi;
+        stopped_vertices = Vfaults.Instance.stopped vfi;
+        checkpoints = !checkpoints;
+        replayed = !replayed;
+      }
+    in
+    let churn_stats =
+      if not churny then E.no_churn_stats
+      else
+        {
+          E.adds = Churn.Instance.adds ci;
+          removes = Churn.Instance.removes ci;
+          heals = Churn.Instance.heals ci;
+          messages_lost_in_flight = Churn.Instance.lost ci;
+          window_violations = Churn.Instance.window_violations ci;
+        }
+    in
+    {
+      E.outcome = !outcome;
+      deliveries = !deliveries;
+      total_bits = !total_bits;
+      max_edge_bits = Array.fold_left Stdlib.max 0 edge_bits;
+      max_message_bits = !max_message_bits;
+      max_state_bits = !max_state_bits;
+      max_in_flight = !max_in_flight;
+      final_in_flight = !in_flight;
+      distinct_messages = arena.distinct;
+      edge_messages;
+      edge_bits;
+      visited;
+      states;
+      fault_stats;
+      vfault_stats;
+      churn_stats;
+    }
+
+  let run_csr ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
+      ?(step_limit = 10_000_000) ?(faults = Faults.none)
+      ?(vfaults = Vfaults.none) ?(churn = Churn.none) ?supervisor
+      ?(verify_codec = false) ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
+      csr =
+    let oh = Option.map (fun o -> E.obs_hooks o) obs in
+    let plain =
+      (match scheduler with Scheduler.Fifo -> true | _ -> false)
+      && Faults.is_none faults && Vfaults.is_none vfaults
+      && Churn.is_none churn && supervisor = None && not verify_codec
+      && on_deliver = None && on_pop = None && on_undelivered = None
+    in
+    match if plain then certify_flood csr else None with
+    | Some (m0, emits) -> run_flood csr ~payload_bits ~step_limit ~stop ~oh m0 emits
+    | None ->
+        run_generic csr ~scheduler ~payload_bits ~step_limit ~faults ~vfaults
+          ~churn ~supervisor ~verify_codec ~stop ~oh ~on_deliver ~on_pop
+          ~on_undelivered ()
+
+  let run ?scheduler ?payload_bits ?step_limit ?faults ?vfaults ?churn
+      ?supervisor ?verify_codec ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
+      g =
+    run_csr ?scheduler ?payload_bits ?step_limit ?faults ?vfaults ?churn
+      ?supervisor ?verify_codec ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
+      (Csr.of_digraph g)
+end

@@ -1,0 +1,73 @@
+(* [Digraph.Graph_sig.S] over the CSR representation.
+
+   Hot accessors (degrees, neighbors, ports, edge indices) read the flat
+   int arrays; structure queries — reachability, SCC, classification,
+   canonical signatures — delegate to the embedded [Digraph.t], whose
+   answers are representation-independent.  The conformance check at the
+   bottom of [flatcore.ml] keeps this module and [Digraph.Graph] on the
+   same signature forever. *)
+
+type vertex = int
+type t = Csr.t
+
+let of_digraph = Csr.of_digraph
+let to_digraph = Csr.digraph
+let n_vertices = Csr.n_vertices
+let n_edges = Csr.n_edges
+let source = Csr.source
+let terminal = Csr.terminal
+let out_degree = Csr.out_degree
+let in_degree = Csr.in_degree
+
+let out_neighbor (c : t) v j = c.Csr.head.(c.Csr.row.(v) + j)
+
+let in_origin (c : t) v i =
+  let e = c.Csr.in_edge.(c.Csr.in_row.(v) + i) in
+  (c.Csr.src.(e), e - c.Csr.row.(c.Csr.src.(e)))
+
+let out_port_target_port (c : t) u j =
+  let e = c.Csr.row.(u) + j in
+  (c.Csr.head.(e), c.Csr.tgt_port.(e))
+
+let iter_out (c : t) v f =
+  let lo = c.Csr.row.(v) and hi = c.Csr.row.(v + 1) in
+  for e = lo to hi - 1 do
+    f (e - lo) (Array.unsafe_get c.Csr.head e)
+  done
+
+let fold_out (c : t) v ~init f =
+  let lo = c.Csr.row.(v) and hi = c.Csr.row.(v + 1) in
+  let acc = ref init in
+  for e = lo to hi - 1 do
+    acc := f !acc (e - lo) (Array.unsafe_get c.Csr.head e)
+  done;
+  !acc
+
+let edge_index = Csr.edge_index
+
+let edge_of_index (c : t) e =
+  if e < 0 || e >= c.Csr.m then invalid_arg "Flat_graph.edge_of_index";
+  (c.Csr.src.(e), e - c.Csr.row.(c.Csr.src.(e)))
+
+let edges c = Digraph.edges (Csr.digraph c)
+let max_out_degree c = Digraph.max_out_degree (Csr.digraph c)
+let vertices c = Digraph.vertices (Csr.digraph c)
+let internal_vertices c = Digraph.internal_vertices (Csr.digraph c)
+let reachable_from_s c = Digraph.reachable_from_s (Csr.digraph c)
+let coreachable_to_t c = Digraph.coreachable_to_t (Csr.digraph c)
+let all_reachable c = Digraph.all_reachable (Csr.digraph c)
+let all_coreachable c = Digraph.all_coreachable (Csr.digraph c)
+let is_dag c = Digraph.is_dag (Csr.digraph c)
+let topological_order c = Digraph.topological_order (Csr.digraph c)
+let is_grounded_tree c = Digraph.is_grounded_tree (Csr.digraph c)
+let classify c = Digraph.classify (Csr.digraph c)
+let scc c = Digraph.scc (Csr.digraph c)
+let validate ?allow_multi_root c =
+  Digraph.validate ?allow_multi_root (Csr.digraph c)
+let equal a b = Digraph.equal (Csr.digraph a) (Csr.digraph b)
+let distances_from c v = Digraph.distances_from (Csr.digraph c) v
+let longest_path_dag c = Digraph.longest_path_dag (Csr.digraph c)
+let diameter_from_s c = Digraph.diameter_from_s (Csr.digraph c)
+let canonical_signature c = Digraph.canonical_signature (Csr.digraph c)
+let isomorphic a b = Digraph.isomorphic (Csr.digraph a) (Csr.digraph b)
+let pp fmt c = Digraph.pp fmt (Csr.digraph c)

@@ -1,0 +1,32 @@
+(** The flat core: CSR graph compilation and the arena-message engine.
+
+    - {!Csr} — six-int-array compressed-sparse-row compilation of a
+      {!Digraph.t}, built once per graph, with the dense edge numbering of
+      [Digraph.edge_index];
+    - {!Graph} — {!Digraph.Graph_sig.S} over the CSR form (hot accessors
+      flat, structure queries delegated);
+    - {!Engine} — an {!Runtime.Engine_sig.S}-conforming engine whose
+      reports and deterministic Obs counters are byte-for-byte identical
+      to {!Runtime.Engine}, built on preallocated per-edge structures, an
+      arena of encoded message slots, and a probe-certified fast path for
+      flood-shaped protocols.
+
+    Engine selection is a value of {!type:kind}; the CLI and the serving
+    layer thread it through an [--engine] knob. *)
+
+module Csr = Csr
+module Graph = Flat_graph
+module Engine = Engine
+
+(* The flat graph must answer every query exactly like the pointer
+   representation — same signature, checked here once and forever. *)
+module _ : Digraph.Graph_sig.S with type t = Csr.t = Flat_graph
+
+type kind = Classic | Flat
+
+let kind_of_string = function
+  | "classic" -> Some Classic
+  | "flat" -> Some Flat
+  | _ -> None
+
+let string_of_kind = function Classic -> "classic" | Flat -> "flat"

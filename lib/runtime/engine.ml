@@ -165,6 +165,9 @@ let obs_hooks ?(track = 0) (o : Obs.t) =
   }
 
 module Make (P : Protocol_intf.PROTOCOL) = struct
+  type state = P.state
+  type message = P.message
+
   type flight = {
     seq : int;
     fv : Digraph.vertex;
@@ -289,14 +292,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
     let t = Digraph.terminal g in
-    (* Dense edge -> (target vertex, target in-port). *)
+    (* Dense edge -> (target vertex, target in-port), filled by walking the
+       in-adjacency: [in_origin] and [edge_index] are O(1), so the table
+       costs O(n + m) — not the O(m * in_degree) port search of
+       [out_port_target_port]. *)
     let target = Array.make (Stdlib.max ne 1) (0, 0) in
-    List.iter
-      (fun u ->
-        for j = 0 to Digraph.out_degree g u - 1 do
-          target.(Digraph.edge_index g u j) <- Digraph.out_port_target_port g u j
-        done)
-      (Digraph.vertices g);
+    for v = 0 to n - 1 do
+      for i = 0 to Digraph.in_degree g v - 1 do
+        let u, j = Digraph.in_origin g v i in
+        target.(Digraph.edge_index g u j) <- (v, i)
+      done
+    done;
     let states =
       Array.init n (fun v ->
           P.initial_state ~out_degree:(Digraph.out_degree g v)
@@ -399,12 +405,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     in
     let source_of = Array.make (if supervised then Stdlib.max ne 1 else 1) (0, 0) in
     if supervised then
-      List.iter
-        (fun u ->
-          for j = 0 to Digraph.out_degree g u - 1 do
-            source_of.(Digraph.edge_index g u j) <- (u, j)
-          done)
-        (Digraph.vertices g);
+      for u = 0 to n - 1 do
+        Digraph.iter_out g u (fun j _ ->
+            source_of.(Digraph.edge_index g u j) <- (u, j))
+      done;
     let sup_prng =
       Prng.create (match supervisor with Some (c : Supervisor.config) -> c.seed | None -> 0)
     in

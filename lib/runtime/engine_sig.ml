@@ -1,0 +1,34 @@
+(** The run signature shared by every sequential engine implementation.
+
+    {!Engine.Make} (the classic heap-allocating executor) and
+    [Flatcore.Engine.Make] (the CSR + arena flat executor) both produce a
+    module of this shape, so call sites — witness replays, the serving
+    runner, the CLI — can take the engine as a first-class module and stay
+    agnostic of which implementation runs.  The contract is strict: for
+    equal inputs every field of the returned {!Engine.report} (and every
+    deterministic [engine.*] Obs counter) must be identical across
+    implementations — the flat engine is an {e optimization}, never a
+    different semantics.  [test/test_flatcore.ml] enforces this
+    byte-for-byte. *)
+
+module type S = sig
+  type state
+  type message
+
+  val run :
+    ?scheduler:Scheduler.t ->
+    ?payload_bits:int ->
+    ?step_limit:int ->
+    ?faults:Faults.t ->
+    ?vfaults:Vfaults.t ->
+    ?churn:Churn.t ->
+    ?supervisor:Supervisor.config ->
+    ?verify_codec:bool ->
+    ?stop:(unit -> bool) ->
+    ?obs:Obs.t ->
+    ?on_deliver:(Engine.event -> message -> unit) ->
+    ?on_pop:(int -> unit) ->
+    ?on_undelivered:(message -> unit) ->
+    Digraph.t ->
+    state Engine.report
+end

@@ -102,8 +102,18 @@ module Make (P : Protocol_intf.CHECKABLE) : sig
       states/second, current frontier depth, sleep-set prunes and the
       memo hit rate.  The timeline track is the running domain's id. *)
 
-  val replay : ?payload_bits:int -> ?trace_limit:int -> Digraph.t -> int list -> replay
+  val replay :
+    ?payload_bits:int ->
+    ?trace_limit:int ->
+    ?engine:
+      (module Engine_sig.S with type state = P.state and type message = P.message) ->
+    Digraph.t ->
+    int list ->
+    replay
   (** Re-run a recorded schedule through {!Engine.Make} under
       [Scheduler.Replay], returning the outcome, the soundness diagnosis and
-      the rendered trace.  Deterministic: same schedule, same run. *)
+      the rendered trace.  Deterministic: same schedule, same run.
+      [engine] swaps the executor (e.g. for the Flatcore flat engine);
+      the {!Engine_sig.S} parity contract makes the replay
+      engine-independent. *)
 end

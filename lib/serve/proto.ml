@@ -55,6 +55,7 @@ type submit = {
   sub_protocol : string;
   sub_graph : string;
   sub_scheduler : string;  (* "fifo" | "lifo" | "random" (seeded below) *)
+  sub_engine : string;  (* "classic" | "flat" *)
   sub_seed : int;
   sub_payload : int;
   sub_step_limit : int option;  (* None = server default *)
@@ -147,7 +148,7 @@ let churn_of v =
       | _ -> ());
       if spec.c_rate = 0.0 then None else Some spec
 
-let submit_of v =
+let submit_of ~default_engine v =
   let sub =
     {
       sub_id = str_field v "id";
@@ -158,6 +159,11 @@ let submit_of v =
         | Some (Some s) -> s
         | None -> "fifo"
         | Some None -> reject Bad_request "non-string \"scheduler\"");
+      sub_engine =
+        (match Option.map J.to_string_opt (J.member "engine" v) with
+        | Some (Some s) -> s
+        | None -> default_engine
+        | Some None -> reject Bad_request "non-string \"engine\"");
       sub_seed = int_field v "seed" ~default:0;
       sub_payload = int_field v "payload" ~default:0;
       sub_step_limit = int_opt_field v "step_limit";
@@ -170,6 +176,9 @@ let submit_of v =
   (match sub.sub_scheduler with
   | "fifo" | "lifo" | "random" -> ()
   | s -> reject Bad_request "unknown scheduler %S (fifo | lifo | random)" s);
+  (match sub.sub_engine with
+  | "classic" | "flat" -> ()
+  | s -> reject Bad_request "unknown engine %S (classic | flat)" s);
   if sub.sub_payload < 0 then reject Bad_request "\"payload\" must be >= 0";
   (match sub.sub_step_limit with
   | Some l when l < 1 -> reject Bad_request "\"step_limit\" must be >= 1"
@@ -186,7 +195,7 @@ let id_of_value v =
   | Some (Some s) -> Some s
   | _ -> None
 
-let parse_request line =
+let parse_request ?(default_engine = "classic") line =
   match J.parse line with
   | Error pos ->
       Error (None, Parse_error, Printf.sprintf "invalid JSON at byte %d" pos)
@@ -201,7 +210,7 @@ let parse_request line =
           in
           try
             match op with
-            | "submit" -> Ok (submit_of v)
+            | "submit" -> Ok (submit_of ~default_engine v)
             | "status" -> with_id (fun i -> Status i)
             | "result" -> with_id (fun i -> Result i)
             | "cancel" -> with_id (fun i -> Cancel i)

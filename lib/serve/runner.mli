@@ -25,9 +25,13 @@ val run :
   ?obs:Obs.t ->
   step_limit:int ->
   Proto.submit ->
-  Digraph.t ->
+  Flatcore.Csr.t ->
   done_run
 (** Runs on the calling domain; [stop] is the engine's cooperative
     cancellation hook, [step_limit] the server default (a per-session
     [step_limit] overrides it), [obs] the session's private telemetry
-    sink (rolled up by the server afterwards). *)
+    sink (rolled up by the server afterwards).  The graph arrives in its
+    CSR form — compiled once at server boot — so [engine:"flat"] sessions
+    pay zero per-run compilation; [engine:"classic"] runs on the embedded
+    {!Digraph.t}.  Both engines render byte-identical payloads for equal
+    submissions. *)

@@ -27,6 +27,7 @@ type config = {
   max_queue : int;
   credits : int;  (* max unfinished sessions per connection *)
   step_limit : int;  (* default when a submit names none *)
+  default_engine : string;  (* "classic" | "flat", when a submit names none *)
   sample_every : int;  (* per-session Obs sampling cadence *)
   max_line : int;
 }
@@ -38,13 +39,15 @@ let default_config =
     max_queue = 64;
     credits = 32;
     step_limit = 10_000_000;
+    default_engine = "classic";
     sample_every = 1 lsl 20;
     max_line = Wire.default_max_line;
   }
 
 type t = {
   cfg : config;
-  graphs : (string * Digraph.t) list;
+  graphs : (string * Flatcore.Csr.t) list;
+      (* compiled once at boot; flat sessions run the CSR directly *)
   sessions : Session.table;
   queue : Session.t Sched.t;
   registry : R.t;
@@ -69,6 +72,12 @@ let create ?(config = default_config) () =
   else if config.max_queue < 1 then Error "max_queue must be >= 1"
   else if config.credits < 1 then Error "credits must be >= 1"
   else if config.graphs = [] then Error "at least one --graph is required"
+  else if
+    match config.default_engine with "classic" | "flat" -> false | _ -> true
+  then
+    Error
+      (Printf.sprintf "unknown default engine %S (classic | flat)"
+         config.default_engine)
   else
     let rec resolve acc = function
       | [] -> Ok (List.rev acc)
@@ -77,7 +86,7 @@ let create ?(config = default_config) () =
             Error (Printf.sprintf "duplicate graph name %S" name)
           else
             match Digraph.Families.of_spec spec with
-            | Ok g -> resolve ((name, g) :: acc) rest
+            | Ok g -> resolve ((name, Flatcore.Csr.of_digraph g) :: acc) rest
             | Error e -> Error (Printf.sprintf "graph %S: %s" name e))
     in
     match resolve [] config.graphs with
@@ -359,7 +368,7 @@ let metrics_json t =
 
 let handle_line t ~conn line =
   R.aincr t.c_frames;
-  match Proto.parse_request line with
+  match Proto.parse_request ~default_engine:t.cfg.default_engine line with
   | Error (id, code, msg) ->
       R.aincr t.c_frame_errors;
       Proto.error ?id code msg

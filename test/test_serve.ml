@@ -116,11 +116,17 @@ let result_json resp =
   | Some r -> r
   | None -> Alcotest.failf "no result in %s" resp
 
-let submit_line ?(protocol = "flood") ?(graph = "small") ?(seed = 1) ?deadline_ms
-    ?step_limit id =
+let submit_line ?(protocol = "flood") ?(graph = "small") ?(seed = 1) ?engine
+    ?scheduler ?deadline_ms ?step_limit id =
   Printf.sprintf
-    "{\"op\":\"submit\",\"id\":%s,\"protocol\":%s,\"graph\":%s,\"seed\":%d%s%s}"
+    "{\"op\":\"submit\",\"id\":%s,\"protocol\":%s,\"graph\":%s,\"seed\":%d%s%s%s%s}"
     (J.escape id) (J.escape protocol) (J.escape graph) seed
+    (match engine with
+    | None -> ""
+    | Some e -> Printf.sprintf ",\"engine\":%s" (J.escape e))
+    (match scheduler with
+    | None -> ""
+    | Some s -> Printf.sprintf ",\"scheduler\":%s" (J.escape s))
     (match deadline_ms with
     | None -> ""
     | Some ms -> Printf.sprintf ",\"deadline_ms\":%d" ms)
@@ -174,6 +180,10 @@ let test_bad_frames () =
   Alcotest.(check string) "bad scheduler" "bad_request"
     (err_code
        (req t "{\"op\":\"submit\",\"id\":\"x\",\"protocol\":\"flood\",\"graph\":\"small\",\"scheduler\":\"psychic\"}"));
+  (* An unknown engine is the typed Bad_request, never a dropped
+     connection. *)
+  Alcotest.(check string) "bad engine" "bad_request"
+    (err_code (req t (submit_line ~engine:"turbo" "x")));
   Alcotest.(check string) "unknown session" "unknown_id" (err_code (status t "ghost"));
   (* The connection survives all of the above. *)
   Alcotest.(check bool) "still serving" true (is_ok (req t (submit_line "ok")));
@@ -326,6 +336,38 @@ let test_concurrent_determinism () =
        (fun c -> Option.bind (J.member "sessions.engine.deliveries" c) J.to_int_opt));
   S.stop t
 
+(* The engine knob is invisible on the wire: a flat session's result
+   payload is byte-identical to the classic one for the same submission —
+   across protocols, the seeded random scheduler, and churn. *)
+let test_engine_parity () =
+  let t = mk () in
+  let submit_pair name line_of =
+    let classic_id = name ^ "-classic" and flat_id = name ^ "-flat" in
+    Alcotest.(check bool)
+      "classic accepted" true
+      (is_ok (req t (line_of classic_id "classic")));
+    Alcotest.(check bool)
+      "flat accepted" true
+      (is_ok (req t (line_of flat_id "flat")));
+    while S.step t do
+      ()
+    done;
+    Alcotest.(check string)
+      (name ^ " payload bytes match")
+      (J.to_string (result_json (result t classic_id)))
+      (J.to_string (result_json (result t flat_id)))
+  in
+  submit_pair "flood" (fun id e ->
+      submit_line ~protocol:"flood" ~graph:"small" ~engine:e id);
+  submit_pair "counting" (fun id e ->
+      submit_line ~protocol:"counting" ~graph:"mid" ~scheduler:"random"
+        ~seed:42 ~engine:e id);
+  submit_pair "churned-general" (fun id e ->
+      Printf.sprintf
+        "{\"op\":\"submit\",\"id\":%s,\"protocol\":\"general\",\"graph\":\"mid\",\"scheduler\":\"random\",\"seed\":7,\"engine\":%s,\"churn\":{\"rate\":0.1,\"seed\":3}}"
+        (J.escape id) (J.escape e));
+  S.stop t
+
 let test_shutdown_refuses_submits () =
   let t = mk () in
   ignore (req t (submit_line "pre"));
@@ -365,6 +407,8 @@ let () =
         [
           Alcotest.test_case "8-way same-seed determinism" `Quick
             test_concurrent_determinism;
+          Alcotest.test_case "flat/classic payload parity" `Quick
+            test_engine_parity;
           Alcotest.test_case "shutdown" `Quick test_shutdown_refuses_submits;
         ] );
     ]
