@@ -732,6 +732,160 @@ let obs_bench ~small () =
   pf "  \"metrics\": %s\n" (Obs.Registry.to_json snap);
   pf "}\n"
 
+(* {1 E21 — causal-lineage overhead + parity (JSON)} *)
+
+(* Prices the [?lineage] hook on the E15 flood workload, for both the
+   classic and the flat engine: interleaved bare/recorded run pairs,
+   medians, overhead as a fraction of the bare median, gated at <= 10%.
+   Sampling every 256 deliveries keeps the store (and its clock reads)
+   off the hot path while the per-delivery causal aggregates stay exact:
+   every instrumented run must reconcile nodes = deliveries, and because
+   the two engines execute the identical delivery schedule, their
+   recorders must agree on every aggregate — node count, causal depth,
+   width, the whole depth histogram and the stored-sample count.  The
+   recorder's JSON round-trips through the validating parser. *)
+let lineage_bench ~small () =
+  let target_edges = if small then 30_000 else 120_000 in
+  let repeats = if small then 15 else 9 in
+  let g = F.random_layered_large (Prng.create 42) ~target_edges in
+  let module En = Runtime.Engine.Make (Anonet.Flood) in
+  let module Fn = Flatcore.Engine.Make (Anonet.Flood) in
+  let csr = Flatcore.Csr.of_digraph g in
+  let mk () = Obs.Lineage.create ~sample_every:256 () in
+  (* Warm-up, then interleave so machine drift lands on both sides. *)
+  ignore (En.run g);
+  ignore (Fn.run_csr csr);
+  (* Each sample times a batch of back-to-back runs: single runs are a
+     couple of milliseconds here, where page-fault and allocator
+     transients right after a major collection dominate the reading. *)
+  let batch = 4 in
+  let timed f =
+    (* Level the GC between variants: without this, the instrumented
+       run pays the collection debt of the allocations that preceded
+       it (recorder + bind arrays) and reads a few percent slow. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    for _ = 2 to batch do
+      r := f ()
+    done;
+    ((Unix.gettimeofday () -. t0) /. float_of_int batch, !r)
+  in
+  let last_classic = ref (mk ()) and last_flat = ref (mk ()) in
+  (* Alternate which side of each pair runs first: allocator state after
+     a run (retained journals, freshly unmapped pages) systematically
+     favors one ordering, and flipping it per repeat cancels that bias
+     in the median. *)
+  let quads =
+    List.init repeats (fun i ->
+        let flip = i land 1 = 1 in
+        let classic_bare () = timed (fun () -> En.run g) in
+        let classic_lin () =
+          let r =
+            timed (fun () ->
+                let lc = mk () in
+                let r = En.run ~lineage:lc g in
+                last_classic := lc;
+                r)
+          in
+          (* Realize outside the timed region — the CLI does the same
+             between run and export — so the retained journal does not
+             hold the engine's ring across later timed runs. *)
+          ignore (Obs.Lineage.nodes !last_classic);
+          r
+        in
+        let flat_bare () = timed (fun () -> Fn.run_csr csr) in
+        let flat_lin () =
+          let r =
+            timed (fun () ->
+                let lf = mk () in
+                let r = Fn.run_csr ~lineage:lf csr in
+                last_flat := lf;
+                r)
+          in
+          ignore (Obs.Lineage.nodes !last_flat);
+          r
+        in
+        let pair bare lin =
+          if flip then
+            let l = lin () in
+            let b = bare () in
+            (b, l)
+          else
+            let b = bare () in
+            let l = lin () in
+            (b, l)
+        in
+        let cb, cl = pair classic_bare classic_lin in
+        let fb, fl = pair flat_bare flat_lin in
+        (cb, cl, fb, fl))
+  in
+  let med pick = Metrics.median (List.map (fun q -> fst (pick q)) quads) in
+  let classic_bare = med (fun (cb, _, _, _) -> cb) in
+  let classic_lin = med (fun (_, cl, _, _) -> cl) in
+  let flat_bare = med (fun (_, _, fb, _) -> fb) in
+  let flat_lin = med (fun (_, _, _, fl) -> fl) in
+  (* Overhead is the median of per-pair ratios: each bare/instrumented
+     pair ran back to back, so slow machine drift cancels inside a pair
+     instead of skewing one side's median. *)
+  let med_over pick_bare pick_lin =
+    Metrics.median
+      (List.map
+         (fun q -> (fst (pick_lin q) -. fst (pick_bare q)) /. fst (pick_bare q))
+         quads)
+  in
+  let classic_over =
+    med_over (fun (cb, _, _, _) -> cb) (fun (_, cl, _, _) -> cl)
+  in
+  let flat_over =
+    med_over (fun (_, _, fb, _) -> fb) (fun (_, _, _, fl) -> fl)
+  in
+  let (_, (classic_r : _ E.report)), (_, (flat_r : _ E.report)) =
+    match List.hd quads with (_, cl, _, fl) -> (cl, fl)
+  in
+  let lc = !last_classic and lf = !last_flat in
+  let module L = Obs.Lineage in
+  let reconcile =
+    L.nodes lc = classic_r.E.deliveries && L.nodes lf = flat_r.E.deliveries
+  in
+  let parity =
+    L.nodes lc = L.nodes lf
+    && L.max_depth lc = L.max_depth lf
+    && L.width lc = L.width lf
+    && L.depth_histogram lc = L.depth_histogram lf
+    && L.stored lc = L.stored lf
+  in
+  let json_valid = Obs.Json.valid (L.to_json lc) in
+  let pass =
+    classic_over <= 0.10 && flat_over <= 0.10 && reconcile && parity
+    && json_valid
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E21-lineage-overhead\",\n";
+  pf "  \"protocol\": \"flood\",\n";
+  pf "  \"graph\": {\"vertices\": %d, \"edges\": %d},\n" (G.n_vertices g)
+    (G.n_edges g);
+  pf "  \"repeats\": %d,\n" repeats;
+  pf "  \"sample_every\": 256,\n";
+  pf "  \"deliveries\": %d,\n" classic_r.E.deliveries;
+  pf
+    "  \"lineage\": {\"nodes\": %d, \"max_depth\": %d, \"width\": %d, \
+     \"stored\": %d, \"dropped\": %d},\n"
+    (L.nodes lc) (L.max_depth lc) (L.width lc) (L.stored lc) (L.dropped lc);
+  pf
+    "  \"classic\": {\"bare_median_s\": %.6f, \"lineage_median_s\": %.6f, \
+     \"overhead_fraction\": %.4f},\n"
+    classic_bare classic_lin classic_over;
+  pf
+    "  \"flat\": {\"bare_median_s\": %.6f, \"lineage_median_s\": %.6f, \
+     \"overhead_fraction\": %.4f},\n"
+    flat_bare flat_lin flat_over;
+  pf "  \"reconcile_nodes_eq_deliveries\": %b,\n" reconcile;
+  pf "  \"classic_flat_parity\": %b,\n" parity;
+  pf "  \"json_valid\": %b,\n" json_valid;
+  pf "  \"pass\": %b\n" pass;
+  pf "}\n"
+
 (* {1 E17 — chaos search + crash recovery (JSON)} *)
 
 (* Three claims, one experiment.  (1) Soundness under churn: a chaos search
@@ -1339,6 +1493,8 @@ let () =
           else if a = "serve:small" then serve_bench ~small:true ()
           else if a = "flatcore" then flatcore_bench ~small:false ()
           else if a = "flatcore:small" then flatcore_bench ~small:true ()
+          else if a = "lineage" then lineage_bench ~small:false ()
+          else if a = "lineage:small" then lineage_bench ~small:true ()
           else
             match List.assoc_opt a all_tables with
             | Some f -> f ()
@@ -1346,6 +1502,7 @@ let () =
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
                    timing, throughput[:small], obs[:small], chaos[:small], \
-                   churn[:small], serve[:small], flatcore[:small])\n"
+                   churn[:small], serve[:small], flatcore[:small], \
+                   lineage[:small])\n"
                   a)
         args

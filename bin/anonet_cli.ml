@@ -227,6 +227,40 @@ let sample_t =
           "Emit timeline samples every $(docv) deliveries (or explorer \
            transitions); counters stay exact regardless.")
 
+let lineage_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lineage-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the causal delivery forest — every delivery linked to the \
+           delivery whose receive emitted it — and write its JSON summary \
+           (nodes, causal depth, width, critical path, top critical edges, \
+           stored node samples) to $(docv).  Inspect it with 'anonet trace \
+           --lineage FILE'.  Combined with --trace-out, the Perfetto trace \
+           gains flow arrows along the stored causal edges.")
+
+let lineage_sample_t =
+  Arg.(
+    value & opt int 1
+    & info [ "lineage-sample" ] ~docv:"K"
+        ~doc:
+          "Store every $(docv)-th lineage node (causal-depth aggregates \
+           stay exact regardless); 1 stores everything up to the capacity \
+           bound.")
+
+(* The lineage clock rides the timeline's when a sink is attached, so flow
+   arrows land on the same time axis as the spans they cross. *)
+let make_lineage ~sample lineage_out (obs : Obs.t option) =
+  match lineage_out with
+  | None -> None
+  | Some _ ->
+      if sample < 1 then invalid_arg "--lineage-sample must be at least 1";
+      let clock =
+        Option.map (fun (o : Obs.t) () -> Obs.Timeline.now o.Obs.timeline) obs
+      in
+      Some (Obs.Lineage.create ~sample_every:sample ?clock ())
+
 let make_obs ~sample trace_out metrics_out csv_out =
   if trace_out = None && metrics_out = None && csv_out = None then None
   else if sample < 1 then invalid_arg "--sample must be at least 1"
@@ -237,13 +271,23 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let flush_obs ?(meta = []) obs trace_out metrics_out csv_out =
+let flush_lineage lineage lineage_out =
+  match (lineage, lineage_out) with
+  | Some l, Some p ->
+      write_file p (Obs.Lineage.to_json l);
+      pf "lineage written : %s (%d nodes, depth %d, width %d, %d stored, \
+          %d dropped)\n"
+        p (Obs.Lineage.nodes l) (Obs.Lineage.max_depth l) (Obs.Lineage.width l)
+        (Obs.Lineage.stored l) (Obs.Lineage.dropped l)
+  | _ -> ()
+
+let flush_obs ?(meta = []) ?lineage obs trace_out metrics_out csv_out =
   match obs with
   | None -> ()
   | Some (o : Obs.t) ->
       Option.iter
         (fun p ->
-          write_file p (Obs.Export.chrome_trace o.Obs.timeline);
+          write_file p (Obs.Export.chrome_trace ?lineage o.Obs.timeline);
           pf "\ntrace written   : %s (open at ui.perfetto.dev)\n" p)
         trace_out;
       Option.iter
@@ -286,7 +330,8 @@ let run_cmd =
   (* One unified path: resolve the protocol module, pick the sequential or
      sharded engine, thread the optional [Obs] sink through either. *)
   let run g protocol scheduler engine payload domains churn_rate churn_t
-      churn_seed sample trace_out metrics_out csv_out =
+      churn_seed sample trace_out metrics_out csv_out lineage_out
+      lineage_sample =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -296,6 +341,7 @@ let run_cmd =
             invalid_arg
               "--engine flat is the sequential fast engine; drop --domains";
           let obs = make_obs ~sample trace_out metrics_out csv_out in
+          let lineage = make_lineage ~sample:lineage_sample lineage_out obs in
           let churn = churn_of ~rate:churn_rate ~t:churn_t ~seed:churn_seed g in
           describe_graph g;
           if domains > 1 then
@@ -310,17 +356,21 @@ let run_cmd =
           let r, churn_stats =
             if domains > 1 then
               let module En = Par.Engine.Make (P) in
-              let r = En.run ~domains ~payload_bits:payload ~churn ?obs g in
+              let r =
+                En.run ~domains ~payload_bits:payload ~churn ?obs ?lineage g
+              in
               (Anonet.stats_of_report r, r.E.churn_stats)
             else
               let r =
                 match engine with
                 | Flatcore.Flat ->
                     let module En = Flatcore.Engine.Make (P) in
-                    En.run ~scheduler ~payload_bits:payload ~churn ?obs g
+                    En.run ~scheduler ~payload_bits:payload ~churn ?obs
+                      ?lineage g
                 | Flatcore.Classic ->
                     let module En = Runtime.Engine.Make (P) in
-                    En.run ~scheduler ~payload_bits:payload ~churn ?obs g
+                    En.run ~scheduler ~payload_bits:payload ~churn ?obs
+                      ?lineage g
               in
               (Anonet.stats_of_report r, r.E.churn_stats)
           in
@@ -328,7 +378,8 @@ let run_cmd =
           let res = finish r in
           flush_obs
             ~meta:[ ("command", "run"); ("protocol", protocol) ]
-            obs trace_out metrics_out csv_out;
+            ?lineage obs trace_out metrics_out csv_out;
+          flush_lineage lineage lineage_out;
           res
         with Invalid_argument msg -> `Error (false, msg))
   in
@@ -337,7 +388,8 @@ let run_cmd =
     Term.(
       ret (const run $ family_t $ protocol_t $ scheduler_t $ engine_t
          $ payload_t $ domains_t $ churn_rate_t $ churn_t_t $ churn_seed_t
-         $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+         $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t $ lineage_out_t
+         $ lineage_sample_t))
 
 let label_cmd =
   let run g scheduler =
@@ -435,27 +487,115 @@ let trace_cmd =
   let limit_t =
     Arg.(value & opt int 60 & info [ "limit" ] ~docv:"N" ~doc:"Max deliveries to print.")
   in
-  let run g scheduler limit =
-    describe_graph g;
-    let tr = Runtime.Trace.create () in
-    let r =
-      Anonet.General_engine.run ~scheduler ~on_deliver:(Runtime.Trace.hook tr) g
-    in
-    pf "general broadcast under %s: %s after %d deliveries\n\n"
-      (Runtime.Scheduler.describe scheduler)
-      (match r.outcome with
-      | E.Terminated -> "terminated"
-      | E.Quiescent -> "quiescent"
-      | E.Step_limit -> "step limit"
-      | E.Cancelled -> "cancelled")
-      r.deliveries;
-    print_string (Runtime.Trace.render ~limit tr);
-    0
+  let lineage_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lineage" ] ~docv:"FILE"
+          ~doc:
+            "Summarize a causal-lineage JSON file written by --lineage-out \
+             (nodes, causal depth, width, top critical edges, the critical \
+             path) instead of running a broadcast; --family is ignored.")
+  in
+  (* [trace --lineage] wants no network, so the family becomes optional
+     here — its absence is an error only on the broadcast path. *)
+  let family_opt_t =
+    Arg.(
+      value
+      & opt (some family_conv) None
+      & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:family_doc)
+  in
+  let summarize_lineage path limit =
+    let module J = Obs.Json in
+    match
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with
+    | exception Sys_error e -> `Error (false, e)
+    | s -> (
+        match J.parse s with
+        | Error pos ->
+            `Error (false, Printf.sprintf "%s: invalid JSON at byte %d" path pos)
+        | Ok v ->
+            let geti name =
+              match Option.bind (J.member name v) J.to_int_opt with
+              | Some i -> i
+              | None -> 0
+            in
+            pf "lineage summary  : %s\n" path;
+            pf "nodes            : %d (%d stored, %d dropped, sample every \
+                %d, capacity %d)\n"
+              (geti "nodes") (geti "stored") (geti "dropped")
+              (geti "sample_every") (geti "capacity");
+            pf "causal depth     : %d (deepest node %d)\n" (geti "max_depth")
+              (geti "deepest");
+            pf "causal width     : %d (busiest depth layer)\n" (geti "width");
+            (match J.member "critical_edges" v with
+            | Some (J.Array (_ :: _ as edges)) ->
+                pf "\ntop critical edges (edge, deepest delivery it carried):\n";
+                List.iteri
+                  (fun i e ->
+                    match e with
+                    | J.Array [ a; b ] when i < 8 -> (
+                        match (J.to_int_opt a, J.to_int_opt b) with
+                        | Some e', Some d ->
+                            pf "  edge %6d : depth %d\n" e' d
+                        | _ -> ())
+                    | _ -> ())
+                  edges
+            | _ -> ());
+            (match J.member "critical_path" v with
+            | Some (J.Array (_ :: _ as steps)) ->
+                pf "\ncritical path (deepest first):\n";
+                pf "  %10s %10s %8s %8s %6s\n" "node" "parent" "edge" "vertex"
+                  "depth";
+                List.iteri
+                  (fun i st ->
+                    match st with
+                    | J.Array [ id; p; e; vx; d ] when i < limit -> (
+                        match
+                          ( J.to_int_opt id, J.to_int_opt p, J.to_int_opt e,
+                            J.to_int_opt vx, J.to_int_opt d )
+                        with
+                        | Some id, Some p, Some e, Some vx, Some d ->
+                            pf "  %10d %10d %8d %8d %6d\n" id p e vx d
+                        | _ -> ())
+                    | _ -> ())
+                  steps
+            | _ -> ());
+            `Ok 0)
+  in
+  let run g scheduler limit lineage =
+    match (lineage, g) with
+    | Some path, _ -> summarize_lineage path limit
+    | None, None ->
+        `Error (true, "required option --family is missing (or use --lineage)")
+    | None, Some g ->
+        describe_graph g;
+        let tr = Runtime.Trace.create () in
+        let r =
+          Anonet.General_engine.run ~scheduler
+            ~on_deliver:(Runtime.Trace.hook tr) g
+        in
+        pf "general broadcast under %s: %s after %d deliveries\n\n"
+          (Runtime.Scheduler.describe scheduler)
+          (match r.outcome with
+          | E.Terminated -> "terminated"
+          | E.Quiescent -> "quiescent"
+          | E.Step_limit -> "step limit"
+          | E.Cancelled -> "cancelled")
+          r.deliveries;
+        print_string (Runtime.Trace.render ~limit tr);
+        `Ok 0
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run the general broadcast and print the delivery-by-delivery log.")
-    Term.(const run $ family_t $ scheduler_t $ limit_t)
+       ~doc:
+         "Run the general broadcast and print the delivery-by-delivery log, \
+          or summarize a causal-lineage file (--lineage).")
+    Term.(ret (const run $ family_opt_t $ scheduler_t $ limit_t $ lineage_t))
 
 let dot_cmd =
   let run g =
@@ -502,7 +642,7 @@ let faults_cmd =
              into detected drops.")
   in
   let run g protocol scheduler engine drop duplicate delay corrupt kill seeds k
-      domains sample trace_out metrics_out csv_out =
+      domains sample trace_out metrics_out csv_out lineage_out lineage_sample =
     match protocol_of_name protocol with
     | None -> `Error (false, Printf.sprintf "unknown protocol %S" protocol)
     | Some (module P : Runtime.Protocol_intf.PROTOCOL) -> (
@@ -536,13 +676,17 @@ let faults_cmd =
             if engine = Flatcore.Flat then Some (Flatcore.Csr.of_digraph g)
             else None
           in
-          let engine_run ~faults g =
-            if domains > 1 then Pn.run ~domains ~faults ?obs g
+          let engine_run ~faults ?lineage g =
+            if domains > 1 then Pn.run ~domains ~faults ?obs ?lineage g
             else
               match csr with
-              | Some csr -> Fn.run_csr ~scheduler ~faults ?obs csr
-              | None -> En.run ~scheduler ~faults ?obs g
+              | Some csr -> Fn.run_csr ~scheduler ~faults ?obs ?lineage csr
+              | None -> En.run ~scheduler ~faults ?obs ?lineage g
           in
+          (* Lineage over a sweep: a fresh recorder per seed, keeping the
+             deepest causal forest observed — the sweep's worst-case chain
+             is what a profiler wants from a fault campaign. *)
+          let lineage_best = ref None in
           describe_graph g;
           if domains > 1 then
             pf "protocol: %s, domains: %d (sharded engine)\n" Q.name domains
@@ -562,7 +706,14 @@ let faults_cmd =
               Runtime.Faults.create ~drop ~duplicate ~max_delay:delay ~corrupt
                 ~kill ~seed ()
             in
-            let r = engine_run ~faults g in
+            let lineage = make_lineage ~sample:lineage_sample lineage_out obs in
+            let r = engine_run ~faults ?lineage g in
+            (match (lineage, !lineage_best) with
+            | Some l, Some b
+              when Obs.Lineage.max_depth l <= Obs.Lineage.max_depth b ->
+                ()
+            | Some _, _ -> lineage_best := lineage
+            | None, _ -> ());
             let visited =
               Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 r.visited
             in
@@ -591,7 +742,8 @@ let faults_cmd =
                 ("protocol", protocol);
                 ("seeds", string_of_int seeds);
               ]
-            obs trace_out metrics_out csv_out;
+            ?lineage:!lineage_best obs trace_out metrics_out csv_out;
+          flush_lineage !lineage_best lineage_out;
           `Ok (if !false_term > 0 then 1 else 0)
         with Invalid_argument msg -> `Error (false, msg))
   in
@@ -604,7 +756,8 @@ let faults_cmd =
       ret
         (const run $ family_t $ protocol_t $ scheduler_t $ engine_t $ drop_t
        $ duplicate_t $ delay_t $ corrupt_t $ kill_t $ seeds_t $ redundancy_t
-       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t))
+       $ domains_t $ sample_t $ trace_out_t $ metrics_out_t $ csv_out_t
+       $ lineage_out_t $ lineage_sample_t))
 
 let check_cmd =
   let max_edges_t =
@@ -1090,7 +1243,7 @@ let churn_cmd =
     }
   in
   let run amnesiac budget seed rate t_interval engine json_out sample trace_out
-      metrics_out csv_out =
+      metrics_out csv_out lineage_out lineage_sample =
     try
       if budget < 1 then invalid_arg "--budget must be at least 1";
       (* Two packaged searches over the dynamic-network regime: the hardened
@@ -1147,10 +1300,12 @@ let churn_cmd =
           pf "\nresult written  : %s\n" p)
         json_out;
       (* Instrument a replay of the first witness so the Perfetto trace
-         shows the violating schedule, churn instants included. *)
+         shows the violating schedule, churn instants included — and the
+         lineage the causal chain that starved the missing vertices. *)
       let obs = make_obs ~sample trace_out metrics_out csv_out in
-      (match (obs, res.Ch.witnesses) with
-      | Some o, (w : Ch.witness) :: _ ->
+      let lineage = make_lineage ~sample:lineage_sample lineage_out obs in
+      (match res.Ch.witnesses with
+      | (w : Ch.witness) :: _ when obs <> None || lineage <> None ->
           let gc =
             List.find
               (fun gc -> gc.Runtime.Campaign.g_name = w.Ch.w_graph)
@@ -1173,14 +1328,14 @@ let churn_cmd =
                   (En.run
                      ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
                      ~faults ~vfaults ~churn ?supervisor
-                     ~step_limit:cfg.Ch.step_limit ~obs:o g)
+                     ~step_limit:cfg.Ch.step_limit ?obs ?lineage g)
             | Flatcore.Classic ->
                 let module En = Runtime.Engine.Make (P) in
                 ignore
                   (En.run
                      ~scheduler:(Runtime.Scheduler.Replay w.Ch.w_schedule)
                      ~faults ~vfaults ~churn ?supervisor
-                     ~step_limit:cfg.Ch.step_limit ~obs:o g)
+                     ~step_limit:cfg.Ch.step_limit ?obs ?lineage g)
           in
           replay_one
             (if amnesiac then (module Anonet.Amnesiac_flood)
@@ -1195,7 +1350,8 @@ let churn_cmd =
             ("control", if amnesiac then "amnesiac" else "supervised");
             ("witnesses", string_of_int (List.length res.Ch.witnesses));
           ]
-        obs trace_out metrics_out csv_out;
+        ?lineage obs trace_out metrics_out csv_out;
+      flush_lineage lineage lineage_out;
       `Ok
         (if res.Ch.unsound > 0 then 2
          else if res.Ch.starved > 0 || res.Ch.livelocked > 0 then 1
@@ -1215,7 +1371,7 @@ let churn_cmd =
       ret
         (const run $ amnesiac_t $ budget_t $ seed_t $ rate_t $ t_interval_t
        $ engine_t $ json_out_t $ sample_t $ trace_out_t $ metrics_out_t
-       $ csv_out_t))
+       $ csv_out_t $ lineage_out_t $ lineage_sample_t))
 
 (* {1 Serving}
 

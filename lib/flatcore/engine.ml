@@ -105,9 +105,19 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
 
   (* A copy in flight.  [fv/fp/tv/tp] of the classic flight are all
      recoverable from [edge] via the CSR arrays, so only the scheduling
-     identity, the fault bit, the protocol value (for [receive]) and the
-     arena slot (for everything charged by wire size) travel. *)
-  type flight = { seq : int; edge : int; corrupt : bool; msg : P.message; slot : int }
+     identity, the fault bit, the protocol value (for [receive]), the
+     arena slot (for everything charged by wire size) and the causal
+     provenance ([lp] = parent lineage node id, [ld] = causal depth —
+     same convention as the classic flight) travel. *)
+  type flight = {
+    seq : int;
+    edge : int;
+    corrupt : bool;
+    lp : int;
+    ld : int;
+    msg : P.message;
+    slot : int;
+  }
 
   (* In-flight pools, one per scheduling policy — the same structures (and
      therefore the same PRNG draw sequences and tie-breaks) as the classic
@@ -275,7 +285,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
      absorbed, after which its deliveries touch two arrays and nothing
      else.  Total pushes are bounded by [root emissions + m] because an
      absorbing vertex emits at most once. *)
-  let run_flood csr ~payload_bits ~step_limit ~stop ~oh (m0 : P.message)
+  let run_flood csr ~payload_bits ~step_limit ~stop ~oh ~lineage (m0 : P.message)
       (emits : (int * P.message) list) =
     let n = Csr.n_vertices csr and ne = Csr.n_edges csr in
     let s = Csr.source csr and t = Csr.terminal csr in
@@ -305,6 +315,16 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     let ring = ref (Array.make (List.length emits + ne + 1) 0) in
     let tail = ref 0 and head = ref 0 in
     let max_in_flight = ref 0 in
+    (* Lineage rides in the unused upper bits of the edge ring itself:
+       each pushed slot packs [edge lor (parent_id lsl journal_shift)]
+       (edge and delivery counts are both far below 2^31).  With no
+       recorder [lin_parent] stays 0, the pack is the identity, and the
+       bare fast path pays one OR per push and one AND per pop. *)
+    let lin_on = lineage <> None in
+    (match lineage with
+    | Some l -> Obs.Lineage.bind l ~n_vertices:n ~n_edges:ne
+    | None -> ());
+    let lin_parent = ref 0 in
     let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
     let until_sample =
       ref (match oh with Some h -> h.E.oh_sample_every | None -> max_int)
@@ -345,7 +365,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         end
         else r
       in
-      r.(!tail) <- e;
+      r.(!tail) <- e lor (!lin_parent lsl Obs.Lineage.journal_shift);
       incr tail;
       let fl = !tail - !head in
       if fl > !max_in_flight then max_in_flight := fl
@@ -373,7 +393,10 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         running := false
       end
       else begin
-        let e = Array.unsafe_get !ring !head in
+        let e =
+          Array.unsafe_get !ring !head
+          land ((1 lsl Obs.Lineage.journal_shift) - 1)
+        in
         incr head;
         incr deliveries;
         (match oh with
@@ -429,6 +452,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           let b = P.state_bits st' in
           if b > !max_state_bits then max_state_bits := b;
           Bytes.unsafe_set absorbed tv '\001';
+          if lin_on then lin_parent := !deliveries;
           let base = row.(tv) in
           List.iter
             (fun (j, m) ->
@@ -444,6 +468,17 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         end
       end
     done;
+    (* The ring never reuses a slot — [head] only advances, and growth
+       blits the whole [0, tail) prefix — so slots [0, head) are the pop
+       journal in delivery order (id = slot + 1).  Hand the rings to the
+       recorder wholesale: they are dead here, and it replays them into
+       its aggregates lazily on first query, so the ~100ns/pop loop
+       above paid only the two ring stores per push. *)
+    (match lineage with
+    | Some l ->
+        Obs.Lineage.note_journal l ~packed:!ring ~heads:head_arr
+          ~count:!head ~track:0
+    | None -> ());
     (match oh with
     | Some h ->
         obs_sample ~bits_total:(!deliveries * bpm);
@@ -477,11 +512,18 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
      the CSR arrays and wire sizes through the arena instead of a
      per-delivery encode. *)
   let run_generic csr ~scheduler ~payload_bits ~step_limit ~faults ~vfaults
-      ~churn ~supervisor ~verify_codec ~stop ~oh ~on_deliver ~on_pop
+      ~churn ~supervisor ~verify_codec ~stop ~oh ~lineage ~on_deliver ~on_pop
       ~on_undelivered () =
     let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
     let n = Csr.n_vertices csr in
     let ne = Csr.n_edges csr in
+    (match lineage with
+    | Some l -> Obs.Lineage.bind l ~n_vertices:n ~n_edges:ne
+    | None -> ());
+    (* Same causal-context discipline as the classic engine: (0, 0)
+       outside a receive's send burst. *)
+    let lin_parent = ref 0 in
+    let lin_depth = ref 0 in
     let t = Csr.terminal csr in
     let row = csr.Csr.row
     and head_arr = csr.Csr.head
@@ -615,14 +657,18 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       (match oh with Some h -> Obs.Registry.incr h.E.c_sends | None -> ());
       if supervised then last_msg.(edge) <- Some msg;
       let slot = slot_of msg in
+      let lp = !lin_parent and ld = !lin_depth + 1 in
       if not faulty then begin
-        enter { seq = !next_seq; edge; corrupt = false; msg; slot } ~delay:extra_delay;
+        enter
+          { seq = !next_seq; edge; corrupt = false; lp; ld; msg; slot }
+          ~delay:extra_delay;
         incr next_seq
       end
       else
         List.iter
           (fun ({ delay; flip_bit = corrupt } : Faults.copy_fate) ->
-            enter { seq = !next_seq; edge; corrupt; msg; slot }
+            enter
+              { seq = !next_seq; edge; corrupt; lp; ld; msg; slot }
               ~delay:(delay + extra_delay);
             incr next_seq)
           (Faults.Instance.on_send fi ~edge)
@@ -631,6 +677,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       match supervisor with
       | None -> false
       | Some (cfg : Supervisor.config) ->
+          lin_parent := 0;
+          lin_depth := 0;
           let sent = ref false in
           for e = 0 to ne - 1 do
             match last_msg.(e) with
@@ -696,6 +744,11 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
         | Some f -> (
             incr deliveries;
             decr in_flight;
+            (match lineage with
+            | Some l ->
+                Obs.Lineage.note l ~id:!deliveries ~parent:f.lp ~depth:f.ld
+                  ~edge:f.edge ~vertex:head_arr.(f.edge) ~track:0
+            | None -> ());
             (match on_pop with Some hook -> hook f.seq | None -> ());
             let cfate =
               if churny then Churn.Instance.on_offer ci ~edge:f.edge
@@ -905,7 +958,11 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
                           | None -> ()
                         end
                       end;
+                      lin_parent := !deliveries;
+                      lin_depth := f.ld;
                       List.iter (fun (j, msg) -> send tv j msg) sends;
+                      lin_parent := 0;
+                      lin_depth := 0;
                       if tv = t && P.accepting state' then begin
                         outcome := E.Terminated;
                         running := false
@@ -1005,26 +1062,54 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
   let run_csr ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none)
       ?(vfaults = Vfaults.none) ?(churn = Churn.none) ?supervisor
-      ?(verify_codec = false) ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
-      csr =
+      ?(verify_codec = false) ?stop ?obs ?lineage ?on_deliver ?on_pop
+      ?on_undelivered csr =
     let oh = Option.map (fun o -> E.obs_hooks o) obs in
+    let gc0 =
+      match obs with
+      | Some _ -> Some (Gc.quick_stat (), Gc.minor_words ())
+      | None -> None
+    in
     let plain =
       (match scheduler with Scheduler.Fifo -> true | _ -> false)
       && Faults.is_none faults && Vfaults.is_none vfaults
       && Churn.is_none churn && supervisor = None && not verify_codec
       && on_deliver = None && on_pop = None && on_undelivered = None
     in
-    match if plain then certify_flood csr else None with
-    | Some (m0, emits) -> run_flood csr ~payload_bits ~step_limit ~stop ~oh m0 emits
-    | None ->
-        run_generic csr ~scheduler ~payload_bits ~step_limit ~faults ~vfaults
-          ~churn ~supervisor ~verify_codec ~stop ~oh ~on_deliver ~on_pop
-          ~on_undelivered ()
+    let report =
+      match if plain then certify_flood csr else None with
+      | Some (m0, emits) ->
+          run_flood csr ~payload_bits ~step_limit ~stop ~oh ~lineage m0 emits
+      | None ->
+          run_generic csr ~scheduler ~payload_bits ~step_limit ~faults ~vfaults
+            ~churn ~supervisor ~verify_codec ~stop ~oh ~lineage ~on_deliver
+            ~on_pop ~on_undelivered ()
+    in
+    (* Same telemetry epilogue as the classic engine: GC deltas as
+       gauges, end-of-run heap size, and the timeline ring's overwrite
+       count mirrored monotonically into [timeline.dropped]. *)
+    (match (obs, gc0) with
+    | Some o, Some (g0, mw0) ->
+        let g1 = Gc.quick_stat () in
+        let set name v =
+          Obs.Registry.set (Obs.Registry.gauge o.Obs.registry name) v
+        in
+        set "engine.gc.minor_words" (int_of_float (Gc.minor_words () -. mw0));
+        set "engine.gc.major_words"
+          (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
+        set "engine.gc.heap_words" g1.Gc.heap_words;
+        set "engine.gc.compactions" (g1.Gc.compactions - g0.Gc.compactions);
+        let c = Obs.Registry.counter o.Obs.registry "timeline.dropped" in
+        let d = Obs.Timeline.dropped o.Obs.timeline in
+        let seen = Obs.Registry.value c in
+        if d > seen then Obs.Registry.add c (d - seen)
+    | _ -> ());
+    report
 
   let run ?scheduler ?payload_bits ?step_limit ?faults ?vfaults ?churn
-      ?supervisor ?verify_codec ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
-      g =
+      ?supervisor ?verify_codec ?stop ?obs ?lineage ?on_deliver ?on_pop
+      ?on_undelivered g =
     run_csr ?scheduler ?payload_bits ?step_limit ?faults ?vfaults ?churn
-      ?supervisor ?verify_codec ?stop ?obs ?on_deliver ?on_pop ?on_undelivered
-      (Csr.of_digraph g)
+      ?supervisor ?verify_codec ?stop ?obs ?lineage ?on_deliver ?on_pop
+      ?on_undelivered (Csr.of_digraph g)
 end

@@ -24,7 +24,30 @@ let buf_trace_event b (ev : Timeline.event) =
   | Timeline.Begin | Timeline.End -> ());
   Buffer.add_char b '}'
 
-let chrome_trace ?(process_name = "anonet") tl =
+(* Flow events pair a "s" (start, anchored at the parent delivery) with
+   an "f" "bp":"e" (finish, at the child), sharing one numeric id — the
+   child's lineage node id, which is unique per trace.  Both halves are
+   emitted together from the child's store entry, so every start has a
+   matching finish by construction; nodes whose parent never made the
+   sampled store are skipped rather than emitted dangling. *)
+let buf_flow_events b (lin : Lineage.t) =
+  Lineage.iter_stored lin (fun (n : Lineage.node) ->
+      if n.Lineage.n_parent > 0 then
+        match Lineage.find lin n.Lineage.n_parent with
+        | None -> ()
+        | Some p ->
+            Printf.bprintf b
+              ",{\"name\":\"lineage\",\"cat\":\"lineage\",\"ph\":\"s\",\"id\":%d,\"ts\":"
+              n.Lineage.n_id;
+            Json.buf_float b (p.Lineage.n_ts *. 1e6);
+            Printf.bprintf b ",\"pid\":0,\"tid\":%d}" p.Lineage.n_track;
+            Printf.bprintf b
+              ",{\"name\":\"lineage\",\"cat\":\"lineage\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":"
+              n.Lineage.n_id;
+            Json.buf_float b (n.Lineage.n_ts *. 1e6);
+            Printf.bprintf b ",\"pid\":0,\"tid\":%d}" n.Lineage.n_track)
+
+let chrome_trace ?(process_name = "anonet") ?lineage tl =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Buffer.add_string b
@@ -36,11 +59,14 @@ let chrome_trace ?(process_name = "anonet") tl =
       Buffer.add_char b ',';
       buf_trace_event b ev)
     tl;
+  (match lineage with None -> () | Some lin -> buf_flow_events b lin);
   Buffer.add_string b "]";
-  let dropped = Timeline.dropped tl in
-  if dropped > 0 then
-    Printf.bprintf b ",\"otherData\":{\"dropped_events\":\"%d\"}" dropped;
-  Buffer.add_string b "}";
+  Printf.bprintf b ",\"otherData\":{\"dropped\":\"%d\"" (Timeline.dropped tl);
+  (match lineage with
+  | None -> ()
+  | Some lin ->
+      Printf.bprintf b ",\"lineage_dropped\":\"%d\"" (Lineage.dropped lin));
+  Buffer.add_string b "}}";
   Buffer.contents b
 
 let kind_name = function
@@ -50,9 +76,13 @@ let kind_name = function
   | Timeline.Sample -> "sample"
 
 (* One row per retained event; [Sample] rows carry the series value, span
-   markers a 0.  A flat file that loads in any spreadsheet / dataframe. *)
+   markers a 0.  A flat file that loads in any spreadsheet / dataframe.
+   The leading [#]-comment line surfaces how many events the ring
+   overwrote — without it a truncated export is indistinguishable from a
+   short run. *)
 let timeline_csv tl =
   let b = Buffer.create 1024 in
+  Printf.bprintf b "# dropped=%d\n" (Timeline.dropped tl);
   Buffer.add_string b "ts_s,track,kind,name,value\n";
   Timeline.iter
     (fun (ev : Timeline.event) ->

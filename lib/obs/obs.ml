@@ -5,6 +5,9 @@
     - {!Timeline} — begin/end spans, instants and counter samples over a
       bounded ring buffer, with per-domain tracks;
     - {!Export} — Chrome trace-event JSON (Perfetto) and CSV;
+    - {!Lineage} — causal-provenance forest over deliveries (parent
+      delivery ids, critical-path depth, per-edge/per-vertex
+      attribution), threaded through the engines via [?lineage];
     - {!Json} — the tree's shared JSON emission/validation helpers
       (re-exported as [Runtime.Json]).
 
@@ -17,6 +20,7 @@ module Json = Json
 module Registry = Registry
 module Timeline = Timeline
 module Export = Export
+module Lineage = Lineage
 
 type t = {
   registry : Registry.t;

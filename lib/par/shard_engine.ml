@@ -18,6 +18,11 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     edge : int;
     corrupt : bool;
     delay : int;  (** Delivery steps still to hold this copy, 0 = ready. *)
+    (* Causal provenance (same convention as the sequential flights):
+       [lp] = lineage node id of the receive that sent this copy, 0 for
+       the root emission; [ld] = this copy's causal depth. *)
+    lp : int;
+    ld : int;
     msg : P.message;
   }
 
@@ -63,7 +68,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
   let run_full ?domains ?(sharding = `Round_robin) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Runtime.Faults.none)
       ?(vfaults = Runtime.Vfaults.none) ?(churn = Runtime.Churn.none) ?stop
-      ?obs g =
+      ?obs ?lineage g =
     (* Cooperative cancellation: every shard polls the (caller-supplied,
        domain-safe) hook once per scheduling round; the first to see [true]
        publishes [Cancelled] and the others stop at their next check, with
@@ -141,17 +146,40 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     let in_flight = Atomic.make 0 in
     let deliveries = Atomic.make 0 in
     let status = Atomic.make st_running in
+    let gc0 =
+      match obs with
+      | Some _ -> Some (Gc.quick_stat (), Gc.minor_words ())
+      | None -> None
+    in
+    (* One lineage recorder per shard, same sampling/capacity/clock as
+       the caller's; merged into it after join.  Node ids come from the
+       global delivery-slot claim, so they are unique across shards. *)
+    let lins =
+      match lineage with
+      | None -> [||]
+      | Some (l : Obs.Lineage.t) ->
+          Array.init domains (fun _ ->
+              let s =
+                Obs.Lineage.create ~sample_every:l.Obs.Lineage.sample_every
+                  ~capacity:l.Obs.Lineage.capacity ~clock:l.Obs.Lineage.clock ()
+              in
+              Obs.Lineage.bind s ~n_vertices:n ~n_edges:ne;
+              s)
+    in
+    let lin_on = lineage <> None in
     (* Sends: all of an edge's [on_send] draws happen in the shard owning its
        source vertex (the root's pre-spawn emission included), so each edge's
-       fault stream lives in exactly one instance. *)
-    let send fi st fv fp msg =
+       fault stream lives in exactly one instance.  [lp]/[ld] are the
+       sending receive's lineage node id and depth (0/0 for the root). *)
+    let send fi st ~lp ~ld fv fp msg =
       let edge = Digraph.edge_index g fv fp in
       let tv, tp = target.(edge) in
+      let ld = ld + 1 in
       let enqueue ~delay ~corrupt =
         let now = 1 + Atomic.fetch_and_add in_flight 1 in
         if now > st.max_in_flight then st.max_in_flight <- now;
         Mailbox.push mailboxes.(owner.(tv))
-          { fv; fp; tv; tp; edge; corrupt; delay; msg }
+          { fv; fp; tv; tp; edge; corrupt; delay; lp; ld; msg }
       in
       if not faulty then enqueue ~delay:0 ~corrupt:false
       else
@@ -218,12 +246,20 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
       in
       let deliver f =
         (* Claim a global delivery slot; past the limit, undo and stop. *)
-        if Atomic.fetch_and_add deliveries 1 >= step_limit then begin
+        let claim = Atomic.fetch_and_add deliveries 1 in
+        if claim >= step_limit then begin
           ignore (Atomic.fetch_and_add deliveries (-1));
           ignore (Atomic.compare_and_set status st_running st_step_limit);
           st.leftover <- f :: st.leftover
         end
         else begin
+          (* The claimed slot (1-based) is this delivery's lineage node
+             id — rolled-back claims above never become nodes, so node
+             counts still reconcile with the report. *)
+          let node_id = claim + 1 in
+          if lin_on then
+            Obs.Lineage.note lins.(d) ~id:node_id ~parent:f.lp ~depth:f.ld
+              ~edge:f.edge ~vertex:f.tv ~track:d;
           incr local_deliveries;
           (match obs_tl with
           | Some (_, k) when !local_deliveries mod k = 0 -> obs_sample ()
@@ -334,7 +370,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
                 ckpt_visited.(f.tv) <- true;
                 st.checkpoints <- st.checkpoints + 1
               end;
-              List.iter (fun (j, m) -> send fi st f.tv j m) sends;
+              List.iter (fun (j, m) -> send fi st ~lp:node_id ~ld:f.ld f.tv j m) sends;
               if f.tv = t && P.accepting state' then
                 ignore (Atomic.compare_and_set status st_running st_terminated)))
           end;
@@ -420,7 +456,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     let root_owner = owner.(s) in
     List.iter
       (fun (j, msg) ->
-        send instances.(root_owner) stats.(root_owner) s j msg)
+        send instances.(root_owner) stats.(root_owner) ~lp:0 ~ld:0 s j msg)
       (P.root_emit ~out_degree:(Digraph.out_degree g s));
     visited.(s) <- true;
     let spawned =
@@ -520,6 +556,28 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
           window_violations = csum Runtime.Churn.Instance.window_violations;
         }
     in
+    (match lineage with
+    | Some l -> Array.iter (fun s -> Obs.Lineage.merge ~into:l s) lins
+    | None -> ());
+    (* Same telemetry epilogue as the sequential engines: GC deltas as
+       gauges (the whole run, all domains' allocations folded by the
+       runtime into one [quick_stat]) and the timeline-overwrite mirror. *)
+    (match (obs, gc0) with
+    | Some (o : Obs.t), Some (g0, mw0) ->
+        let g1 = Gc.quick_stat () in
+        let set name v =
+          Obs.Registry.set (Obs.Registry.gauge o.Obs.registry name) v
+        in
+        set "engine.gc.minor_words" (int_of_float (Gc.minor_words () -. mw0));
+        set "engine.gc.major_words"
+          (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
+        set "engine.gc.heap_words" g1.Gc.heap_words;
+        set "engine.gc.compactions" (g1.Gc.compactions - g0.Gc.compactions);
+        let c = Obs.Registry.counter o.Obs.registry "timeline.dropped" in
+        let d = Obs.Timeline.dropped o.Obs.timeline in
+        let seen = Obs.Registry.value c in
+        if d > seen then Obs.Registry.add c (d - seen)
+    | _ -> ());
     (match obs with
     | Some (o : Obs.t) when churny ->
         (* Fold the per-shard churn totals into the same [engine.churn.*]
@@ -556,8 +614,8 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) = struct
     { report; leftover = List.map (fun f -> f.msg) leftover_flights }
 
   let run ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults ?churn
-      ?stop ?obs g =
+      ?stop ?obs ?lineage g =
     (run_full ?domains ?sharding ?payload_bits ?step_limit ?faults ?vfaults
-       ?churn ?stop ?obs g)
+       ?churn ?stop ?obs ?lineage g)
       .report
 end

@@ -77,6 +77,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?churn:Runtime.Churn.t ->
     ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
+    ?lineage:Obs.Lineage.t ->
     Digraph.t ->
     full
   (** Defaults: [domains = Domain.recommended_domain_count ()] (clamped to
@@ -98,7 +99,15 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
       deliveries, the last mailbox batch size and the global in-flight
       count.  At worker exit each shard flushes atomic counters
       [par.shard<d>.deliveries], the grand total [par.deliveries] (always
-      equal to the report's [deliveries]) and [par.idle_spins]. *)
+      equal to the report's [deliveries]) and [par.idle_spins].
+
+      [lineage], when given, records the causal forest with per-shard
+      recorders merged into the caller's after join.  Node ids come from
+      the global delivery-slot claim (unique, 1-based, reconciling with
+      [deliveries]); [n_track] is the delivering shard.  Unlike the
+      sequential engines the id {e assignment} is schedule-dependent, so
+      there is no cross-engine parity contract here — only the
+      node-count reconciliation. *)
 
   val run :
     ?domains:int ->
@@ -110,6 +119,7 @@ module Make (P : Runtime.Protocol_intf.PROTOCOL) : sig
     ?churn:Runtime.Churn.t ->
     ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
+    ?lineage:Obs.Lineage.t ->
     Digraph.t ->
     P.state Runtime.Engine.report
   (** [run_full] without the leftover list. *)

@@ -176,6 +176,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     tp : int;
     edge : int;
     corrupt : bool;
+    (* Causal provenance, carried by every copy: the lineage node id of
+       the receive that caused this send (0 = root emission or
+       supervisor retransmission) and this copy's causal depth (parent
+       depth + 1; root copies have depth 1). *)
+    lp : int;
+    ld : int;
     msg : P.message;
   }
 
@@ -282,15 +288,39 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let run ?(scheduler = Scheduler.Fifo) ?(payload_bits = 0)
       ?(step_limit = 10_000_000) ?(faults = Faults.none)
       ?(vfaults = Vfaults.none) ?(churn = Churn.none) ?supervisor
-      ?(verify_codec = false) ?stop ?obs ?on_deliver ?on_pop ?on_undelivered g =
+      ?(verify_codec = false) ?stop ?obs ?lineage ?on_deliver ?on_pop
+      ?on_undelivered g =
     (* Cooperative cancellation: polled between deliveries, so a [true]
        stops the run at a message boundary with the accounting intact
        (undelivered copies stay counted in [final_in_flight] and reach
        [on_undelivered], exactly as under [Step_limit]). *)
     let stop_now = match stop with None -> (fun () -> false) | Some f -> f in
     let oh = Option.map (fun o -> obs_hooks o) obs in
+    let gc0 =
+      match obs with
+      | Some _ -> Some (Gc.quick_stat (), Gc.minor_words ())
+      | None -> None
+    in
     let n = Digraph.n_vertices g in
     let ne = Digraph.n_edges g in
+    (match lineage with
+    | Some l -> Obs.Lineage.bind l ~n_vertices:n ~n_edges:ne
+    | None -> ());
+    (* Causal context for [send]: the lineage node id and depth of the
+       receive whose sends are currently being injected.  (0, 0) outside
+       a receive — root emissions and supervisor retransmissions start
+       fresh chains. *)
+    let lin_parent = ref 0 in
+    let lin_depth = ref 0 in
+    (* Pop journal: one packed [edge lor (parent lsl journal_shift)]
+       slot per consumed copy, handed to the recorder wholesale at run
+       end and replayed into its aggregates on first query — the run
+       itself pays one store per delivery.  Depths reconstruct exactly
+       because [ld] is always parent depth + 1 with retransmissions
+       restarting at parent 0. *)
+    let lin_on = lineage <> None in
+    let lin_j = ref (if lin_on then Array.make 1024 0 else [||]) in
+    let lin_n = ref 0 in
     let t = Digraph.terminal g in
     (* Dense edge -> (target vertex, target in-port), filled by walking the
        in-adjacency: [in_origin] and [edge_index] are O(1), so the table
@@ -421,14 +451,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       let tv, tp = target.(edge) in
       (match oh with Some h -> Obs.Registry.incr h.c_sends | None -> ());
       if supervised then last_msg.(edge) <- Some msg;
+      let lp = !lin_parent and ld = !lin_depth + 1 in
       if not faulty then begin
-        enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; msg } ~delay:extra_delay;
+        enter
+          { seq = !next_seq; fv; fp; tv; tp; edge; corrupt = false; lp; ld; msg }
+          ~delay:extra_delay;
         incr next_seq
       end
       else
         List.iter
           (fun ({ delay; flip_bit = corrupt } : Faults.copy_fate) ->
-            enter { seq = !next_seq; fv; fp; tv; tp; edge; corrupt; msg }
+            enter
+              { seq = !next_seq; fv; fp; tv; tp; edge; corrupt; lp; ld; msg }
               ~delay:(delay + extra_delay);
             incr next_seq)
           (Faults.Instance.on_send fi ~edge)
@@ -442,6 +476,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       match supervisor with
       | None -> false
       | Some (cfg : Supervisor.config) ->
+          (* Retransmissions start fresh causal chains: nothing "caused"
+             them but the supervisor's clock. *)
+          lin_parent := 0;
+          lin_depth := 0;
           let sent = ref false in
           for e = 0 to ne - 1 do
             match last_msg.(e) with
@@ -514,6 +552,19 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         | Some f -> (
             incr deliveries;
             decr in_flight;
+            (* Every consumed copy gets a journal slot — including copies
+               a churn-absent edge or a down vertex swallows — so the
+               node count reconciles exactly with [report.deliveries]. *)
+            if lin_on then begin
+              if !lin_n = Array.length !lin_j then begin
+                let bigger = Array.make (2 * !lin_n) 0 in
+                Array.blit !lin_j 0 bigger 0 !lin_n;
+                lin_j := bigger
+              end;
+              Array.unsafe_set !lin_j !lin_n
+                (f.edge lor (f.lp lsl Obs.Lineage.journal_shift));
+              incr lin_n
+            end;
             (* [on_pop] sees every consumed copy — including copies a down
                vertex swallows or a garble destroys — because a faithful
                replay schedule must re-deliver exactly those seqs to keep
@@ -760,7 +811,11 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                     | None -> ()
                   end
                 end;
+                lin_parent := !deliveries;
+                lin_depth := f.ld;
                 List.iter (fun (j, msg) -> send f.tv j msg) sends;
+                lin_parent := 0;
+                lin_depth := 0;
                 if f.tv = t && P.accepting state' then begin
                   outcome := Terminated;
                   running := false
@@ -780,6 +835,11 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           | Some (_, f) -> hook f.msg
           | None -> continue := false
         done);
+    (match lineage with
+    | Some l ->
+        Obs.Lineage.note_journal l ~packed:!lin_j
+          ~heads:(Array.map fst target) ~count:!lin_n ~track:0
+    | None -> ());
     (match oh with
     | Some h ->
         obs_sample ();
@@ -805,6 +865,27 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         end;
         Obs.Timeline.end_span h.oh_timeline ~track:h.oh_track "engine.run"
     | None -> ());
+    (match (obs, gc0) with
+    | Some o, Some (g0, mw0) ->
+        (* GC cost of the run, as gauges: words are deltas (what this run
+           allocated), heap size is the absolute end-of-run footprint. *)
+        let g1 = Gc.quick_stat () in
+        let set name v =
+          Obs.Registry.set (Obs.Registry.gauge o.Obs.registry name) v
+        in
+        set "engine.gc.minor_words" (int_of_float (Gc.minor_words () -. mw0));
+        set "engine.gc.major_words"
+          (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
+        set "engine.gc.heap_words" g1.Gc.heap_words;
+        set "engine.gc.compactions" (g1.Gc.compactions - g0.Gc.compactions);
+        (* Mirror the timeline ring's overwrite count into the registry
+           (same folding discipline as [c_restarts]: the timeline is the
+           source of truth, the counter tracks it monotonically). *)
+        let c = Obs.Registry.counter o.Obs.registry "timeline.dropped" in
+        let d = Obs.Timeline.dropped o.Obs.timeline in
+        let seen = Obs.Registry.value c in
+        if d > seen then Obs.Registry.add c (d - seen)
+    | _ -> ());
     let fault_stats =
       if not faulty then
         { no_faults_stats with

@@ -200,6 +200,7 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?verify_codec:bool ->
     ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
+    ?lineage:Obs.Lineage.t ->
     ?on_deliver:(event -> P.message -> unit) ->
     ?on_pop:(int -> unit) ->
     ?on_undelivered:(P.message -> unit) ->
@@ -241,7 +242,18 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
       vertices) and the message-count cut residual
       [entered - delivered - in_flight], which is 0 whenever the
       engine's accounting is conserving messages.  Counter totals
-      reconcile exactly with the returned {!type:report}.
+      reconcile exactly with the returned {!type:report}.  The run also
+      records [engine.gc.*] gauges ({!Gc.quick_stat} allocation deltas
+      and end-of-run heap size) and mirrors the timeline ring's
+      overwrite count as the [timeline.dropped] counter.
+
+      [lineage], when given, records the causal-provenance forest: every
+      consumed copy becomes an {!Obs.Lineage} node (id = the 1-based
+      delivery counter) whose parent is the delivery whose [P.receive]
+      emitted it — 0 for root emissions and supervisor retransmissions.
+      Node count reconciles exactly with [report.deliveries], and ids,
+      parents and depths are identical across engine implementations for
+      the same schedule.
 
       [on_undelivered] is called once per message still in flight (pooled or
       delay-held) when the run stops — together with [states] this is the

@@ -26,6 +26,7 @@ module type S = sig
     ?verify_codec:bool ->
     ?stop:(unit -> bool) ->
     ?obs:Obs.t ->
+    ?lineage:Obs.Lineage.t ->
     ?on_deliver:(Engine.event -> message -> unit) ->
     ?on_pop:(int -> unit) ->
     ?on_undelivered:(message -> unit) ->

@@ -78,6 +78,11 @@ let result_of resp =
       in
       Error code
 
+let watch t id =
+  match request t (Printf.sprintf "{\"op\":\"watch\",\"id\":%s}" (J.escape id)) with
+  | Error _ as e -> e
+  | Ok resp -> result_of resp
+
 (* {1 Smoke}
 
    Drive a mixed load through a live server: plain floods, counting runs

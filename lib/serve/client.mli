@@ -19,6 +19,12 @@ val result_of : string -> (Obs.Json.value, string) result
 (** Unwrap a response envelope: the ["result"] value, or the error code
     ([Error "overloaded"], ...). *)
 
+val watch : t -> string -> (Obs.Json.value, string) result
+(** One [watch] round-trip for a session id: the
+    [{"state":...,"metrics":...}] result value, where [metrics] holds
+    the registry diff accumulated since the previous [watch] of the same
+    session.  Poll it to stream a long run's telemetry live. *)
+
 type smoke_report = {
   sessions : int;
   ok_results : int;

@@ -69,6 +69,7 @@ type request =
   | Status of string
   | Result of string
   | Cancel of string
+  | Watch of string
   | Metrics
   | Shutdown
 
@@ -214,6 +215,7 @@ let parse_request ?(default_engine = "classic") line =
             | "status" -> with_id (fun i -> Status i)
             | "result" -> with_id (fun i -> Result i)
             | "cancel" -> with_id (fun i -> Cancel i)
+            | "watch" -> with_id (fun i -> Watch i)
             | "metrics" -> Ok Metrics
             | "shutdown" -> Ok Shutdown
             | op ->

@@ -1,7 +1,7 @@
 (** Request parsing and response envelopes of the serve wire protocol.
 
     One JSON object per line.  Requests carry an ["op"] member ([submit],
-    [status], [result], [cancel], [metrics], [shutdown]); responses are
+    [status], [result], [cancel], [watch], [metrics], [shutdown]); responses are
     [{"id":...,"ok":true,"result":...}] or
     [{"id":...,"ok":false,"error":{"code":...,"msg":...}}].  Error codes
     are a closed enum — clients branch on the code, never the message.
@@ -59,6 +59,12 @@ type request =
   | Status of string
   | Result of string
   | Cancel of string
+  | Watch of string
+      (** Live telemetry: each [watch] of a session answers
+          [{"state":...,"metrics":...}] where [metrics] is the
+          registry {e diff} since this session's previous [watch] —
+          polling it periodically streams incremental snapshots of a
+          long run. *)
   | Metrics
   | Shutdown
 

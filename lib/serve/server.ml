@@ -181,6 +181,10 @@ let execute t (s : Session.t) =
     let sub = s.Session.submit in
     let g = List.assoc sub.Proto.sub_graph t.graphs in
     let obs = Obs.create ~sample_every:t.cfg.sample_every () in
+    (* Publish the live registry for [watch] before the run starts, so a
+       watcher never misses the early deliveries of a session it saw
+       transition to Running. *)
+    Session.transition t.sessions s (fun s -> s.Session.obs <- Some obs);
     (* The stop hook runs between deliveries on this worker's domain: the
        cancel flag is checked every time, the deadline only every 1024
        polls so [gettimeofday] stays off the hot path. *)
@@ -352,6 +356,28 @@ let handle_cancel t id =
       in
       Proto.ok ~id (Proto.state_result answer))
 
+(* [watch] streams a session's telemetry incrementally: each call answers
+   the registry diff since the same session's previous watch, plus the
+   current lifecycle state, so a polling client sees a long run move.
+   Before the worker installs the registry (still queued) the metrics
+   object is empty; after completion the final diff drains the tail. *)
+let handle_watch t id =
+  with_session t id (fun s ->
+      let state, metrics =
+        Session.transition t.sessions s (fun s ->
+            let state = Session.state_name s.Session.state in
+            match s.Session.obs with
+            | None -> (state, R.to_json [])
+            | Some o ->
+                let now = R.snapshot o.Obs.registry in
+                let d = R.diff ~older:s.Session.watch_seen ~newer:now in
+                s.Session.watch_seen <- now;
+                (state, R.to_json d))
+      in
+      Proto.ok ~id
+        (Printf.sprintf "{\"state\":%s,\"metrics\":%s}"
+           (Obs.Json.escape state) metrics))
+
 let metrics_json t =
   Mutex.lock t.merge_lock;
   let g = R.gauge t.registry "server.queue_depth" in
@@ -376,6 +402,7 @@ let handle_line t ~conn line =
   | Ok (Proto.Status id) -> handle_status t id
   | Ok (Proto.Result id) -> handle_result t id
   | Ok (Proto.Cancel id) -> handle_cancel t id
+  | Ok (Proto.Watch id) -> handle_watch t id
   | Ok Proto.Metrics -> Proto.ok (metrics_json t)
   | Ok Proto.Shutdown ->
       Atomic.set t.shutdown_flag true;

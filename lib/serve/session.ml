@@ -34,6 +34,9 @@ type t = {
   mutable credit_released : bool;
   mutable deliveries : int;  (* from the report, for reconciliation *)
   mutable total_bits : int;
+  mutable obs : Obs.t option;  (* live per-session telemetry, for [watch] *)
+  mutable watch_seen : Obs.Registry.snapshot;
+      (* registry state the last watch reply already covered *)
   mutable t_submitted : float;  (* wall clock, latency measurement only — *)
   mutable t_finished : float;  (* never part of the result payload *)
 }
@@ -67,6 +70,8 @@ let add tab ~conn ~now (submit : Proto.submit) =
             credit_released = false;
             deliveries = 0;
             total_bits = 0;
+            obs = None;
+            watch_seen = [];
             t_submitted = now;
             t_finished = 0.0;
           }

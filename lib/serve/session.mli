@@ -25,6 +25,16 @@ type t = {
   mutable credit_released : bool;
   mutable deliveries : int;
   mutable total_bits : int;
+  mutable obs : Obs.t option;
+      (** The session's live registry, installed by the worker when the
+          run starts and kept after it finishes so a final [watch] can
+          pick up the tail.  Reads from the serve loop race the worker's
+          plain stores — fine for telemetry, and the completion-time
+          merge into the server registry is still the exact rollup. *)
+  mutable watch_seen : Obs.Registry.snapshot;
+      (** What the previous [watch] reply already covered; each watch
+          answers the diff against this and advances it (under the table
+          lock). *)
   mutable t_submitted : float;
       (** Wall clock, for latency measurement only — timing never enters
           the result payload (that would break byte-determinism). *)

@@ -1,0 +1,188 @@
+(* Obs.Lineage: the causal-provenance recorder.
+
+   The load-bearing contract is classic <-> flat parity: both engines
+   execute the same delivery schedule, and node ids are the 1-based
+   delivery counter, so for the same graph the two recorders must agree
+   on every aggregate {e and} — with sampling off — on the entire stored
+   node stream, even though the flat engine records through a packed pop
+   journal realized lazily and the classic engine through its own.  The
+   par engine's id assignment is schedule-dependent, so only node-count
+   reconciliation holds there. *)
+
+module E = Runtime.Engine
+module F = Digraph.Families
+module H = Helpers
+module L = Obs.Lineage
+
+module Cl = Runtime.Engine.Make (Anonet.Flood)
+module Fl = Flatcore.Engine.Make (Anonet.Flood)
+module Pr = Par.Engine.Make (Anonet.Flood)
+
+let stored_list l =
+  let acc = ref [] in
+  L.iter_stored l (fun n ->
+      acc := (n.L.n_id, n.L.n_parent, n.L.n_edge, n.L.n_vertex, n.L.n_depth) :: !acc);
+  List.rev !acc
+
+(* {1 Classic <-> flat parity, full store} *)
+
+let parity_prop g =
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  let lc = L.create ~sample_every:1 ~capacity:(1 lsl 20) () in
+  let lf = L.create ~sample_every:1 ~capacity:(1 lsl 20) () in
+  let cr = Cl.run ~lineage:lc g in
+  let fr = Fl.run ~lineage:lf g in
+  if cr.E.deliveries <> fr.E.deliveries then fail "schedules diverged";
+  (* Sampling off, capacity ample: node count reconciles exactly. *)
+  if L.nodes lc <> cr.E.deliveries then
+    fail "classic nodes %d <> deliveries %d" (L.nodes lc) cr.E.deliveries;
+  if L.nodes lf <> fr.E.deliveries then
+    fail "flat nodes %d <> deliveries %d" (L.nodes lf) fr.E.deliveries;
+  if L.stored lc <> L.nodes lc then fail "classic store incomplete";
+  if L.dropped lc <> 0 || L.dropped lf <> 0 then fail "unexpected drops";
+  if L.max_depth lc <> L.max_depth lf then
+    fail "max_depth %d <> %d" (L.max_depth lc) (L.max_depth lf);
+  if L.width lc <> L.width lf then fail "width differs";
+  if L.depth_histogram lc <> L.depth_histogram lf then
+    fail "depth histogram differs";
+  if L.critical_edges lc ~k:8 <> L.critical_edges lf ~k:8 then
+    fail "critical edges differ";
+  if stored_list lc <> stored_list lf then fail "stored node streams differ";
+  true
+
+let parity_tests =
+  [
+    H.qcheck_to_alcotest ~count:25 "classic == flat: trees" H.arb_grounded_tree
+      parity_prop;
+    H.qcheck_to_alcotest ~count:15 "classic == flat: dags" H.arb_dag parity_prop;
+    H.qcheck_to_alcotest ~count:10 "classic == flat: digraphs" H.arb_digraph
+      parity_prop;
+  ]
+
+(* {1 Sampling and capacity bounds} *)
+
+let test_sampling () =
+  let g = F.random_digraph (Prng.create 11) ~n:30 ~extra_edges:40 ~back_edges:8 ~t_edge_prob:0.3 in
+  let exact = L.create ~sample_every:1 () in
+  ignore (Cl.run ~lineage:exact g);
+  let sampled = L.create ~sample_every:5 () in
+  let r = Cl.run ~lineage:sampled g in
+  (* Aggregates are exact regardless of sampling. *)
+  Alcotest.(check int) "nodes exact" (L.nodes exact) (L.nodes sampled);
+  Alcotest.(check int) "nodes = deliveries" r.E.deliveries (L.nodes sampled);
+  Alcotest.(check int) "max_depth exact" (L.max_depth exact) (L.max_depth sampled);
+  Alcotest.(check bool) "histogram exact" true
+    (L.depth_histogram exact = L.depth_histogram sampled);
+  (* The countdown samples the 1st note then every 5th. *)
+  Alcotest.(check int)
+    "stored counts the sampled minority"
+    (1 + ((L.nodes sampled - 1) / 5))
+    (L.stored sampled);
+  Alcotest.(check int) "nothing dropped" 0 (L.dropped sampled)
+
+let test_capacity () =
+  let g = F.random_digraph (Prng.create 12) ~n:30 ~extra_edges:40 ~back_edges:8 ~t_edge_prob:0.3 in
+  let l = L.create ~sample_every:1 ~capacity:8 () in
+  ignore (Cl.run ~lineage:l g);
+  Alcotest.(check int) "store capped" 8 (L.stored l);
+  Alcotest.(check int)
+    "overflow counted as dropped" (L.nodes l - 8) (L.dropped l);
+  Alcotest.(check bool) "aggregates still exact" true (L.nodes l > 8)
+
+(* {1 Critical path on a line graph} *)
+
+let test_critical_path () =
+  let k = 9 in
+  let g = F.path k in
+  let l = L.create ~sample_every:1 () in
+  let r = Cl.run ~lineage:l g in
+  Alcotest.(check int) "one delivery per edge" (Digraph.n_edges g) r.E.deliveries;
+  Alcotest.(check int) "depth = path length" (k + 1) (L.max_depth l);
+  Alcotest.(check int) "width 1" 1 (L.width l);
+  let path = L.critical_path l in
+  Alcotest.(check int) "full chain retained" (k + 1) (List.length path);
+  (* Deepest-first: depths k+1, k, ..., 1, parent links chaining. *)
+  List.iteri
+    (fun i n ->
+      Alcotest.(check int)
+        (Printf.sprintf "depth at position %d" i)
+        (k + 1 - i) n.L.n_depth)
+    path;
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check int) "parent link" b.L.n_id a.L.n_parent;
+        chained rest
+    | [ last ] -> Alcotest.(check int) "root parent" 0 last.L.n_parent
+    | [] -> ()
+  in
+  chained path
+
+(* {1 JSON export} *)
+
+let test_json () =
+  let g = F.random_digraph (Prng.create 13) ~n:20 ~extra_edges:25 ~back_edges:5 ~t_edge_prob:0.3 in
+  let l = L.create ~sample_every:2 () in
+  ignore (Cl.run ~lineage:l g);
+  let s = L.to_json l in
+  Alcotest.(check bool) "valid JSON" true (Obs.Json.valid s);
+  let v = Result.get_ok (Obs.Json.parse s) in
+  let field name =
+    match Obs.Json.member name v with
+    | Some (Obs.Json.Number n) -> int_of_string n
+    | _ -> Alcotest.failf "missing field %s" name
+  in
+  Alcotest.(check int) "nodes" (L.nodes l) (field "nodes");
+  Alcotest.(check int) "max_depth" (L.max_depth l) (field "max_depth");
+  Alcotest.(check int) "stored" (L.stored l) (field "stored");
+  Alcotest.(check int) "dropped" (L.dropped l) (field "dropped")
+
+(* {1 Par: node-count reconciliation + shard tracks} *)
+
+let test_par_reconcile () =
+  let g = F.random_digraph (Prng.create 14) ~n:40 ~extra_edges:60 ~back_edges:10 ~t_edge_prob:0.3 in
+  let l = L.create ~sample_every:1 ~capacity:(1 lsl 20) () in
+  let r = Pr.run ~domains:4 ~lineage:l g in
+  Alcotest.(check int) "nodes = deliveries" r.E.deliveries (L.nodes l);
+  Alcotest.(check int) "full store" r.E.deliveries (L.stored l);
+  (* Ids are the global delivery-slot claims: unique and 1-based. *)
+  let seen = Hashtbl.create 64 in
+  let max_id = ref 0 in
+  L.iter_stored l (fun n ->
+      if Hashtbl.mem seen n.L.n_id then Alcotest.failf "duplicate id %d" n.L.n_id;
+      Hashtbl.add seen n.L.n_id ();
+      if n.L.n_id > !max_id then max_id := n.L.n_id;
+      if n.L.n_depth < 1 then Alcotest.failf "depth < 1 at id %d" n.L.n_id);
+  Alcotest.(check int) "ids dense" r.E.deliveries !max_id
+
+(* {1 Merge} *)
+
+let test_merge () =
+  let g = F.path 5 in
+  let a = L.create ~sample_every:1 () in
+  let b = L.create ~sample_every:1 () in
+  ignore (Cl.run ~lineage:a g);
+  ignore (Cl.run ~lineage:b g);
+  let solo_nodes = L.nodes a and solo_depth = L.max_depth a in
+  L.merge ~into:a b;
+  Alcotest.(check int) "nodes sum" (2 * solo_nodes) (L.nodes a);
+  Alcotest.(check int) "max_depth maxes" solo_depth (L.max_depth a);
+  Alcotest.(check int) "stores append" (2 * solo_nodes) (L.stored a)
+
+let () =
+  Alcotest.run "lineage"
+    [
+      ("parity", parity_tests);
+      ( "bounds",
+        [
+          Alcotest.test_case "sampling countdown" `Quick test_sampling;
+          Alcotest.test_case "capacity + dropped" `Quick test_capacity;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "critical path, deepest first" `Quick
+            test_critical_path;
+          Alcotest.test_case "json export" `Quick test_json;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ("par", [ Alcotest.test_case "reconcile + unique ids" `Quick test_par_reconcile ]);
+    ]

@@ -244,13 +244,84 @@ let test_exporters () =
   Alcotest.(check bool) "has traceEvents" true (contains trace "traceEvents");
   let csv = Obs.Export.timeline_csv tl in
   let lines = String.split_on_char '\n' (String.trim csv) in
-  Alcotest.(check int) "csv: header + one row per event" 4 (List.length lines);
+  Alcotest.(check int)
+    "csv: dropped line + header + one row per event" 5 (List.length lines);
+  Alcotest.(check string) "csv dropped line" "# dropped=0" (List.hd lines);
   Alcotest.(check string) "csv header" "ts_s,track,kind,name,value"
-    (List.hd lines);
+    (List.nth lines 1);
+  Alcotest.(check bool) "chrome trace carries dropped" true
+    (contains trace "\"dropped\":\"0\"");
   let reg = R.create () in
   R.add (R.counter reg "n") 3;
   let mj = Obs.Export.metrics_json ~meta:[ ("proto", "tr\"ee") ] (R.snapshot reg) in
   Alcotest.(check bool) "metrics JSON valid" true (Obs.Json.valid mj)
+
+(* Perfetto flow events: each stored child whose parent is also stored
+   yields exactly one "s"/"f" pair sharing the child's node id; children
+   whose parent missed the sampled store are skipped entirely rather than
+   emitted as dangling halves. *)
+let test_flow_events () =
+  let module J = Obs.Json in
+  let module L = Obs.Lineage in
+  let clock, set = fake_clock () in
+  let tl = T.create ~clock ~capacity:8 () in
+  T.begin_span tl ~track:0 "run";
+  set 1.0;
+  T.end_span tl ~track:0 "run";
+  (* Chain 1 -> 2 -> 3 plus an unrelated root 4: flows for children 2, 3. *)
+  let lin = L.create ~sample_every:1 ~clock () in
+  L.bind lin ~n_vertices:4 ~n_edges:4;
+  L.note lin ~id:1 ~parent:0 ~depth:1 ~edge:(-1) ~vertex:0 ~track:0;
+  L.note lin ~id:2 ~parent:1 ~depth:2 ~edge:0 ~vertex:1 ~track:0;
+  L.note lin ~id:3 ~parent:2 ~depth:3 ~edge:1 ~vertex:2 ~track:1;
+  L.note lin ~id:4 ~parent:0 ~depth:1 ~edge:(-1) ~vertex:3 ~track:0;
+  let trace = Obs.Export.chrome_trace ~lineage:lin tl in
+  Alcotest.(check bool) "trace with flows is valid JSON" true
+    (Obs.Json.valid trace);
+  let v = Result.get_ok (J.parse trace) in
+  let evs =
+    match J.member "traceEvents" v with
+    | Some (J.Array evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let id_of ev =
+    match J.member "id" ev with
+    | Some (J.Number n) -> int_of_string n
+    | _ -> Alcotest.fail "flow event without numeric id"
+  in
+  let starts = ref [] and finishes = ref [] in
+  List.iter
+    (fun ev ->
+      match J.member "ph" ev with
+      | Some (J.String "s") -> starts := id_of ev :: !starts
+      | Some (J.String "f") ->
+          (match J.member "bp" ev with
+          | Some (J.String "e") -> ()
+          | _ -> Alcotest.fail "\"f\" event without bp=e");
+          finishes := id_of ev :: !finishes
+      | _ -> ())
+    evs;
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int)) "one pair per stored child" [ 2; 3 ]
+    (sorted !starts);
+  Alcotest.(check (list int)) "every \"s\" matched by an \"f\""
+    (sorted !starts) (sorted !finishes);
+  Alcotest.(check int) "flow ids unique" (List.length !starts)
+    (List.length (List.sort_uniq compare !starts));
+  Alcotest.(check bool) "otherData carries lineage_dropped" true
+    (contains trace "\"lineage_dropped\":\"0\"");
+  (* sample_every:2 stores ids {1, 3}; child 3's parent 2 is missing, so
+     no flow events at all — never a dangling half. *)
+  let part = L.create ~sample_every:2 ~clock () in
+  L.bind part ~n_vertices:4 ~n_edges:4;
+  L.note part ~id:1 ~parent:0 ~depth:1 ~edge:(-1) ~vertex:0 ~track:0;
+  L.note part ~id:2 ~parent:1 ~depth:2 ~edge:0 ~vertex:1 ~track:0;
+  L.note part ~id:3 ~parent:2 ~depth:3 ~edge:1 ~vertex:2 ~track:0;
+  let trace2 = Obs.Export.chrome_trace ~lineage:part tl in
+  Alcotest.(check bool) "partial-store trace valid" true
+    (Obs.Json.valid trace2);
+  Alcotest.(check bool) "no dangling flow halves" false
+    (contains trace2 "\"ph\":\"s\"")
 
 (* {1 Trace satellites: growable storage, iter/to_csv, per-vertex tallies} *)
 
@@ -473,6 +544,7 @@ let () =
         [
           Alcotest.test_case "json validator" `Quick test_json_validator;
           Alcotest.test_case "chrome trace + csv + metrics" `Quick test_exporters;
+          Alcotest.test_case "flow-event pairing" `Quick test_flow_events;
         ] );
       ( "trace",
         [

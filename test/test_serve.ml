@@ -368,6 +368,47 @@ let test_engine_parity () =
         (J.escape id) (J.escape e));
   S.stop t
 
+(* [watch] streams incremental registry diffs: queued -> empty metrics,
+   after the run -> a diff carrying exactly the report's deliveries (the
+   first watch covered nothing), then a drained second diff. *)
+let test_watch () =
+  let t = mk () in
+  ignore (req t (submit_line "w"));
+  let watch id = req t (Printf.sprintf "{\"op\":\"watch\",\"id\":%s}" (J.escape id)) in
+  let counter v name =
+    Option.bind (J.member "metrics" v) (fun m ->
+        Option.bind (J.member "counters" m) (fun c ->
+            Option.bind (J.member name c) J.to_int_opt))
+  in
+  let w1 = result_json (watch "w") in
+  Alcotest.(check (option string))
+    "queued state" (Some "queued")
+    (Option.bind (J.member "state" w1) J.to_string_opt);
+  Alcotest.(check (option int))
+    "no registry yet" None (counter w1 "engine.deliveries");
+  ignore (S.step t);
+  let w2 = result_json (watch "w") in
+  Alcotest.(check (option string))
+    "done state" (Some "done")
+    (Option.bind (J.member "state" w2) J.to_string_opt);
+  let d =
+    Option.bind (J.member "deliveries" (result_json (result t "w"))) J.to_int_opt
+  in
+  Alcotest.(check (option int))
+    "first real diff carries the run's deliveries" d
+    (counter w2 "engine.deliveries");
+  (* The engine epilogue registered its GC gauges on the session registry. *)
+  Alcotest.(check bool) "gc gauges visible" true
+    (Option.is_some
+       (Option.bind (J.member "metrics" w2) (fun m ->
+            Option.bind (J.member "gauges" m)
+              (J.member "engine.gc.heap_words"))));
+  let d3 = counter (result_json (watch "w")) "engine.deliveries" in
+  Alcotest.(check bool) "second diff drained" true (d3 = None || d3 = Some 0);
+  Alcotest.(check string) "unknown id" "unknown_id"
+    (err_code (watch "nope"));
+  S.stop t
+
 let test_shutdown_refuses_submits () =
   let t = mk () in
   ignore (req t (submit_line "pre"));
@@ -391,6 +432,7 @@ let () =
           Alcotest.test_case "submit/status/result/metrics" `Quick test_lifecycle;
           Alcotest.test_case "bad frames" `Quick test_bad_frames;
           Alcotest.test_case "duplicate id" `Quick test_duplicate_id;
+          Alcotest.test_case "watch streams diffs" `Quick test_watch;
         ] );
       ( "admission",
         [
