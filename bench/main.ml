@@ -1462,6 +1462,360 @@ let serve_bench ~small () =
   pf "  \"pass\": %b\n" pass;
   pf "}\n"
 
+(* {1 E22 — crash/recovery under SIGKILL (JSON)}
+
+   The durability claim, tested the only honest way: a REAL socket
+   server in a child process, a client driving mixed load through the
+   wire, [kill -9] at seeded points mid-load, restart on the same
+   journal, and then an audit from the client's ledger — every
+   acknowledged submit must still produce a result (zero acked loss),
+   and every result fetched before a crash must come back
+   byte-identical after it.  A second, in-process phase prices the
+   journal: E19-style open-loop load with and without [--journal],
+   gating the p50 overhead at 10%.
+
+   The chaos phase forks, so it MUST run before this process spawns any
+   domain — run [recover] as its own bench invocation (CI does). *)
+let recover_bench ~small () =
+  let module S = Serve.Server in
+  let module C = Serve.Client in
+  let module J = Obs.Json in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let n = if small then 80 else 400 in
+  let crashes = if small then 1 else 2 in
+  let prng = Prng.create 0xE22 in
+  let tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "anonet-recover-%d" (Unix.getpid ()))
+  in
+  let sock = tag ^ ".sock" and journal = tag ^ ".journal" in
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  rm journal;
+  let config =
+    {
+      S.default_config with
+      graphs = [ ("small", "comb:8"); ("grid", "grid:6x6") ];
+      workers = 2;
+      max_queue = 256;
+      credits = 1 lsl 20;
+      step_limit = 200_000;
+      journal = Some journal;
+      journal_sync = true;
+    }
+  in
+  let start_server () =
+    rm sock;
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (* Child: the real socket server.  Its chatter must not pollute
+           the parent's JSON, and it must never run the parent's at_exit
+           handlers — hence /dev/null and [Unix._exit]. *)
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Unix.dup2 devnull Unix.stdout;
+        Unix.dup2 devnull Unix.stderr;
+        (match S.create ~config () with
+        | Error _ -> Unix._exit 1
+        | Ok t ->
+            S.serve_loop ~socket:sock t;
+            S.stop t;
+            Unix._exit 0)
+    | pid -> pid
+  in
+  let retry =
+    { C.r_attempts = 10; r_base_ms = 20; r_seed = 0xE22 }
+  in
+  let connect () =
+    match C.connect_retry ~retry sock with
+    | Ok c -> c
+    | Error e -> failwith ("connect: " ^ e)
+  in
+  let rid i = Printf.sprintf "r%d" i in
+  let submit_line i =
+    if i mod 2 = 0 then
+      Printf.sprintf
+        "{\"op\":\"submit\",\"id\":\"%s\",\"protocol\":\"flood\",\"graph\":\"small\",\"seed\":%d}"
+        (rid i) i
+    else
+      Printf.sprintf
+        "{\"op\":\"submit\",\"id\":\"%s\",\"protocol\":\"counting\",\"graph\":\"grid\",\"scheduler\":\"random\",\"seed\":%d}"
+        (rid i) i
+  in
+  let ok_of resp =
+    match J.parse resp with
+    | Ok v -> (
+        match Option.map J.to_bool_opt (J.member "ok" v) with
+        | Some (Some b) -> b
+        | _ -> false)
+    | Error _ -> false
+  in
+  let code_of resp =
+    match J.parse resp with
+    | Ok v -> (
+        match
+          Option.bind (J.member "error" v) (fun e ->
+              Option.bind (J.member "code" e) J.to_string_opt)
+        with
+        | Some c -> c
+        | None -> "")
+    | Error _ -> ""
+  in
+  let result_bytes resp =
+    match J.parse resp with
+    | Ok v -> (
+        match J.member "result" v with
+        | Some r -> J.to_string r
+        | None -> failwith "missing result member")
+    | Error _ -> failwith "unparseable result"
+  in
+  let acked = ref [] in
+  (* id -> result bytes the server acknowledged BEFORE a crash *)
+  let prekill : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let submit c i =
+    match C.request_retry ~retry c (submit_line i) with
+    | Ok resp when ok_of resp -> acked := i :: !acked
+    | Ok resp -> failwith ("submit rejected: " ^ resp)
+    | Error e -> failwith ("submit io: " ^ e)
+  in
+  let poll_result c id ~budget_s =
+    let deadline = Unix.gettimeofday () +. budget_s in
+    let rec go () =
+      match C.request c (Printf.sprintf "{\"op\":\"result\",\"id\":\"%s\"}" id) with
+      | Ok resp when ok_of resp -> `Done (result_bytes resp)
+      | Ok resp ->
+          let c' = code_of resp in
+          if c' = "not_done" && Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.005;
+            go ()
+          end
+          else `Gone (if c' = "not_done" then "timeout" else c')
+      | Error e -> `Gone ("io: " ^ e)
+    in
+    go ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let per_phase = n / (crashes + 1) in
+  let next = ref 0 in
+  let kill_points = ref [] in
+  let pid = ref (start_server ()) in
+  let client = ref (connect ()) in
+  for crash = 1 to crashes do
+    (* Seeded kill point, jittered around the phase boundary. *)
+    let upto =
+      min n
+        ((crash * per_phase) - (per_phase / 4) + Prng.int prng (per_phase / 2))
+    in
+    kill_points := upto :: !kill_points;
+    while !next < upto do
+      submit !client !next;
+      incr next
+    done;
+    (* Pin down pre-kill bytes for the oldest acked-but-unpinned ids:
+       these exact bytes must survive the crash. *)
+    let unsampled =
+      List.filter (fun i -> not (Hashtbl.mem prekill (rid i))) (List.rev !acked)
+    in
+    List.iteri
+      (fun k i ->
+        if k < max 5 (per_phase / 4) then
+          match poll_result !client (rid i) ~budget_s:30.0 with
+          | `Done bytes -> Hashtbl.replace prekill (rid i) bytes
+          | `Gone code -> failwith ("pre-kill result lost: " ^ rid i ^ ": " ^ code))
+      unsampled;
+    C.close !client;
+    Unix.kill !pid Sys.sigkill;
+    ignore (Unix.waitpid [] !pid);
+    (* Reboot on the same journal: recovery replays + re-executes. *)
+    pid := start_server ();
+    client := connect ()
+  done;
+  while !next < n do
+    submit !client !next;
+    incr next
+  done;
+  (* The audit: every acked id yields a result; pinned bytes match. *)
+  let lost = ref 0 and mismatches = ref 0 and lost_sample = ref "" in
+  List.iter
+    (fun i ->
+      let id = rid i in
+      match poll_result !client id ~budget_s:60.0 with
+      | `Done bytes -> (
+          match Hashtbl.find_opt prekill id with
+          | Some b -> if b <> bytes then incr mismatches
+          | None -> ())
+      | `Gone code ->
+          incr lost;
+          if !lost_sample = "" then lost_sample := id ^ ": " ^ code)
+    (List.rev !acked);
+  let recovered_counter name =
+    match C.request !client "{\"op\":\"metrics\"}" with
+    | Ok resp -> (
+        match J.parse resp with
+        | Ok v -> (
+            match
+              Option.bind (J.member "result" v) (fun r ->
+                  Option.bind (J.member "counters" r) (fun c ->
+                      Option.bind
+                        (J.member ("server.recovered." ^ name) c)
+                        J.to_int_opt))
+            with
+            | Some i -> i
+            | None -> -1)
+        | Error _ -> -1)
+    | Error _ -> -1
+  in
+  let rec_replayed = recovered_counter "replayed" in
+  let rec_verified = recovered_counter "verified" in
+  let rec_mismatched = recovered_counter "mismatched" in
+  let rec_completed = recovered_counter "completed" in
+  C.close !client;
+  ignore (C.shutdown ~socket:sock);
+  ignore (Unix.waitpid [] !pid);
+  rm sock;
+  let chaos_wall = Unix.gettimeofday () -. t0 in
+  (* {2 Overhead phase} — closed-loop producers, journal on/off.  A
+     single open-loop producer can't price the journal: the
+     journal-slowed producer keeps the queue SHORTER, so measured wait
+     DROPS with journaling on.  Closed-loop clients (one loop per
+     connection, bounded in-flight) are the realistic shape; on a
+     multi-core host several run concurrently, which is also the shape
+     group commit is engineered for — simultaneous appends share
+     fsyncs.  On a single-core host (CI) extra domains only time-slice,
+     so concurrency shrinks to one stream. *)
+  let m = if small then 240 else 1200 in
+  let producers = max 1 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let overhead_run jpath =
+    let config =
+      {
+        S.default_config with
+        (* Heavier than the chaos phase's graphs on purpose: the gate
+           prices the journal against representative session work, and a
+           per-session fsync is a fixed cost — toy graphs would measure
+           the filesystem, not the serve layer. *)
+        graphs =
+          [ ("small", "comb:16"); ("mid", "random:48:6"); ("grid", "grid:9x9") ];
+        workers = producers;  (* every in-flight session gets a worker *)
+        max_queue = 256;
+        credits = 1 lsl 20;
+        step_limit = 200_000;
+        journal = jpath;
+        journal_sync = true;
+      }
+    in
+    let server =
+      match S.create ~config () with Ok s -> s | Error e -> failwith e
+    in
+    S.start_workers server;
+    let mixed_line i =
+      match i mod 3 with
+      | 0 ->
+          Printf.sprintf
+            "{\"op\":\"submit\",\"id\":\"o%d\",\"protocol\":\"flood\",\"graph\":\"small\",\"seed\":%d}"
+            i i
+      | 1 ->
+          Printf.sprintf
+            "{\"op\":\"submit\",\"id\":\"o%d\",\"protocol\":\"counting\",\"graph\":\"grid\",\"scheduler\":\"random\",\"seed\":%d}"
+            i i
+      | _ ->
+          Printf.sprintf
+            "{\"op\":\"submit\",\"id\":\"o%d\",\"protocol\":\"general\",\"graph\":\"mid\",\"scheduler\":\"random\",\"seed\":%d}"
+            i i
+    in
+    let per = m / producers in
+    let doms =
+      List.init producers (fun p ->
+          Domain.spawn (fun () ->
+              for k = 0 to per - 1 do
+                let i = (p * per) + k in
+                let resp = S.handle_line server ~conn:p (mixed_line i) in
+                if not (ok_of resp) then
+                  failwith ("submit rejected: " ^ resp);
+                ignore (S.await server (Printf.sprintf "o%d" i))
+              done))
+    in
+    List.iter Domain.join doms;
+    let lat =
+      List.init (producers * per) (fun i ->
+          match S.session_times server (Printf.sprintf "o%d" i) with
+          | Some (t_in, t_out) -> (t_out -. t_in) *. 1000.0
+          | None -> nan)
+    in
+    let jstats = S.journal_stats server in
+    S.stop server;
+    let p50 =
+      match Metrics.percentiles [ 50.0 ] lat with [ p ] -> p | _ -> nan
+    in
+    (p50, jstats)
+  in
+  ignore (overhead_run None);  (* warm-up *)
+  let j2 = tag ^ ".overhead.journal" in
+  (* Paired rounds with the off/on order FLIPPED each round, overhead
+     taken as the median of per-round deltas.  Two defenses at once:
+     pairing beats run-to-run scheduling noise, and order-flipping
+     cancels monotonic drift (CPU frequency ramp, cache warming) that
+     otherwise hands whichever side runs later a systematic win. *)
+  let rounds = 4 in
+  let offs = ref [] and ons = ref [] and pcts = ref [] and jstats = ref None in
+  let run_off () = fst (overhead_run None) in
+  let run_on () =
+    rm j2;
+    let p, js = overhead_run (Some j2) in
+    jstats := js;
+    rm j2;
+    p
+  in
+  for r = 1 to rounds do
+    let off, on =
+      if r mod 2 = 1 then
+        let o = run_off () in
+        (o, run_on ())
+      else
+        let n = run_on () in
+        (run_off (), n)
+    in
+    offs := off :: !offs;
+    ons := on :: !ons;
+    pcts := ((on -. off) /. off *. 100.0) :: !pcts
+  done;
+  rm journal;
+  let median l =
+    match Metrics.percentiles [ 50.0 ] l with [ p ] -> p | _ -> nan
+  in
+  let p50_off = median !offs and p50_on = median !ons in
+  let jstats = !jstats in
+  let overhead_pct = median !pcts in
+  let appends, fsyncs, jbytes =
+    match jstats with
+    | Some st -> Serve.Journal.(st.s_appends, st.s_fsyncs, st.s_bytes)
+    | None -> (-1, -1, -1)
+  in
+  let pass =
+    !lost = 0 && !mismatches = 0 && rec_mismatched = 0 && rec_replayed > 0
+    && overhead_pct <= 10.0
+  in
+  pf "{\n";
+  pf "  \"experiment\": \"E22-recover\",\n";
+  pf "  \"sessions\": %d,\n" n;
+  pf "  \"crashes\": %d,\n" crashes;
+  pf "  \"kill_points\": [%s],\n"
+    (String.concat ", " (List.rev_map string_of_int !kill_points));
+  pf "  \"chaos_wall_seconds\": %.3f,\n" chaos_wall;
+  pf "  \"acked\": %d,\n" (List.length !acked);
+  pf "  \"prekill_pinned\": %d,\n" (Hashtbl.length prekill);
+  pf "  \"lost\": %d,\n" !lost;
+  if !lost > 0 then pf "  \"lost_sample\": %s,\n" (J.escape !lost_sample);
+  pf "  \"byte_mismatches\": %d,\n" !mismatches;
+  pf "  \"recovered\": {\"replayed\": %d, \"verified\": %d, \"mismatched\": \
+      %d, \"completed\": %d},\n"
+    rec_replayed rec_verified rec_mismatched rec_completed;
+  pf "  \"overhead\": {\"sessions\": %d, \"p50_off_ms\": %.3f, \"p50_on_ms\": \
+      %.3f, \"pct\": %.1f, \"appends\": %d, \"fsyncs\": %d, \"bytes\": %d},\n"
+    m p50_off p50_on overhead_pct appends fsyncs jbytes;
+  pf "  \"pass\": %b\n" pass;
+  pf "}\n"
+
 let all_tables =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -1491,6 +1845,8 @@ let () =
           else if a = "churn:small" then churn_bench ~small:true ()
           else if a = "serve" then serve_bench ~small:false ()
           else if a = "serve:small" then serve_bench ~small:true ()
+          else if a = "recover" then recover_bench ~small:false ()
+          else if a = "recover:small" then recover_bench ~small:true ()
           else if a = "flatcore" then flatcore_bench ~small:false ()
           else if a = "flatcore:small" then flatcore_bench ~small:true ()
           else if a = "lineage" then lineage_bench ~small:false ()
@@ -1502,7 +1858,7 @@ let () =
                 pf
                   "unknown table %s (known: e1..e13, fits, campaign, check, \
                    timing, throughput[:small], obs[:small], chaos[:small], \
-                   churn[:small], serve[:small], flatcore[:small], \
-                   lineage[:small])\n"
+                   churn[:small], serve[:small], recover[:small], \
+                   flatcore[:small], lineage[:small])\n"
                   a)
         args

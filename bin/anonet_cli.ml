@@ -1431,7 +1431,48 @@ let serve_cmd =
       & info [ "step-limit" ] ~docv:"N"
           ~doc:"Default delivery budget for sessions that name none.")
   in
-  let run graphs socket stdio workers max_queue credits step_limit engine =
+  let journal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append-only checksummed write-ahead log.  Every submit is \
+             journaled before its acknowledgement; on restart the log is \
+             replayed (torn tails truncated, completed results re-executed \
+             and digest-verified, acknowledged-but-unfinished submits \
+             finished) before serving resumes.")
+  in
+  let no_sync_t =
+    Arg.(
+      value & flag
+      & info [ "journal-no-sync" ]
+          ~doc:
+            "Skip the fsync on journal appends (throwaway servers, \
+             benchmarking the baseline).")
+  in
+  let watchdog_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog" ] ~docv:"MS"
+          ~doc:
+            "Enable the stuck-session watchdog with a $(docv) cancel budget: \
+             Running sessions are warned at half the budget, cooperatively \
+             cancelled past it, and a (graph, protocol) pair that keeps \
+             getting cancelled is quarantined behind a circuit breaker.")
+  in
+  let shed_t =
+    Arg.(
+      value & opt int 0
+      & info [ "shed-watermark-ms" ] ~docv:"MS"
+          ~doc:
+            "Queue-latency watermark for adaptive shedding: past it, \
+             submissions whose deadline the backlog would blow are refused \
+             with a retry-after hint instead of queued.  0 disables.")
+  in
+  let run graphs socket stdio workers max_queue credits step_limit engine
+      journal no_sync watchdog_ms shed_watermark_ms =
     let parse_pair spec =
       match String.index_opt spec '=' with
       | Some i ->
@@ -1462,6 +1503,19 @@ let serve_cmd =
               credits;
               step_limit;
               default_engine = Flatcore.string_of_kind engine;
+              journal;
+              journal_sync = not no_sync;
+              shed_watermark_ms;
+              watchdog =
+                Option.map
+                  (fun ms ->
+                    {
+                      Serve.Watchdog.default_config with
+                      tick_ms = max 1 (ms / 4);
+                      warn_after_ms = max 1 (ms / 2);
+                      cancel_after_ms = max 1 ms;
+                    })
+                  watchdog_ms;
             }
           in
           match Serve.Server.create ~config () with
@@ -1473,6 +1527,21 @@ let serve_cmd =
                   (String.concat "; " (List.map fst pairs))
                   workers max_queue
                   (Flatcore.string_of_kind engine);
+                Option.iter
+                  (fun (r : Serve.Server.recovery) ->
+                    pf
+                      "journal recovery: %d replayed (%d verified, %d \
+                       mismatched), %d completed, %d cancelled, %d failed, \
+                       %d orphans, %d unreplayable%s\n"
+                      r.Serve.Server.rec_replayed r.Serve.Server.rec_verified
+                      r.Serve.Server.rec_mismatched
+                      r.Serve.Server.rec_completed
+                      r.Serve.Server.rec_cancelled r.Serve.Server.rec_failed
+                      r.Serve.Server.rec_orphans
+                      r.Serve.Server.rec_unreplayable
+                      (if r.Serve.Server.rec_torn then " (torn tail truncated)"
+                       else ""))
+                  (Serve.Server.recovery server);
                 Option.iter (pf "listening on %s\n%!") socket
               end;
               Serve.Server.serve_loop ?socket ~stdio server;
@@ -1488,7 +1557,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ graph_t $ socket_t $ stdio_t $ workers_t $ max_queue_t
-       $ credits_t $ step_limit_t $ engine_t))
+       $ credits_t $ step_limit_t $ engine_t $ journal_t $ no_sync_t
+       $ watchdog_t $ shed_t))
 
 let client_cmd =
   let socket_t =
@@ -1521,12 +1591,36 @@ let client_cmd =
           ~doc:"Raw NDJSON request lines, sent in order; responses print to \
                 stdout.")
   in
-  let run socket smoke shutdown lines =
+  let retry_t =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry raw requests up to N times on 'overloaded' answers and \
+             refused connections, with capped exponential backoff plus \
+             seeded jitter (the supervisor's retransmission schedule), \
+             honouring the server's retry_after_ms hints.  0 disables.")
+  in
+  let retry_base_t =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-base-ms" ] ~docv:"MS"
+          ~doc:"Backoff base for --retry; doubles each round, jittered.")
+  in
+  let run socket smoke shutdown lines retries retry_base_ms =
+    let retry =
+      { Serve.Client.default_retry with r_attempts = retries;
+        r_base_ms = retry_base_ms }
+    in
+    let connect () =
+      if retries > 0 then Serve.Client.connect_retry ~retry socket
+      else Serve.Client.connect socket
+    in
     let send_lines () =
       match lines with
       | [] -> Ok ()
       | lines -> (
-          match Serve.Client.connect socket with
+          match connect () with
           | Error e -> Error e
           | Ok c ->
               let rec go = function
@@ -1534,7 +1628,11 @@ let client_cmd =
                     Serve.Client.close c;
                     Ok ()
                 | l :: rest -> (
-                    match Serve.Client.request c l with
+                    match
+                      if retries > 0 then
+                        Serve.Client.request_retry ~retry c l
+                      else Serve.Client.request c l
+                    with
                     | Ok resp ->
                         print_endline resp;
                         go rest
@@ -1585,7 +1683,10 @@ let client_cmd =
        ~doc:
          "Talk to a running 'anonet serve' over its Unix socket: send raw \
           request lines, run the smoke probe, or ask it to shut down.")
-    Term.(ret (const run $ socket_t $ smoke_t $ shutdown_t $ lines_t))
+    Term.(
+      ret
+        (const run $ socket_t $ smoke_t $ shutdown_t $ lines_t $ retry_t
+       $ retry_base_t))
 
 let main_cmd =
   let doc =

@@ -53,6 +53,71 @@ let request t line =
   | () -> read_line t
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
+(* {1 Retry}
+
+   Capped exponential backoff with seeded jitter, on [overloaded]
+   answers and refused connections.  The delay schedule is the
+   supervisor's retransmission policy ([Runtime.Supervisor.backoff]) —
+   one backoff implementation serves both the in-network retransmit
+   timers and the out-of-network client, so tuning (cap, jitter shape)
+   stays in one place.  A server-supplied [retry_after_ms] hint can only
+   {e lengthen} a wait: the client sleeps [max backoff hint]. *)
+
+type retry = { r_attempts : int; r_base_ms : int; r_seed : int }
+
+let default_retry = { r_attempts = 5; r_base_ms = 50; r_seed = 0 }
+
+let retry_delay_ms r prng ~round ~hint_ms =
+  let cfg = Runtime.Supervisor.config ~base_timeout:r.r_base_ms () in
+  Stdlib.max (Runtime.Supervisor.backoff cfg prng ~round) hint_ms
+
+let retry_sleep r prng ~round ~hint_ms =
+  Unix.sleepf (float_of_int (retry_delay_ms r prng ~round ~hint_ms) /. 1000.0)
+
+let connect_retry ?(retry = default_retry) path =
+  let prng = Prng.create retry.r_seed in
+  let rec go round =
+    match connect path with
+    | Ok _ as ok -> ok
+    | Error e ->
+        if round >= retry.r_attempts then Error e
+        else begin
+          retry_sleep retry prng ~round ~hint_ms:0;
+          go (round + 1)
+        end
+  in
+  go 0
+
+(* The response's error object, when it asks to be retried. *)
+let overloaded_hint resp =
+  match J.parse resp with
+  | Error _ -> None
+  | Ok v -> (
+      match Option.bind (J.member "error" v) (J.member "code") with
+      | Some code when J.to_string_opt code = Some "overloaded" ->
+          Some
+            (match
+               Option.bind (J.member "error" v) (fun e ->
+                   Option.bind (J.member "retry_after_ms" e) J.to_int_opt)
+             with
+            | Some ms -> ms
+            | None -> 0)
+      | _ -> None)
+
+let request_retry ?(retry = default_retry) t line =
+  let prng = Prng.create retry.r_seed in
+  let rec go round =
+    match request t line with
+    | Error _ as e -> e
+    | Ok resp -> (
+        match overloaded_hint resp with
+        | Some hint_ms when round < retry.r_attempts ->
+            retry_sleep retry prng ~round ~hint_ms;
+            go (round + 1)
+        | _ -> Ok resp)
+  in
+  go 0
+
 (* {1 Response inspection helpers} *)
 
 let response_ok resp =

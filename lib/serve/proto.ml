@@ -24,6 +24,9 @@ type error_code =
   | No_credit  (** This connection's unfinished-session cap is reached. *)
   | Not_done  (** [result] asked before the session finished. *)
   | Cancelled_error  (** [result] of a cancelled session. *)
+  | Quarantined
+      (** The (graph, protocol) pair tripped the watchdog's circuit
+          breaker; resubmit after the retry-after hint. *)
   | Shutting_down
 
 let code_string = function
@@ -37,7 +40,25 @@ let code_string = function
   | No_credit -> "no_credit"
   | Not_done -> "not_done"
   | Cancelled_error -> "cancelled"
+  | Quarantined -> "quarantined"
   | Shutting_down -> "shutting_down"
+
+(* Inverse spelling, for journal replay of [Failed] records; an unknown
+   spelling (a future code read by an older binary) degrades to
+   [Bad_request] rather than failing recovery. *)
+let code_of_string = function
+  | "parse_error" -> Parse_error
+  | "unknown_graph" -> Unknown_graph
+  | "unknown_protocol" -> Unknown_protocol
+  | "unknown_id" -> Unknown_id
+  | "duplicate_id" -> Duplicate_id
+  | "overloaded" -> Overloaded
+  | "no_credit" -> No_credit
+  | "not_done" -> Not_done
+  | "cancelled" -> Cancelled_error
+  | "quarantined" -> Quarantined
+  | "shutting_down" -> Shutting_down
+  | _ -> Bad_request
 
 type fault_spec = {
   f_drop : float;
@@ -62,6 +83,7 @@ type submit = {
   sub_faults : fault_spec option;
   sub_churn : churn_spec option;
   sub_deadline_ms : int option;
+  sub_key : string option;  (* client-supplied idempotency key *)
 }
 
 type request =
@@ -171,9 +193,19 @@ let submit_of ~default_engine v =
       sub_faults = faults_of v;
       sub_churn = churn_of v;
       sub_deadline_ms = int_opt_field v "deadline_ms";
+      sub_key =
+        (match J.member "key" v with
+        | None -> None
+        | Some f -> (
+            match J.to_string_opt f with
+            | Some k -> Some k
+            | None -> reject Bad_request "non-string \"key\""));
     }
   in
   if sub.sub_id = "" then reject Bad_request "empty session id";
+  (match sub.sub_key with
+  | Some "" -> reject Bad_request "empty idempotency \"key\""
+  | _ -> ());
   (match sub.sub_scheduler with
   | "fifo" | "lifo" | "random" -> ()
   | s -> reject Bad_request "unknown scheduler %S (fifo | lifo | random)" s);
@@ -245,12 +277,15 @@ let envelope ?id ~ok body =
 
 let ok ?id result_json = envelope ?id ~ok:true ("\"result\":" ^ result_json)
 
-let error ?id code msg =
+let error ?id ?retry_after_ms code msg =
   let b = Buffer.create 64 in
   Buffer.add_string b "\"error\":{\"code\":\"";
   Buffer.add_string b (code_string code);
   Buffer.add_string b "\",\"msg\":";
   J.buf_string b msg;
+  (match retry_after_ms with
+  | Some ms -> Printf.bprintf b ",\"retry_after_ms\":%d" ms
+  | None -> ());
   Buffer.add_char b '}';
   envelope ?id ~ok:false (Buffer.contents b)
 

@@ -19,10 +19,18 @@ type error_code =
   | No_credit  (** The connection's unfinished-session cap is reached. *)
   | Not_done  (** [result] asked before the session finished. *)
   | Cancelled_error  (** [result] of a cancelled session. *)
+  | Quarantined
+      (** The (graph, protocol) pair tripped the watchdog's circuit
+          breaker; resubmit after the [retry_after_ms] hint. *)
   | Shutting_down
 
 val code_string : error_code -> string
 (** The wire spelling: ["parse_error"], ["overloaded"], ... *)
+
+val code_of_string : string -> error_code
+(** Inverse of {!code_string}; unknown spellings degrade to
+    [Bad_request] (journal replay of [Failed] records must not fail on a
+    code written by a newer binary). *)
 
 type fault_spec = {
   f_drop : float;
@@ -52,6 +60,9 @@ type submit = {
   sub_faults : fault_spec option;
   sub_churn : churn_spec option;
   sub_deadline_ms : int option;
+  sub_key : string option;
+      (** Client-supplied idempotency key: a duplicate key answers with
+          the original session's state/result instead of re-running. *)
 }
 
 type request =
@@ -84,7 +95,10 @@ val ok : ?id:string -> string -> string
     embedded {e verbatim} (it must be pre-rendered JSON), which is what
     makes stored session results byte-identical on every [result] call. *)
 
-val error : ?id:string -> error_code -> string -> string
+val error : ?id:string -> ?retry_after_ms:int -> error_code -> string -> string
+(** [retry_after_ms] adds a machine-readable backoff hint to the error
+    object — [overloaded]/[quarantined] answers carry one so clients can
+    pace their retries instead of hammering. *)
 
 val state_result : string -> string
 (** [{"state":"queued"}] etc. — the [submit]/[status]/[cancel] payload. *)

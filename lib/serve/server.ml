@@ -17,7 +17,18 @@
    {e before} publishing its final state, so any client that has observed
    a session finish observes a server registry that already contains it —
    "sessions.engine.deliveries" equals the sum of [deliveries] over the
-   results the client has collected, exactly. *)
+   results the client has collected, exactly.
+
+   Durability contract (with [journal] configured): a submit is journaled
+   {e before} its acknowledgement leaves [handle_line], and a session's
+   terminal record is journaled before the state becomes pollable — so
+   "acknowledged" implies "replayable".  On restart, [create] replays the
+   log: terminal-record sessions are restored (Done results re-executed
+   and digest-verified — the serve layer's byte-determinism makes replay
+   {e be} recovery), incomplete ones are re-executed to completion.  The
+   crash window between a worker publishing Done and its Result record
+   landing is closed by the same determinism: recovery re-executes the
+   submit and produces the identical bytes the client saw. *)
 
 module R = Obs.Registry
 
@@ -30,6 +41,10 @@ type config = {
   default_engine : string;  (* "classic" | "flat", when a submit names none *)
   sample_every : int;  (* per-session Obs sampling cadence *)
   max_line : int;
+  journal : string option;  (* WAL path; None = no durability *)
+  journal_sync : bool;  (* fsync on append (false: bench baselines) *)
+  shed_watermark_ms : int;  (* queue-latency watermark; 0 = plain FIFO *)
+  watchdog : Watchdog.config option;
 }
 
 let default_config =
@@ -42,7 +57,23 @@ let default_config =
     default_engine = "classic";
     sample_every = 1 lsl 20;
     max_line = Wire.default_max_line;
+    journal = None;
+    journal_sync = true;
+    shed_watermark_ms = 0;
+    watchdog = None;
   }
+
+type recovery = {
+  rec_replayed : int;  (* submits re-executed during recovery *)
+  rec_verified : int;  (* re-executed results matching their digest *)
+  rec_mismatched : int;  (* determinism violations — should be 0 *)
+  rec_completed : int;  (* acked-but-unfinished submits finished now *)
+  rec_cancelled : int;  (* restored from Cancelled records, not re-run *)
+  rec_failed : int;  (* restored from Failed records, not re-run *)
+  rec_orphans : int;  (* terminal records with no surviving submit *)
+  rec_unreplayable : int;  (* submits this config can no longer run *)
+  rec_torn : bool;  (* the log had a damaged tail (truncated away) *)
+}
 
 type t = {
   cfg : config;
@@ -57,20 +88,229 @@ type t = {
   c_cancelled : R.acounter;
   c_failed : R.acounter;
   c_rejected_overloaded : R.acounter;
+  c_rejected_shed : R.acounter;
   c_rejected_no_credit : R.acounter;
   c_frames : R.acounter;
   c_frame_errors : R.acounter;
+  c_overflows : R.acounter;
+  c_key_hits : R.acounter;
   shutdown_flag : bool Atomic.t;
   credits_tbl : (int, int) Hashtbl.t;
   credits_lock : Mutex.t;
+  keys_tbl : (string, string) Hashtbl.t;  (* idempotency key -> session id *)
+  keys_lock : Mutex.t;
+  journal : Journal.t option;
+  watchdog : Watchdog.t option;
+  recovery : recovery option;
   mutable worker_doms : unit Domain.t list;
+  mutable wd_running : bool;
   mutable stopped : bool;
 }
+
+(* {1 Journal replay = recovery}
+
+   Fold the log into per-id entries (submit line + first terminal record
+   of each kind), then restore sessions in submit order.  Precedence:
+   a [Result] record means the client may have seen those exact bytes, so
+   re-execute and digest-verify; [Cancelled]/[Failed] are restored as-is
+   (re-running a cancelled session would resurrect work the client
+   explicitly killed); no terminal record at all means the submit was
+   acknowledged but unfinished — determinism lets us simply run it now. *)
+
+type replay_entry = {
+  mutable e_line : string;
+  mutable e_result : (string * int * int) option;  (* digest, deliv, bits *)
+  mutable e_cancel : string option;
+  mutable e_fail : (string * string) option;
+}
+
+let replay_journal t ~(scan : Journal.scan) =
+  let entries : (string, replay_entry) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let orphans = ref 0 in
+  let terminal id f =
+    match Hashtbl.find_opt entries id with
+    | None -> incr orphans
+    | Some e -> f e
+  in
+  List.iter
+    (fun (r : Journal.record) ->
+      match r with
+      | Journal.Submitted { id; line } ->
+          if not (Hashtbl.mem entries id) then begin
+            Hashtbl.add entries id
+              { e_line = line; e_result = None; e_cancel = None; e_fail = None };
+            order := id :: !order
+          end
+      | Journal.Result { id; digest; deliveries; total_bits; _ } ->
+          terminal id (fun e ->
+              if e.e_result = None then
+                e.e_result <- Some (digest, deliveries, total_bits))
+      | Journal.Cancelled { id; reason } ->
+          terminal id (fun e ->
+              if e.e_cancel = None then e.e_cancel <- Some reason)
+      | Journal.Failed { id; code; msg } ->
+          terminal id (fun e ->
+              if e.e_fail = None then e.e_fail <- Some (code, msg)))
+    scan.Journal.records;
+  let replayed = ref 0
+  and verified = ref 0
+  and mismatched = ref 0
+  and completed = ref 0
+  and cancelled = ref 0
+  and failed = ref 0
+  and unreplayable = ref 0 in
+  let now = Unix.gettimeofday () in
+  let restore (s : Session.t) state ~deliveries ~total_bits =
+    Session.transition t.sessions s (fun s ->
+        s.Session.state <- state;
+        s.Session.credit_released <- true;
+        s.Session.deliveries <- deliveries;
+        s.Session.total_bits <- total_bits;
+        s.Session.t_finished <- now)
+  in
+  (* Re-execute one journaled submit on the current process's graphs.
+     [stop] never fires: the original run finished (or was owed a
+     finish), and replay telemetry merges under "recovery." so the
+     "sessions." reconciliation contract stays exact. *)
+  let rerun (sub : Proto.submit) =
+    let g = List.assoc sub.Proto.sub_graph t.graphs in
+    let obs = Obs.create ~sample_every:t.cfg.sample_every () in
+    let res =
+      Runner.run ~stop:(fun () -> false) ~obs ~step_limit:t.cfg.step_limit sub
+        g
+    in
+    Mutex.lock t.merge_lock;
+    R.merge ~into:t.registry ~prefix:"recovery." (R.snapshot obs.Obs.registry);
+    Mutex.unlock t.merge_lock;
+    res
+  in
+  List.iter
+    (fun id ->
+      let e = Hashtbl.find entries id in
+      match Proto.parse_request ~default_engine:t.cfg.default_engine e.e_line with
+      | Ok (Proto.Submit sub) when sub.Proto.sub_id = id -> (
+          match
+            Session.add t.sessions ~conn:(-1) ~now sub
+          with
+          | Error () -> incr unreplayable  (* duplicate submit id in log *)
+          | Ok s ->
+              (match sub.Proto.sub_key with
+              | Some k ->
+                  if not (Hashtbl.mem t.keys_tbl k) then
+                    Hashtbl.add t.keys_tbl k id
+              | None -> ());
+              if not (Runner.protocol_known sub.Proto.sub_protocol) then begin
+                incr unreplayable;
+                restore s
+                  (Session.Failed
+                     ( Proto.Unknown_protocol,
+                       Printf.sprintf "unreplayable: unknown protocol %S"
+                         sub.Proto.sub_protocol ))
+                  ~deliveries:0 ~total_bits:0
+              end
+              else if not (List.mem_assoc sub.Proto.sub_graph t.graphs) then begin
+                incr unreplayable;
+                restore s
+                  (Session.Failed
+                     ( Proto.Unknown_graph,
+                       Printf.sprintf "unreplayable: unknown graph %S"
+                         sub.Proto.sub_graph ))
+                  ~deliveries:0 ~total_bits:0
+              end
+              else
+                match (e.e_result, e.e_cancel, e.e_fail) with
+                | Some (digest, _, _), _, _ -> (
+                    match rerun sub with
+                    | exception ex ->
+                        incr unreplayable;
+                        restore s
+                          (Session.Failed
+                             ( Proto.Bad_request,
+                               "replay raised: " ^ Printexc.to_string ex ))
+                          ~deliveries:0 ~total_bits:0
+                    | res ->
+                        incr replayed;
+                        if Journal.digest res.Runner.json = digest then
+                          incr verified
+                        else incr mismatched;
+                        restore s (Session.Done res.Runner.json)
+                          ~deliveries:res.Runner.r_deliveries
+                          ~total_bits:res.Runner.r_total_bits)
+                | None, Some reason, _ ->
+                    incr cancelled;
+                    restore s (Session.Cancelled reason) ~deliveries:0
+                      ~total_bits:0
+                | None, None, Some (code, msg) ->
+                    incr failed;
+                    restore s
+                      (Session.Failed (Proto.code_of_string code, msg))
+                      ~deliveries:0 ~total_bits:0
+                | None, None, None -> (
+                    (* Acknowledged, never finished: finish it now and
+                       journal the result this process just produced. *)
+                    match rerun sub with
+                    | exception ex ->
+                        incr unreplayable;
+                        restore s
+                          (Session.Failed
+                             ( Proto.Bad_request,
+                               "replay raised: " ^ Printexc.to_string ex ))
+                          ~deliveries:0 ~total_bits:0
+                    | res ->
+                        incr replayed;
+                        incr completed;
+                        restore s (Session.Done res.Runner.json)
+                          ~deliveries:res.Runner.r_deliveries
+                          ~total_bits:res.Runner.r_total_bits;
+                        Option.iter
+                          (fun j ->
+                            Journal.append j
+                              (Journal.Result
+                                 {
+                                   id;
+                                   digest = Journal.digest res.Runner.json;
+                                   outcome = "done";
+                                   deliveries = res.Runner.r_deliveries;
+                                   total_bits = res.Runner.r_total_bits;
+                                 }))
+                          t.journal))
+      | Ok _ | Error _ -> incr unreplayable)
+    (List.rev !order);
+  let rec_summary =
+    {
+      rec_replayed = !replayed;
+      rec_verified = !verified;
+      rec_mismatched = !mismatched;
+      rec_completed = !completed;
+      rec_cancelled = !cancelled;
+      rec_failed = !failed;
+      rec_orphans = !orphans;
+      rec_unreplayable = !unreplayable;
+      rec_torn = scan.Journal.torn;
+    }
+  in
+  (* Mirror the summary into plain counters so [metrics] exposes exactly
+     what [Server.recovery] reports — same reconciliation discipline as
+     the sessions rollup. *)
+  let mirror name v = R.add (R.counter t.registry name) v in
+  mirror "server.recovered.replayed" rec_summary.rec_replayed;
+  mirror "server.recovered.verified" rec_summary.rec_verified;
+  mirror "server.recovered.mismatched" rec_summary.rec_mismatched;
+  mirror "server.recovered.completed" rec_summary.rec_completed;
+  mirror "server.recovered.cancelled" rec_summary.rec_cancelled;
+  mirror "server.recovered.failed" rec_summary.rec_failed;
+  mirror "server.recovered.orphans" rec_summary.rec_orphans;
+  mirror "server.recovered.unreplayable" rec_summary.rec_unreplayable;
+  mirror "server.recovered.torn" (if rec_summary.rec_torn then 1 else 0);
+  rec_summary
 
 let create ?(config = default_config) () =
   if config.workers < 0 then Error "workers must be >= 0"
   else if config.max_queue < 1 then Error "max_queue must be >= 1"
   else if config.credits < 1 then Error "credits must be >= 1"
+  else if config.shed_watermark_ms < 0 then
+    Error "shed_watermark_ms must be >= 0"
   else if config.graphs = [] then Error "at least one --graph is required"
   else if
     match config.default_engine with "classic" | "flat" -> false | _ -> true
@@ -91,34 +331,68 @@ let create ?(config = default_config) () =
     in
     match resolve [] config.graphs with
     | Error _ as e -> e
-    | Ok graphs ->
+    | Ok graphs -> (
         let registry = R.create () in
-        let t =
-          {
-            cfg = config;
-            graphs;
-            sessions = Session.create_table ();
-            queue = Sched.create ~cap:config.max_queue;
-            registry;
-            merge_lock = Mutex.create ();
-            c_submitted = R.acounter registry "server.sessions.submitted";
-            c_completed = R.acounter registry "server.sessions.completed";
-            c_cancelled = R.acounter registry "server.sessions.cancelled";
-            c_failed = R.acounter registry "server.sessions.failed";
-            c_rejected_overloaded =
-              R.acounter registry "server.rejected.overloaded";
-            c_rejected_no_credit =
-              R.acounter registry "server.rejected.no_credit";
-            c_frames = R.acounter registry "server.frames";
-            c_frame_errors = R.acounter registry "server.frame_errors";
-            shutdown_flag = Atomic.make false;
-            credits_tbl = Hashtbl.create 8;
-            credits_lock = Mutex.create ();
-            worker_doms = [];
-            stopped = false;
-          }
-        in
-        Ok t
+        let sessions = Session.create_table () in
+        match
+          Option.map
+            (fun wd_cfg -> Watchdog.create wd_cfg sessions registry)
+            config.watchdog
+        with
+        | exception Invalid_argument m -> Error m
+        | watchdog -> (
+            let journal_open =
+              match config.journal with
+              | None -> Ok None
+              | Some path -> (
+                  match Journal.open_append ~sync:config.journal_sync path with
+                  | Ok (j, scan) -> Ok (Some (j, scan))
+                  | Error e -> Error (Printf.sprintf "journal %s: %s" path e))
+            in
+            match journal_open with
+            | Error _ as e -> e
+            | Ok journal_open ->
+                let t =
+                  {
+                    cfg = config;
+                    graphs;
+                    sessions;
+                    queue =
+                      Sched.create ~cap:config.max_queue
+                        ~watermark_ms:config.shed_watermark_ms ();
+                    registry;
+                    merge_lock = Mutex.create ();
+                    c_submitted = R.acounter registry "server.sessions.submitted";
+                    c_completed = R.acounter registry "server.sessions.completed";
+                    c_cancelled = R.acounter registry "server.sessions.cancelled";
+                    c_failed = R.acounter registry "server.sessions.failed";
+                    c_rejected_overloaded =
+                      R.acounter registry "server.rejected.overloaded";
+                    c_rejected_shed = R.acounter registry "server.rejected.shed";
+                    c_rejected_no_credit =
+                      R.acounter registry "server.rejected.no_credit";
+                    c_frames = R.acounter registry "server.frames";
+                    c_frame_errors = R.acounter registry "server.frame_errors";
+                    c_overflows = R.acounter registry "server.wire.overflows";
+                    c_key_hits = R.acounter registry "server.sessions.key_hits";
+                    shutdown_flag = Atomic.make false;
+                    credits_tbl = Hashtbl.create 8;
+                    credits_lock = Mutex.create ();
+                    keys_tbl = Hashtbl.create 16;
+                    keys_lock = Mutex.create ();
+                    journal = Option.map fst journal_open;
+                    watchdog;
+                    recovery = None;
+                    worker_doms = [];
+                    wd_running = false;
+                    stopped = false;
+                  }
+                in
+                let recovery =
+                  Option.map (fun (_, scan) -> replay_journal t ~scan)
+                    journal_open
+                in
+                Ok { t with recovery }))
 
 (* {1 Credits} *)
 
@@ -137,12 +411,69 @@ let credit_release t conn =
   | _ -> ());
   Mutex.unlock t.credits_lock
 
+(* {1 Idempotency keys}
+
+   A key is claimed under [keys_lock] {e before} admission, so two
+   racing submits with the same key serialize here: the loser sees the
+   winner's session id even while that session is still in flight.  A
+   claim is rolled back only by the claimant (guarded compare), so a
+   failed admission frees the key for the next attempt. *)
+
+let key_claim t (sub : Proto.submit) =
+  match sub.Proto.sub_key with
+  | None -> `No_key
+  | Some k ->
+      Mutex.lock t.keys_lock;
+      let r =
+        match Hashtbl.find_opt t.keys_tbl k with
+        | Some orig -> `Dup orig
+        | None ->
+            Hashtbl.replace t.keys_tbl k sub.Proto.sub_id;
+            `Claimed
+      in
+      Mutex.unlock t.keys_lock;
+      r
+
+let key_unclaim t k id =
+  Mutex.lock t.keys_lock;
+  (match Hashtbl.find_opt t.keys_tbl k with
+  | Some cur when cur = id -> Hashtbl.remove t.keys_tbl k
+  | _ -> ());
+  Mutex.unlock t.keys_lock
+
+(* {1 Journal appends} *)
+
+let journal_append t r = Option.iter (fun j -> Journal.append j r) t.journal
+
+(* The terminal record for a finished session.  [Shutting_down] failures
+   are deliberately NOT journaled: those sessions were accepted but
+   drained at shutdown, and skipping their record is what makes the next
+   boot re-execute them — zero acknowledged-submit loss. *)
+let journal_record_of id (state : Session.state) ~deliveries ~total_bits =
+  match state with
+  | Session.Done json ->
+      Some
+        (Journal.Result
+           {
+             id;
+             digest = Journal.digest json;
+             outcome = "done";
+             deliveries;
+             total_bits;
+           })
+  | Session.Cancelled reason -> Some (Journal.Cancelled { id; reason })
+  | Session.Failed (Proto.Shutting_down, _) -> None
+  | Session.Failed (code, msg) ->
+      Some (Journal.Failed { id; code = Proto.code_string code; msg })
+  | Session.Queued | Session.Running -> None
+
 (* {1 Session completion}
 
    The single door through which a live session becomes finished:
-   transition under the table lock, then release the connection credit
-   exactly once (the [credit_released] flag is flipped under the lock, so
-   a cancel racing a worker cannot double-release). *)
+   transition under the table lock, then — for the winner only — journal
+   the terminal record, release the connection credit exactly once (the
+   [credit_released] flag is flipped under the lock, so a cancel racing a
+   worker cannot double-release) and bump the outcome counter. *)
 
 let finish t (s : Session.t) (state : Session.state) =
   let released =
@@ -157,6 +488,9 @@ let finish t (s : Session.t) (state : Session.state) =
         | _ -> false)
   in
   if released then begin
+    Option.iter (journal_append t)
+      (journal_record_of s.Session.id state ~deliveries:s.Session.deliveries
+         ~total_bits:s.Session.total_bits);
     credit_release t s.Session.conn;
     R.aincr
       (match state with
@@ -174,6 +508,7 @@ let execute t (s : Session.t) =
         match s.Session.state with
         | Queued ->
             s.Session.state <- Running;
+            s.Session.t_started <- Unix.gettimeofday ();
             true
         | _ -> false  (* cancelled while queued; nothing to do *))
   in
@@ -227,7 +562,12 @@ let execute t (s : Session.t) =
         let state =
           match res.Runner.r_outcome with
           | Runtime.Engine.Cancelled ->
-              if Atomic.get s.Session.cancel then Session.Cancelled "cancel"
+              (* Reason, best effort: the watchdog raised [wd_level] to 2
+                 before flipping the flag, so the order of checks makes
+                 the escalation visible in the reason string. *)
+              if s.Session.wd_level >= 2 then Session.Cancelled "watchdog"
+              else if Atomic.get s.Session.cancel then
+                Session.Cancelled "cancel"
               else Session.Cancelled "deadline"
           | _ -> Session.Done res.Runner.json
         in
@@ -254,18 +594,30 @@ let worker_loop t () =
 let start_workers t =
   if t.worker_doms = [] && t.cfg.workers > 0 then
     t.worker_doms <-
-      List.init t.cfg.workers (fun _ -> Domain.spawn (worker_loop t))
+      List.init t.cfg.workers (fun _ -> Domain.spawn (worker_loop t));
+  match t.watchdog with
+  | Some wd when not t.wd_running ->
+      t.wd_running <- true;
+      Watchdog.start wd
+  | _ -> ()
 
 (* Close the queue and join the workers; accepted sessions drain first. *)
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
     Atomic.set t.shutdown_flag true;
+    (match t.watchdog with
+    | Some wd when t.wd_running ->
+        t.wd_running <- false;
+        Watchdog.stop wd
+    | _ -> ());
     Sched.close t.queue;
     List.iter Domain.join t.worker_doms;
     t.worker_doms <- [];
     (* Anything still queued was never claimed: fail it visibly rather
-       than leaving clients polling a session that will never finish. *)
+       than leaving clients polling a session that will never finish.
+       [Shutting_down] failures carry no journal record, so the next
+       boot re-executes exactly these sessions. *)
     let rec drain () =
       match Sched.try_pop t.queue with
       | None -> ()
@@ -274,14 +626,39 @@ let stop t =
             (finish t s (Session.Failed (Proto.Shutting_down, "server stopped")));
           drain ()
     in
-    drain ()
+    drain ();
+    Option.iter Journal.close t.journal
   end
 
 let shutting_down t = Atomic.get t.shutdown_flag
 
 (* {1 Request dispatch} *)
 
-let handle_submit t ~conn (sub : Proto.submit) =
+(* Answer a duplicate-key submit with the {e original} session's state:
+   its stored result when done, its error when failed/cancelled, and a
+   [key_of] pointer while it is still in flight. *)
+let reply_for_original t ~id orig_id =
+  match Session.find t.sessions orig_id with
+  | None ->
+      (* The claim map named a session that was rolled back between our
+         lookup and now; tell the client to retry the submit. *)
+      Proto.error ~id Proto.Unknown_id
+        (Printf.sprintf "idempotency key raced a rolled-back submit %S"
+           orig_id)
+  | Some s -> (
+      match Session.state t.sessions s with
+      | Session.Done json -> Proto.ok ~id json
+      | Session.Failed (code, msg) -> Proto.error ~id code msg
+      | Session.Cancelled reason ->
+          Proto.error ~id Proto.Cancelled_error
+            (Printf.sprintf "session cancelled (%s)" reason)
+      | (Session.Queued | Session.Running) as st ->
+          Proto.ok ~id
+            (Printf.sprintf "{\"state\":%s,\"key_of\":%s}"
+               (Obs.Json.escape (Session.state_name st))
+               (Obs.Json.escape orig_id)))
+
+let handle_submit t ~conn ~raw (sub : Proto.submit) =
   let id = sub.Proto.sub_id in
   if Atomic.get t.shutdown_flag then
     Proto.error ~id Proto.Shutting_down "server is shutting down"
@@ -294,29 +671,80 @@ let handle_submit t ~conn (sub : Proto.submit) =
     Proto.error ~id Proto.Unknown_graph
       (Printf.sprintf "unknown graph %S (one of: %s)" sub.Proto.sub_graph
          (String.concat ", " (List.map fst t.graphs)))
-  else if not (credit_take t conn) then begin
-    R.aincr t.c_rejected_no_credit;
-    Proto.error ~id Proto.No_credit
-      (Printf.sprintf "connection has %d unfinished sessions" t.cfg.credits)
-  end
   else
-    match Session.add t.sessions ~conn ~now:(Unix.gettimeofday ()) sub with
-    | Error () ->
-        credit_release t conn;
-        Proto.error ~id Proto.Duplicate_id
-          (Printf.sprintf "session %S already exists" id)
-    | Ok s ->
-        if Sched.try_push t.queue s then begin
-          R.aincr t.c_submitted;
-          Proto.ok ~id (Proto.state_result "queued")
-        end
-        else begin
-          Session.remove t.sessions id;
-          credit_release t conn;
-          R.aincr t.c_rejected_overloaded;
-          Proto.error ~id Proto.Overloaded
-            (Printf.sprintf "admission queue full (%d)" t.cfg.max_queue)
-        end
+    let quarantine =
+      Option.bind t.watchdog (fun wd ->
+          Watchdog.quarantined wd ~graph:sub.Proto.sub_graph
+            ~protocol:sub.Proto.sub_protocol ~now:(Unix.gettimeofday ()))
+    in
+    match quarantine with
+    | Some remaining_ms ->
+        Proto.error ~id ~retry_after_ms:remaining_ms Proto.Quarantined
+          (Printf.sprintf "(%s, %s) is quarantined by the watchdog"
+             sub.Proto.sub_graph sub.Proto.sub_protocol)
+    | None -> (
+        match key_claim t sub with
+        | `Dup orig_id ->
+            R.aincr t.c_key_hits;
+            reply_for_original t ~id orig_id
+        | (`Claimed | `No_key) as claim -> (
+            let unclaim () =
+              match (claim, sub.Proto.sub_key) with
+              | `Claimed, Some k -> key_unclaim t k id
+              | _ -> ()
+            in
+            if not (credit_take t conn) then begin
+              unclaim ();
+              R.aincr t.c_rejected_no_credit;
+              Proto.error ~id Proto.No_credit
+                (Printf.sprintf "connection has %d unfinished sessions"
+                   t.cfg.credits)
+            end
+            else
+              let now = Unix.gettimeofday () in
+              match Session.add t.sessions ~conn ~now sub with
+              | Error () ->
+                  credit_release t conn;
+                  unclaim ();
+                  Proto.error ~id Proto.Duplicate_id
+                    (Printf.sprintf "session %S already exists" id)
+              | Ok s -> (
+                  (* Durability point: the submit record is on disk
+                     before any acknowledgement leaves this function. *)
+                  journal_append t (Journal.Submitted { id; line = raw });
+                  let deadline =
+                    Option.map
+                      (fun ms -> now +. (float_of_int ms /. 1000.0))
+                      sub.Proto.sub_deadline_ms
+                  in
+                  let rollback () =
+                    (* Close the journaled submit so recovery restores it
+                       as cancelled instead of re-executing a run the
+                       client was told we refused. *)
+                    journal_append t
+                      (Journal.Cancelled { id; reason = "rollback" });
+                    Session.remove t.sessions id;
+                    credit_release t conn;
+                    unclaim ()
+                  in
+                  match Sched.try_push t.queue ?deadline ~now s with
+                  | Sched.Pushed ->
+                      R.aincr t.c_submitted;
+                      Proto.ok ~id (Proto.state_result "queued")
+                  | Sched.Full hint ->
+                      rollback ();
+                      R.aincr t.c_rejected_overloaded;
+                      Proto.error ~id ~retry_after_ms:hint Proto.Overloaded
+                        (Printf.sprintf "admission queue full (%d)"
+                           t.cfg.max_queue)
+                  | Sched.Shed hint ->
+                      rollback ();
+                      R.aincr t.c_rejected_shed;
+                      Proto.error ~id ~retry_after_ms:hint Proto.Overloaded
+                        (Printf.sprintf
+                           "shed: estimated queue wait %dms exceeds the \
+                            deadline"
+                           (Sched.est_wait_ms t.queue)))))
 
 let with_session t id f =
   match Session.find t.sessions id with
@@ -382,6 +810,15 @@ let metrics_json t =
   Mutex.lock t.merge_lock;
   let g = R.gauge t.registry "server.queue_depth" in
   R.set g (Sched.length t.queue);
+  R.set (R.gauge t.registry "server.queue_wait_est_ms")
+    (Sched.est_wait_ms t.queue);
+  (match t.journal with
+  | Some j ->
+      let st = Journal.stats j in
+      R.set (R.gauge t.registry "server.journal.appends") st.Journal.s_appends;
+      R.set (R.gauge t.registry "server.journal.fsyncs") st.Journal.s_fsyncs;
+      R.set (R.gauge t.registry "server.journal.bytes") st.Journal.s_bytes
+  | None -> ());
   let live =
     Session.fold t.sessions
       (fun s acc -> if Session.finished s.Session.state then acc else acc + 1)
@@ -398,7 +835,7 @@ let handle_line t ~conn line =
   | Error (id, code, msg) ->
       R.aincr t.c_frame_errors;
       Proto.error ?id code msg
-  | Ok (Proto.Submit sub) -> handle_submit t ~conn sub
+  | Ok (Proto.Submit sub) -> handle_submit t ~conn ~raw:line sub
   | Ok (Proto.Status id) -> handle_status t id
   | Ok (Proto.Result id) -> handle_result t id
   | Ok (Proto.Cancel id) -> handle_cancel t id
@@ -408,11 +845,23 @@ let handle_line t ~conn line =
       Atomic.set t.shutdown_flag true;
       Proto.ok (Proto.state_result "shutting_down")
 
+(* An over-long frame: the wire layer already discarded to the next
+   newline; count it on both the total-error and the overflow-specific
+   counters and answer in-band. *)
+let handle_overflow t =
+  R.aincr t.c_frame_errors;
+  R.aincr t.c_overflows;
+  Proto.error Proto.Parse_error
+    (Printf.sprintf "line exceeds %d bytes" t.cfg.max_line)
+
 (* {1 Introspection (tests and bench)} *)
 
 let registry t = t.registry
 let queue_length t = Sched.length t.queue
 let graph_names t = List.map fst t.graphs
+let recovery t = t.recovery
+let watchdog t = t.watchdog
+let journal_stats t = Option.map Journal.stats t.journal
 
 let await t id =
   Option.map (fun s -> Session.await t.sessions s) (Session.find t.sessions id)
@@ -450,6 +899,10 @@ let write_all fd s =
 let serve_loop ?socket ?(stdio = false) t =
   if socket = None && not stdio then
     invalid_arg "Server.serve_loop: need a socket path, --stdio, or both";
+  (* A client that dies mid-reply must cost us an EPIPE error code, not
+     the whole process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   start_workers t;
   let listener =
     Option.map
@@ -483,10 +936,7 @@ let serve_loop ?socket ?(stdio = false) t =
         let resp =
           match ev with
           | Wire.Line line -> handle_line t ~conn:c.cid line
-          | Wire.Overflow ->
-              R.aincr t.c_frame_errors;
-              Proto.error Proto.Parse_error
-                (Printf.sprintf "line exceeds %d bytes" t.cfg.max_line)
+          | Wire.Overflow -> handle_overflow t
         in
         write_all c.reply_fd (resp ^ "\n"))
       events

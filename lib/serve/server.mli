@@ -14,7 +14,13 @@
     publishing its final state, so a [metrics] snapshot taken after
     observing a result already contains that session —
     ["sessions.engine.deliveries"] equals the sum of [deliveries] over
-    the results observed so far, exactly. *)
+    the results observed so far, exactly.
+
+    Durability contract (with [journal] set): every submit is journaled
+    before its acknowledgement leaves {!handle_line}, and a session's
+    terminal record is journaled before its state becomes pollable.
+    {!create} replays the log on boot — acknowledged ⇒ replayable, and
+    the serve layer's byte-determinism makes replay {e be} recovery. *)
 
 type config = {
   graphs : (string * string) list;
@@ -29,15 +35,45 @@ type config = {
           [create] rejects anything else. *)
   sample_every : int;  (** Per-session [Obs] sampling cadence. *)
   max_line : int;  (** Wire frame bound. *)
+  journal : string option;
+      (** Write-ahead log path; [None] disables durability. *)
+  journal_sync : bool;
+      (** fsync on append (group-committed).  [false] = write-through
+          without fsync, for bench baselines and throwaway servers. *)
+  shed_watermark_ms : int;
+      (** Queue-latency watermark for adaptive shedding; [0] keeps plain
+          bounded-FIFO admission. *)
+  watchdog : Watchdog.config option;  (** [None] = no watchdog. *)
 }
 
 val default_config : config
-(** One graph ["small" = comb:8], 2 workers, queue 64, 32 credits. *)
+(** One graph ["small" = comb:8], 2 workers, queue 64, 32 credits; no
+    journal, no watchdog, shedding off. *)
+
+(** What journal replay did at boot — all zeros / [false] for a fresh
+    log.  Mirrored exactly into ["server.recovered.*"] counters. *)
+type recovery = {
+  rec_replayed : int;  (** Submits re-executed during recovery. *)
+  rec_verified : int;
+      (** Re-executed results whose bytes matched the journaled digest. *)
+  rec_mismatched : int;  (** Determinism violations — should be 0. *)
+  rec_completed : int;
+      (** Acknowledged-but-unfinished submits finished by recovery. *)
+  rec_cancelled : int;  (** Restored from [Cancelled] records, not re-run. *)
+  rec_failed : int;  (** Restored from [Failed] records, not re-run. *)
+  rec_orphans : int;  (** Terminal records with no surviving submit. *)
+  rec_unreplayable : int;
+      (** Journaled submits this process can no longer run (e.g. a graph
+          dropped from the config) — restored as [Failed]. *)
+  rec_torn : bool;  (** The log had a damaged tail (truncated away). *)
+}
 
 type t
 
 val create : ?config:config -> unit -> (t, string) result
-(** Resolves every graph spec; [Error] names the offending spec.  Worker
+(** Resolves every graph spec; [Error] names the offending spec.  With a
+    [journal] path, scans the log, truncates any torn tail, replays it
+    (blocking until recovery completes) and opens it for append.  Worker
     domains are NOT spawned yet — {!serve_loop} does, or call
     {!start_workers} yourself. *)
 
@@ -45,14 +81,22 @@ val handle_line : t -> conn:int -> string -> string
 (** Process one request frame, return one response frame (no newline).
     [conn] scopes submission credits; any int is a valid connection. *)
 
+val handle_overflow : t -> string
+(** The response for an over-long frame ({!Wire.event.Overflow}); counts
+    it on ["server.frame_errors"] and ["server.wire.overflows"]. *)
+
 val start_workers : t -> unit
+(** Spawn worker domains and (when configured) the watchdog domain. *)
+
 val step : t -> bool
 (** Run one queued session inline on the calling domain ([false] = queue
     empty).  Deterministic drain for [workers = 0] tests. *)
 
 val stop : t -> unit
 (** Close the admission queue, join the workers (accepted sessions finish
-    first), fail anything still queued.  Idempotent. *)
+    first), fail anything still queued, stop the watchdog, close the
+    journal.  Queued sessions drained here get no terminal journal
+    record, so the next boot re-executes them.  Idempotent. *)
 
 val shutting_down : t -> bool
 (** A [shutdown] request was received (or {!stop} ran). *)
@@ -62,13 +106,22 @@ val serve_loop : ?socket:string -> ?stdio:bool -> t -> unit
     EOF on stdin in stdio-only mode), then {!stop}.  [socket] is a Unix
     domain socket path (unlinked and rebound on entry, removed on exit);
     [stdio] serves connection 0 on stdin/stdout.  At least one of the two
-    is required. *)
+    is required.  Ignores [SIGPIPE]. *)
 
 (** {1 Introspection} (tests and bench) *)
 
 val registry : t -> Obs.Registry.t
 val queue_length : t -> int
 val graph_names : t -> string list
+
+val recovery : t -> recovery option
+(** [Some] iff this server booted with a journal (fresh log ⇒ all-zero
+    summary). *)
+
+val watchdog : t -> Watchdog.t option
+(** The live watchdog, for deterministic [sweep] calls in tests. *)
+
+val journal_stats : t -> Journal.stats option
 
 val await : t -> string -> Session.state option
 (** Block until the session finishes; [None] = unknown id.  Needs a

@@ -11,7 +11,7 @@ type state =
   | Queued
   | Running
   | Done of string  (* pre-rendered result JSON, echoed verbatim *)
-  | Cancelled of string  (* reason: "cancel" | "deadline" *)
+  | Cancelled of string  (* reason: "cancel" | "deadline" | "watchdog" *)
   | Failed of Proto.error_code * string
 
 let state_name = function
@@ -38,7 +38,12 @@ type t = {
   mutable watch_seen : Obs.Registry.snapshot;
       (* registry state the last watch reply already covered *)
   mutable t_submitted : float;  (* wall clock, latency measurement only — *)
-  mutable t_finished : float;  (* never part of the result payload *)
+  mutable t_started : float;  (* never part of the result payload *)
+  mutable t_finished : float;
+  mutable wd_level : int;
+      (* watchdog escalation: 0 none, 1 warned, 2 cancelled.  Written by
+         the watchdog under the table lock; the worker's cancel-reason
+         read is racy by design (telemetry-grade, not a contract). *)
 }
 
 type table = {
@@ -73,7 +78,9 @@ let add tab ~conn ~now (submit : Proto.submit) =
             obs = None;
             watch_seen = [];
             t_submitted = now;
+            t_started = 0.0;
             t_finished = 0.0;
+            wd_level = 0;
           }
         in
         Hashtbl.add tab.tbl s.id s;

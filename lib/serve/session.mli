@@ -10,7 +10,8 @@ type state =
   | Queued
   | Running
   | Done of string  (** Pre-rendered result JSON, echoed verbatim. *)
-  | Cancelled of string  (** Reason: ["cancel"] or ["deadline"]. *)
+  | Cancelled of string
+      (** Reason: ["cancel"], ["deadline"] or ["watchdog"]. *)
   | Failed of Proto.error_code * string
 
 val state_name : state -> string
@@ -38,7 +39,12 @@ type t = {
   mutable t_submitted : float;
       (** Wall clock, for latency measurement only — timing never enters
           the result payload (that would break byte-determinism). *)
+  mutable t_started : float;
+      (** When a worker claimed the session (0.0 while queued) — the
+          clock the watchdog ages Running sessions against. *)
   mutable t_finished : float;
+  mutable wd_level : int;
+      (** Watchdog escalation: 0 none, 1 warned, 2 cancelled. *)
 }
 
 type table

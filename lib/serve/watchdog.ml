@@ -1,0 +1,186 @@
+(* Stuck-session watchdog: a periodic sweep over the session table that
+   escalates long-Running sessions through a ladder —
+
+     warn        mark the session (telemetry only), once
+     cancel      flip its cooperative cancel flag; the engine's [stop]
+                 hook notices within one poll interval and the worker
+                 publishes Cancelled "watchdog"
+     quarantine  after enough cancels of the same (graph, protocol)
+                 pair, trip a circuit breaker: further submits of that
+                 pair are refused at admission until the window expires
+
+   The ladder exists because cancellation here is cooperative: a session
+   that livelocks inside the engine still polls [stop] (the runner
+   checks every 1024 events), so cancel works — but the submit that
+   wedged once will wedge again, and the breaker is what stops a
+   retry-happy client from feeding workers an endless diet of doomed
+   runs.
+
+   Locking: [sweep] collects victims inside [Session.fold] (which holds
+   the table lock) and applies transitions only after the fold returns —
+   [Session.transition] retakes the same non-reentrant lock, so
+   transitioning inside the fold would deadlock. *)
+
+type config = {
+  tick_ms : int;  (* sweep period *)
+  warn_after_ms : int;  (* Running age before the warn mark *)
+  cancel_after_ms : int;  (* Running age before cooperative cancel *)
+  quarantine_strikes : int;  (* watchdog cancels of one (graph, protocol)
+                                pair before its breaker trips *)
+  quarantine_ms : int;  (* how long a tripped breaker stays open *)
+}
+
+let default_config =
+  {
+    tick_ms = 50;
+    warn_after_ms = 1_000;
+    cancel_after_ms = 5_000;
+    quarantine_strikes = 3;
+    quarantine_ms = 30_000;
+  }
+
+let validate_config c =
+  if c.tick_ms < 1 then invalid_arg "Watchdog: tick_ms must be >= 1";
+  if c.warn_after_ms < 1 then invalid_arg "Watchdog: warn_after_ms must be >= 1";
+  if c.cancel_after_ms < c.warn_after_ms then
+    invalid_arg "Watchdog: cancel_after_ms must be >= warn_after_ms";
+  if c.quarantine_strikes < 1 then
+    invalid_arg "Watchdog: quarantine_strikes must be >= 1";
+  if c.quarantine_ms < 1 then
+    invalid_arg "Watchdog: quarantine_ms must be >= 1"
+
+type breaker = {
+  mutable strikes : int;
+  mutable strike_until : float;  (* strikes decay when this passes *)
+  mutable open_until : float;  (* 0.0 = breaker closed *)
+}
+
+type t = {
+  cfg : config;
+  sessions : Session.table;
+  breakers : (string * string, breaker) Hashtbl.t;
+  block : Mutex.t;
+  c_warned : Obs.Registry.acounter;
+  c_cancelled : Obs.Registry.acounter;
+  c_quarantines : Obs.Registry.acounter;
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let create cfg sessions reg =
+  validate_config cfg;
+  let ac = Obs.Registry.acounter reg in
+  {
+    cfg;
+    sessions;
+    breakers = Hashtbl.create 8;
+    block = Mutex.create ();
+    c_warned = ac "server.watchdog.warned";
+    c_cancelled = ac "server.watchdog.cancelled";
+    c_quarantines = ac "server.watchdog.quarantines";
+    stop_flag = Atomic.make false;
+    dom = None;
+  }
+
+let blocked t f =
+  Mutex.lock t.block;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.block) f
+
+(* A watchdog cancel strikes the session's (graph, protocol) pair.
+   Strikes within one quarantine window accumulate; reaching the
+   threshold opens the breaker and resets the count so a still-broken
+   pair re-trips after the window instead of staying open forever. *)
+let strike t ~now key =
+  blocked t (fun () ->
+      let b =
+        match Hashtbl.find_opt t.breakers key with
+        | Some b -> b
+        | None ->
+            let b = { strikes = 0; strike_until = 0.0; open_until = 0.0 } in
+            Hashtbl.replace t.breakers key b;
+            b
+      in
+      if now > b.strike_until then b.strikes <- 0;
+      b.strikes <- b.strikes + 1;
+      b.strike_until <- now +. (float_of_int t.cfg.quarantine_ms /. 1000.0);
+      if b.strikes >= t.cfg.quarantine_strikes then begin
+        b.strikes <- 0;
+        b.open_until <- now +. (float_of_int t.cfg.quarantine_ms /. 1000.0);
+        Obs.Registry.aincr t.c_quarantines
+      end)
+
+let quarantined t ~graph ~protocol ~now =
+  blocked t (fun () ->
+      match Hashtbl.find_opt t.breakers (graph, protocol) with
+      | Some b when b.open_until > now ->
+          Some
+            (Stdlib.max 1
+               (int_of_float (Float.ceil ((b.open_until -. now) *. 1000.0))))
+      | _ -> None)
+
+let sweep t ~now =
+  let victims =
+    Session.fold t.sessions
+      (fun s acc ->
+        match s.Session.state with
+        | Session.Running ->
+            let age_ms = (now -. s.Session.t_started) *. 1000.0 in
+            if
+              s.Session.wd_level < 2
+              && age_ms > float_of_int t.cfg.cancel_after_ms
+            then (s, `Cancel) :: acc
+            else if
+              s.Session.wd_level < 1
+              && age_ms > float_of_int t.cfg.warn_after_ms
+            then (s, `Warn) :: acc
+            else acc
+        | _ -> acc)
+      []
+  in
+  List.iter
+    (fun (s, action) ->
+      match action with
+      | `Warn ->
+          Session.transition t.sessions s (fun s ->
+              if s.Session.state = Session.Running && s.Session.wd_level < 1
+              then begin
+                s.Session.wd_level <- 1;
+                Obs.Registry.aincr t.c_warned
+              end)
+      | `Cancel ->
+          let struck =
+            Session.transition t.sessions s (fun s ->
+                if s.Session.state = Session.Running && s.Session.wd_level < 2
+                then begin
+                  s.Session.wd_level <- 2;
+                  Atomic.set s.Session.cancel true;
+                  Obs.Registry.aincr t.c_cancelled;
+                  true
+                end
+                else false)
+          in
+          if struck then
+            strike t ~now
+              (s.Session.submit.Proto.sub_graph, s.Session.submit.Proto.sub_protocol))
+    victims;
+  List.length victims
+
+let start t =
+  if t.dom <> None then invalid_arg "Watchdog.start: already started";
+  let tick = float_of_int t.cfg.tick_ms /. 1000.0 in
+  t.dom <-
+    Some
+      (Domain.spawn (fun () ->
+           while not (Atomic.get t.stop_flag) do
+             Unix.sleepf tick;
+             if not (Atomic.get t.stop_flag) then
+               ignore (sweep t ~now:(Unix.gettimeofday ()))
+           done))
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.dom with
+  | Some d ->
+      t.dom <- None;
+      Domain.join d
+  | None -> ()

@@ -1,0 +1,52 @@
+(** Stuck-session watchdog and (graph, protocol) circuit breaker.
+
+    A periodic sweep of the session table escalates long-[Running]
+    sessions through a ladder: {b warn} (telemetry mark) → {b cancel}
+    (flip the cooperative cancel flag the engine's [stop] hook polls; the
+    worker publishes [Cancelled "watchdog"]) → {b quarantine} (after
+    [quarantine_strikes] watchdog-cancels of one (graph, protocol) pair
+    within a window, further submits of that pair are refused at
+    admission for [quarantine_ms]).
+
+    Cancellation stays cooperative — the runner polls its stop hook
+    every 1024 engine events, so even a livelocking protocol yields
+    within a bounded number of steps; the breaker is what keeps
+    retry-happy clients from resubmitting the same doomed run. *)
+
+type config = {
+  tick_ms : int;  (** Sweep period. *)
+  warn_after_ms : int;  (** [Running] age before the warn mark. *)
+  cancel_after_ms : int;  (** [Running] age before cooperative cancel. *)
+  quarantine_strikes : int;
+      (** Watchdog cancels of one (graph, protocol) pair before its
+          breaker trips. *)
+  quarantine_ms : int;  (** How long a tripped breaker stays open. *)
+}
+
+val default_config : config
+(** 50ms tick, warn at 1s, cancel at 5s, 3 strikes, 30s quarantine. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] on nonsensical knobs (e.g.
+    [cancel_after_ms < warn_after_ms]). *)
+
+type t
+
+val create : config -> Session.table -> Obs.Registry.t -> t
+(** Registers [server.watchdog.{warned,cancelled,quarantines}] atomic
+    counters on the given registry.  Validates the config. *)
+
+val sweep : t -> now:float -> int
+(** One pass over the table; returns how many sessions were escalated.
+    Safe to call directly (deterministic tests) — {!start} merely calls
+    it on a timer. *)
+
+val quarantined : t -> graph:string -> protocol:string -> now:float -> int option
+(** [Some remaining_ms] when the pair's breaker is open — the server
+    turns this into a [quarantined] error with a retry-after hint. *)
+
+val start : t -> unit
+(** Spawn the sweeping domain.  At most once per [t]. *)
+
+val stop : t -> unit
+(** Signal and join the sweeping domain; idempotent. *)

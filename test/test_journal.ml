@@ -1,0 +1,220 @@
+(* The write-ahead journal: CRC framing, encode/scan roundtrips, and —
+   the robustness core — torn-write tolerance.  A crash can damage only
+   the file's tail, so the tests truncate a known log at EVERY byte
+   offset and corrupt every byte of its final record, asserting the scan
+   never raises, keeps exactly the intact prefix, and reports (not
+   swallows) the torn tail. *)
+
+module Jn = Serve.Journal
+
+let sample_records =
+  [
+    Jn.Submitted
+      {
+        id = "a";
+        line = "{\"op\":\"submit\",\"id\":\"a\",\"protocol\":\"flood\"}";
+      };
+    Jn.Result
+      {
+        id = "a";
+        digest = Jn.digest "{\"outcome\":\"quiescent\"}";
+        outcome = "done";
+        deliveries = 16;
+        total_bits = 16;
+      };
+    Jn.Submitted { id = "b\"\n\\x"; line = "weird \"id\" \\ bytes" };
+    Jn.Cancelled { id = "b\"\n\\x"; reason = "watchdog" };
+    Jn.Failed { id = "c"; code = "unknown_graph"; msg = "no graph \"g\"" };
+  ]
+
+let sample_log () =
+  String.concat "" (List.map Jn.encode sample_records)
+
+let check_records msg expected (scan : Jn.scan) =
+  Alcotest.(check int) (msg ^ ": record count") (List.length expected)
+    (List.length scan.Jn.records);
+  List.iteri
+    (fun i (e, g) ->
+      if e <> g then
+        Alcotest.failf "%s: record %d differs:\n  %s\nvs\n  %s" msg i
+          (Jn.encode e) (Jn.encode g))
+    (List.combine expected scan.Jn.records)
+
+let test_crc32 () =
+  (* The IEEE CRC32 check value: crc32("123456789") = 0xcbf43926. *)
+  Alcotest.(check int) "IEEE check value" 0xcbf43926 (Jn.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Jn.crc32 "")
+
+let test_roundtrip () =
+  let scan = Jn.scan_string (sample_log ()) in
+  check_records "roundtrip" sample_records scan;
+  Alcotest.(check bool) "not torn" false scan.Jn.torn;
+  Alcotest.(check int) "all bytes valid"
+    (String.length (sample_log ()))
+    scan.Jn.valid_bytes;
+  (* Digest helper agrees with the stdlib. *)
+  Alcotest.(check string) "digest = MD5 hex"
+    (Digest.to_hex (Digest.string "payload"))
+    (Jn.digest "payload")
+
+(* Truncate the log at every byte offset: the scan must keep exactly the
+   records whose full framed lines survive, flag everything else as a
+   torn tail, and never raise. *)
+let test_truncation_sweep () =
+  let log = sample_log () in
+  let n = String.length log in
+  (* Record-boundary offsets, cumulative. *)
+  let boundaries =
+    List.fold_left
+      (fun acc r ->
+        (List.hd acc + String.length (Jn.encode r)) :: acc)
+      [ 0 ] sample_records
+  in
+  let intact_at cut =
+    (* How many leading records fit entirely in [0, cut). *)
+    let rec go taken off = function
+      | [] -> taken
+      | r :: rest ->
+          let off' = off + String.length (Jn.encode r) in
+          if off' <= cut then go (taken + 1) off' rest else taken
+    in
+    go 0 0 sample_records
+  in
+  for cut = 0 to n do
+    let scan = Jn.scan_string (String.sub log 0 cut) in
+    let expected =
+      List.filteri (fun i _ -> i < intact_at cut) sample_records
+    in
+    check_records (Printf.sprintf "cut at %d" cut) expected scan;
+    let at_boundary = List.mem cut boundaries in
+    Alcotest.(check bool)
+      (Printf.sprintf "torn flag at %d" cut)
+      (not at_boundary) scan.Jn.torn
+  done
+
+(* Flip every byte of the final record (xor 0xff maps every hex digit,
+   '{', '"' and '\n' out of its alphabet, so damage is always visible to
+   framing, checksum or decode): the prefix must survive, the tail must
+   be reported torn, nothing may raise. *)
+let test_corruption_sweep () =
+  let log = sample_log () in
+  let prefix = List.filteri (fun i _ -> i < 4) sample_records in
+  let tail_start =
+    List.fold_left (fun acc r -> acc + String.length (Jn.encode r)) 0 prefix
+  in
+  for pos = tail_start to String.length log - 1 do
+    let b = Bytes.of_string log in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+    let scan = Jn.scan_string (Bytes.to_string b) in
+    check_records (Printf.sprintf "corrupt byte %d" pos) prefix scan;
+    Alcotest.(check bool)
+      (Printf.sprintf "torn at %d" pos)
+      true scan.Jn.torn;
+    Alcotest.(check int)
+      (Printf.sprintf "prefix end at %d" pos)
+      tail_start scan.Jn.valid_bytes
+  done
+
+(* A record body that decodes as JSON but is not a journal record (bad
+   "k", missing members) also stops the scan without raising. *)
+let test_alien_records () =
+  let frame body = Printf.sprintf "%08x %s\n" (Jn.crc32 body) body in
+  let log = Jn.encode (List.hd sample_records) ^ frame "{\"k\":\"martian\"}" in
+  let scan = Jn.scan_string log in
+  check_records "alien kind" [ List.hd sample_records ] scan;
+  Alcotest.(check bool) "alien kind is torn" true scan.Jn.torn;
+  let log2 = frame "[1,2,3]" in
+  let scan2 = Jn.scan_string log2 in
+  Alcotest.(check int) "non-object body" 0 (List.length scan2.Jn.records);
+  Alcotest.(check bool) "non-object torn" true scan2.Jn.torn;
+  (* Underscores are valid in OCaml int literals but not in our CRC hex
+     field — the parser must not accept "0xab_cd"-style damage. *)
+  let body = "{\"k\":\"cancel\",\"id\":\"z\",\"reason\":\"r\"}" in
+  let crc = Printf.sprintf "%08x" (Jn.crc32 body) in
+  let crooked = "0_" ^ String.sub crc 2 6 ^ " " ^ body ^ "\n" in
+  let scan3 = Jn.scan_string crooked in
+  Alcotest.(check int) "underscored crc rejected" 0
+    (List.length scan3.Jn.records);
+  Alcotest.(check bool) "underscored crc torn" true scan3.Jn.torn
+
+let with_temp f =
+  let path = Filename.temp_file "anonet-journal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_open_append_truncates () =
+  with_temp (fun path ->
+      (* A valid prefix plus a torn tail on disk... *)
+      let oc = open_out_bin path in
+      output_string oc (sample_log ());
+      output_string oc "deadbeef {\"k\":\"result\",\"id\":";  (* no newline *)
+      close_out oc;
+      (match Jn.open_append path with
+      | Error e -> Alcotest.failf "open_append: %s" e
+      | Ok (j, scan) ->
+          Alcotest.(check bool) "tail reported torn" true scan.Jn.torn;
+          check_records "prefix kept" sample_records scan;
+          (* ...is amputated, so appends continue a clean log. *)
+          Jn.append j (Jn.Cancelled { id = "late"; reason = "cancel" });
+          Jn.close j);
+      match Jn.scan_file path with
+      | Error e -> Alcotest.failf "rescan: %s" e
+      | Ok scan ->
+          check_records "clean continuation"
+            (sample_records @ [ Jn.Cancelled { id = "late"; reason = "cancel" } ])
+            scan;
+          Alcotest.(check bool) "no longer torn" false scan.Jn.torn)
+
+let test_writer_stats_and_idempotent_close () =
+  with_temp (fun path ->
+      Sys.remove path;
+      (match Jn.scan_file path with
+      | Ok scan ->
+          Alcotest.(check int) "missing file: empty" 0
+            (List.length scan.Jn.records);
+          Alcotest.(check bool) "missing file: not torn" false scan.Jn.torn
+      | Error e -> Alcotest.failf "missing file: %s" e);
+      match Jn.open_append ~sync:false path with
+      | Error e -> Alcotest.failf "open_append: %s" e
+      | Ok (j, _) ->
+          List.iter (Jn.append j) sample_records;
+          let st = Jn.stats j in
+          Alcotest.(check int) "appends counted"
+            (List.length sample_records)
+            st.Jn.s_appends;
+          Alcotest.(check int) "bytes counted"
+            (String.length (sample_log ()))
+            st.Jn.s_bytes;
+          Jn.close j;
+          Jn.close j;
+          (* close is idempotent *)
+          Alcotest.check_raises "append after close"
+            (Invalid_argument "Journal.append: closed") (fun () ->
+              Jn.append j (Jn.Cancelled { id = "x"; reason = "r" })))
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_crc32;
+          Alcotest.test_case "encode/scan roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "alien records stop the scan" `Quick
+            test_alien_records;
+        ] );
+      ( "torn-writes",
+        [
+          Alcotest.test_case "truncation at every byte offset" `Quick
+            test_truncation_sweep;
+          Alcotest.test_case "corruption of every tail byte" `Quick
+            test_corruption_sweep;
+          Alcotest.test_case "open_append truncates the torn tail" `Quick
+            test_open_append_truncates;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "stats + idempotent close" `Quick
+            test_writer_stats_and_idempotent_close;
+        ] );
+    ]

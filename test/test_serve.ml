@@ -418,6 +418,435 @@ let test_shutdown_refuses_submits () =
   Alcotest.(check string) "new submits refused" "shutting_down"
     (err_code (req t (submit_line "post")))
 
+(* {1 Wire-protocol fuzz}
+
+   Random truncation, bit flips and oversizing of valid request lines,
+   pushed through [Wire.feed] and [Server.handle_line]/[handle_overflow]
+   — the exact pair the socket loop runs.  The server must never raise,
+   must answer every frame with a parseable envelope, must resync to
+   clean frames afterwards, and must count every overflow discard. *)
+
+let counter_of t name =
+  match
+    Option.bind (J.member "result" (parse_resp (req t "{\"op\":\"metrics\"}")))
+      (fun m -> Option.bind (J.member "counters" m) (J.member name))
+  with
+  | Some v -> Option.value ~default:(-1) (J.to_int_opt v)
+  | None -> 0
+
+let test_wire_fuzz () =
+  let config =
+    {
+      S.default_config with
+      graphs = [ ("small", "comb:4") ];
+      workers = 0;
+      max_line = 128;
+      step_limit = 20_000;
+    }
+  in
+  let t =
+    match S.create ~config () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "server create: %s" e
+  in
+  let prng = Prng.create 0xF022 in
+  let w = Serve.Wire.create ~max_line:128 () in
+  let overflows = ref 0 and frames = ref 0 in
+  let feed_random_chunks s =
+    let n = String.length s in
+    let i = ref 0 in
+    let evs = ref [] in
+    while !i < n do
+      let len = min (1 + Prng.int prng 23) (n - !i) in
+      evs := !evs @ Serve.Wire.feed_string w (String.sub s !i len);
+      i := !i + len
+    done;
+    !evs
+  in
+  let respond evs =
+    List.iter
+      (fun ev ->
+        let resp =
+          match ev with
+          | Serve.Wire.Line l ->
+              incr frames;
+              req t l
+          | Serve.Wire.Overflow ->
+              incr overflows;
+              S.handle_overflow t
+        in
+        (* Every answer, even to garbage, is a parseable envelope. *)
+        ignore (is_ok resp))
+      evs
+  in
+  for i = 0 to 499 do
+    let base =
+      match Prng.int prng 4 with
+      | 0 -> submit_line ~seed:i (Printf.sprintf "fz%d" i)
+      | 1 -> Printf.sprintf "{\"op\":\"status\",\"id\":\"fz%d\"}" (Prng.int prng 500)
+      | 2 -> "{\"op\":\"metrics\"}"
+      | _ -> Printf.sprintf "{\"op\":\"result\",\"id\":\"fz%d\"}" (Prng.int prng 500)
+    in
+    let mutated =
+      match Prng.int prng 4 with
+      | 0 -> String.sub base 0 (Prng.int prng (String.length base + 1))
+      | 1 ->
+          let b = Bytes.of_string base in
+          for _ = 0 to Prng.int prng 4 do
+            let p = Prng.int prng (Bytes.length b) in
+            Bytes.set b p
+              (Char.chr (Char.code (Bytes.get b p) lxor (1 lsl Prng.int prng 8)))
+          done;
+          Bytes.to_string b
+      | 2 -> base ^ String.make (128 + Prng.int prng 256) 'x'  (* oversize *)
+      | _ -> base
+    in
+    respond (feed_random_chunks (mutated ^ "\n"))
+  done;
+  (* Resync proof: a pristine frame right after the chaos parses clean. *)
+  (match feed_random_chunks "{\"op\":\"metrics\"}\n" with
+  | [ Serve.Wire.Line l ] ->
+      incr frames;
+      Alcotest.(check bool) "clean frame after fuzz" true (is_ok (req t l))
+  | evs -> Alcotest.failf "expected 1 clean frame, got %d events" (List.length evs));
+  Alcotest.(check bool) "some overflows exercised" true (!overflows > 0);
+  Alcotest.(check int) "overflow discards counted" !overflows
+    (counter_of t "server.wire.overflows");
+  Alcotest.(check bool) "frame_errors covers overflows" true
+    (counter_of t "server.frame_errors" >= !overflows);
+  S.stop t
+
+(* {1 Adaptive shedding (Sched unit)} *)
+
+let test_sched_shed () =
+  let module Sc = Serve.Sched in
+  let q : string Sc.t = Sc.create ~cap:4 ~watermark_ms:50 () in
+  (match Sc.try_push q ~now:0.0 "a" with
+  | Sc.Pushed -> ()
+  | _ -> Alcotest.fail "first push refused");
+  (* The item waited 200ms (synthetic clock): EWMA seeds at 200. *)
+  (match Sc.try_pop ~now:0.2 q with
+  | Some "a" -> ()
+  | _ -> Alcotest.fail "pop");
+  Alcotest.(check int) "ewma seeded by first sample" 200 (Sc.est_wait_ms q);
+  (* Past the watermark, a doomed deadline is refused at the door... *)
+  (match Sc.try_push q ~now:1.0 ~deadline:1.05 "doomed" with
+  | Sc.Shed hint -> Alcotest.(check int) "hint = estimate" 200 hint
+  | _ -> Alcotest.fail "expected Shed");
+  (* ...a meetable one and deadline-less work keep FIFO semantics. *)
+  (match Sc.try_push q ~now:1.0 ~deadline:2.0 "fine" with
+  | Sc.Pushed -> ()
+  | _ -> Alcotest.fail "meetable deadline refused");
+  (match Sc.try_push q ~now:1.0 "no-deadline" with
+  | Sc.Pushed -> ()
+  | _ -> Alcotest.fail "deadline-less refused");
+  (* Capacity still bounds admission, with the same hint. *)
+  (match Sc.try_push q ~now:1.0 "c3" with Sc.Pushed -> () | _ -> Alcotest.fail "c3");
+  (match Sc.try_push q ~now:1.0 "c4" with Sc.Pushed -> () | _ -> Alcotest.fail "c4");
+  (match Sc.try_push q ~now:1.0 "over" with
+  | Sc.Full hint -> Alcotest.(check bool) "full hint" true (hint >= 1)
+  | _ -> Alcotest.fail "expected Full");
+  (* watermark_ms = 0 never sheds, however stale the queue got. *)
+  let q0 : string Sc.t = Sc.create ~cap:2 () in
+  (match Sc.try_push q0 ~now:0.0 "x" with Sc.Pushed -> () | _ -> Alcotest.fail "x");
+  ignore (Sc.try_pop ~now:9.0 q0);
+  (match Sc.try_push q0 ~now:10.0 ~deadline:10.001 "y" with
+  | Sc.Pushed -> ()
+  | _ -> Alcotest.fail "shedding disabled must stay FIFO")
+
+(* {1 Idempotency keys} *)
+
+let submit_key_line ?(protocol = "flood") ?(graph = "small") ?(seed = 1) ~key id =
+  Printf.sprintf
+    "{\"op\":\"submit\",\"id\":%s,\"protocol\":%s,\"graph\":%s,\"seed\":%d,\"key\":%s}"
+    (J.escape id) (J.escape protocol) (J.escape graph) seed (J.escape key)
+
+let key_of_resp resp =
+  Option.bind (J.member "result" (parse_resp resp)) (fun r ->
+      Option.bind (J.member "key_of" r) J.to_string_opt)
+
+let test_idempotent_keys () =
+  let t = mk () in
+  Alcotest.(check bool) "original" true (is_ok (req t (submit_key_line ~key:"K" "k1")));
+  (* Duplicate while the original is still in flight: no new session,
+     the answer points at the in-flight original. *)
+  let r2 = req t (submit_key_line ~key:"K" "k2") in
+  Alcotest.(check bool) "dup acknowledged" true (is_ok r2);
+  Alcotest.(check (option string)) "points at original" (Some "k1") (key_of_resp r2);
+  Alcotest.(check string) "dup state is original's" "queued" (state_of r2);
+  Alcotest.(check string) "no session for the dup id" "unknown_id"
+    (err_code (status t "k2"));
+  Alcotest.(check bool) "runs once" true (S.step t);
+  Alcotest.(check bool) "only once" false (S.step t);
+  (* After completion a duplicate returns the original's exact result. *)
+  let orig = J.to_string (result_json (result t "k1")) in
+  let r3 = req t (submit_key_line ~key:"K" "k3") in
+  Alcotest.(check bool) "dup after done ok" true (is_ok r3);
+  Alcotest.(check string) "byte-identical payload" orig
+    (J.to_string (result_json r3));
+  Alcotest.(check int) "key hits counted" 2 (counter_of t "server.sessions.key_hits");
+  (* A cancelled original answers with its cancellation. *)
+  Alcotest.(check bool) "c-orig" true (is_ok (req t (submit_key_line ~key:"C" "c1")));
+  ignore (cancel t "c1");
+  Alcotest.(check string) "dup of cancelled" "cancelled"
+    (err_code (req t (submit_key_line ~key:"C" "c2")));
+  S.stop t
+
+let test_key_rollback_on_overload () =
+  let t = mk ~max_queue:1 () in
+  Alcotest.(check bool) "fill queue" true (is_ok (req t (submit_line "x1")));
+  (* The keyed submit is refused by admission: its claim must unwind. *)
+  Alcotest.(check string) "overloaded" "overloaded"
+    (err_code (req t (submit_key_line ~key:"R" "x2")));
+  Alcotest.(check string) "rolled-back session gone" "unknown_id"
+    (err_code (status t "x2"));
+  ignore (S.step t);
+  (* Same key is claimable again — not a duplicate of the failed try. *)
+  let r = req t (submit_key_line ~key:"R" "x3") in
+  Alcotest.(check bool) "key reusable after rollback" true (is_ok r);
+  Alcotest.(check (option string)) "a fresh claim, not a dup" None (key_of_resp r);
+  S.stop t
+
+(* {1 Watchdog} *)
+
+let mk_submit ?(protocol = "amnesiac") ?(graph = "mid") id =
+  {
+    Serve.Proto.sub_id = id;
+    sub_protocol = protocol;
+    sub_graph = graph;
+    sub_scheduler = "fifo";
+    sub_engine = "classic";
+    sub_seed = 0;
+    sub_payload = 0;
+    sub_step_limit = None;
+    sub_faults = None;
+    sub_churn = None;
+    sub_deadline_ms = None;
+    sub_key = None;
+  }
+
+(* The escalation ladder, on a synthetic clock: warn at [warn_after_ms],
+   cancel at [cancel_after_ms], breaker after [quarantine_strikes]. *)
+let test_watchdog_ladder () =
+  let module WD = Serve.Watchdog in
+  let module Sn = Serve.Session in
+  let tab = Sn.create_table () in
+  let reg = Obs.Registry.create () in
+  let cfg =
+    {
+      WD.tick_ms = 10;
+      warn_after_ms = 100;
+      cancel_after_ms = 200;
+      quarantine_strikes = 2;
+      quarantine_ms = 1_000;
+    }
+  in
+  let wd = WD.create cfg tab reg in
+  let running id ~at =
+    match Sn.add tab ~conn:0 ~now:at (mk_submit id) with
+    | Error () -> Alcotest.failf "add %s" id
+    | Ok s ->
+        Sn.transition tab s (fun s ->
+            s.Sn.state <- Sn.Running;
+            s.Sn.t_started <- at);
+        s
+  in
+  let s1 = running "w1" ~at:0.0 in
+  Alcotest.(check int) "young: untouched" 0 (WD.sweep wd ~now:0.05);
+  Alcotest.(check int) "level still 0" 0 s1.Serve.Session.wd_level;
+  Alcotest.(check int) "past warn: warned" 1 (WD.sweep wd ~now:0.15);
+  Alcotest.(check int) "level 1" 1 s1.Serve.Session.wd_level;
+  Alcotest.(check bool) "warn does not cancel" false (Atomic.get s1.Serve.Session.cancel);
+  Alcotest.(check int) "warn is once" 0 (WD.sweep wd ~now:0.16);
+  Alcotest.(check int) "past cancel: cancelled" 1 (WD.sweep wd ~now:0.25);
+  Alcotest.(check int) "level 2" 2 s1.Serve.Session.wd_level;
+  Alcotest.(check bool) "cancel flag flipped" true (Atomic.get s1.Serve.Session.cancel);
+  Alcotest.(check int) "ladder tops out" 0 (WD.sweep wd ~now:0.30);
+  (* One strike of (mid, amnesiac): breaker still closed. *)
+  Alcotest.(check bool) "one strike: closed" true
+    (WD.quarantined wd ~graph:"mid" ~protocol:"amnesiac" ~now:0.3 = None);
+  (* Second stuck session of the same pair trips it. *)
+  let s2 = running "w2" ~at:0.3 in
+  Alcotest.(check int) "w2 cancelled directly" 1 (WD.sweep wd ~now:0.6);
+  Alcotest.(check int) "w2 level 2" 2 s2.Serve.Session.wd_level;
+  (match WD.quarantined wd ~graph:"mid" ~protocol:"amnesiac" ~now:0.7 with
+  | Some ms -> Alcotest.(check bool) "remaining in (0, 1000]" true (ms >= 1 && ms <= 1_000)
+  | None -> Alcotest.fail "breaker should be open");
+  Alcotest.(check bool) "other pairs unaffected" true
+    (WD.quarantined wd ~graph:"small" ~protocol:"flood" ~now:0.7 = None);
+  Alcotest.(check bool) "window expires" true
+    (WD.quarantined wd ~graph:"mid" ~protocol:"amnesiac" ~now:2.0 = None);
+  (* Finished sessions never escalate. *)
+  Sn.transition tab s1 (fun s -> s.Sn.state <- Sn.Cancelled "watchdog");
+  Sn.transition tab s2 (fun s -> s.Sn.state <- Sn.Cancelled "watchdog");
+  Alcotest.(check int) "nothing left to escalate" 0 (WD.sweep wd ~now:9.9)
+
+(* End to end: a livelocking amnesiac flood on a cyclic graph wedges a
+   worker; the watchdog domain cancels it within its budget while
+   healthy sessions keep completing; the (graph, protocol) pair is then
+   quarantined with a retry-after hint. *)
+let test_watchdog_cancels_wedged () =
+  let wd_cfg =
+    {
+      Serve.Watchdog.tick_ms = 10;
+      warn_after_ms = 40;
+      cancel_after_ms = 80;
+      quarantine_strikes = 1;
+      quarantine_ms = 60_000;
+    }
+  in
+  let config =
+    {
+      S.default_config with
+      graphs = [ ("small", "comb:4"); ("mid", "random:12:3") ];
+      workers = 2;
+      step_limit = 20_000;
+      watchdog = Some wd_cfg;
+    }
+  in
+  let t =
+    match S.create ~config () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "server create: %s" e
+  in
+  S.start_workers t;
+  (* The wedge: amnesiac flooding never quiesces on a cyclic graph, and
+     its huge explicit budget means only the watchdog can end it. *)
+  Alcotest.(check bool) "wedge submitted" true
+    (is_ok
+       (req t
+          (submit_line ~protocol:"amnesiac" ~graph:"mid"
+             ~step_limit:500_000_000 "wedge")));
+  Alcotest.(check bool) "healthy 1" true (is_ok (req t (submit_line "h1")));
+  Alcotest.(check bool) "healthy 2" true (is_ok (req t (submit_line ~seed:2 "h2")));
+  (match S.await t "wedge" with
+  | Some (Serve.Session.Cancelled "watchdog") -> ()
+  | Some st ->
+      Alcotest.failf "wedge ended as %s, not watchdog-cancelled"
+        (Serve.Session.state_name st)
+  | None -> Alcotest.fail "wedge unknown");
+  (match S.await t "h1" with
+  | Some (Serve.Session.Done _) -> ()
+  | _ -> Alcotest.fail "healthy session h1 should complete");
+  (match S.await t "h2" with
+  | Some (Serve.Session.Done _) -> ()
+  | _ -> Alcotest.fail "healthy session h2 should complete");
+  (* The pair is now behind the breaker, with a machine-readable hint. *)
+  let r = req t (submit_line ~protocol:"amnesiac" ~graph:"mid" "wedge2") in
+  Alcotest.(check string) "quarantined" "quarantined" (err_code r);
+  (match
+     Option.bind (J.member "error" (parse_resp r)) (fun e ->
+         Option.bind (J.member "retry_after_ms" e) J.to_int_opt)
+   with
+  | Some ms -> Alcotest.(check bool) "retry-after hint" true (ms > 0)
+  | None -> Alcotest.fail "quarantined answer must carry retry_after_ms");
+  (* Other work is unaffected. *)
+  Alcotest.(check bool) "flood/small still admitted" true
+    (is_ok (req t (submit_line ~seed:3 "h3")));
+  Alcotest.(check bool) "watchdog cancels counted" true
+    (counter_of t "server.watchdog.cancelled" >= 1);
+  Alcotest.(check bool) "quarantine counted" true
+    (counter_of t "server.watchdog.quarantines" >= 1);
+  S.stop t
+
+(* {1 Journal recovery (in-process restart)} *)
+
+let test_recovery_restart () =
+  let path = Filename.temp_file "anonet-serve" ".journal" in
+  Sys.remove path;
+  let config =
+    {
+      S.default_config with
+      graphs = [ ("small", "comb:4") ];
+      workers = 0;
+      step_limit = 20_000;
+      journal = Some path;
+      journal_sync = false;
+    }
+  in
+  let boot () =
+    match S.create ~config () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "server create: %s" e
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Generation 1: one completed (keyed), one cancelled, one left
+         queued at shutdown. *)
+      let t1 = boot () in
+      Alcotest.(check bool) "a" true (is_ok (req t1 (submit_key_line ~key:"K" "a")));
+      Alcotest.(check bool) "a runs" true (S.step t1);
+      let ra = J.to_string (result_json (result t1 "a")) in
+      Alcotest.(check bool) "b" true (is_ok (req t1 (submit_line ~seed:2 "b")));
+      ignore (cancel t1 "b");
+      Alcotest.(check bool) "c" true (is_ok (req t1 (submit_line ~seed:3 "c")));
+      S.stop t1;
+      (* Generation 2 replays the journal before serving. *)
+      let t2 = boot () in
+      (match S.recovery t2 with
+      | None -> Alcotest.fail "no recovery summary"
+      | Some r ->
+          Alcotest.(check int) "replayed" 2 r.S.rec_replayed;
+          Alcotest.(check int) "verified" 1 r.S.rec_verified;
+          Alcotest.(check int) "mismatched" 0 r.S.rec_mismatched;
+          Alcotest.(check int) "completed" 1 r.S.rec_completed;
+          Alcotest.(check int) "cancelled" 1 r.S.rec_cancelled;
+          Alcotest.(check int) "failed" 0 r.S.rec_failed;
+          Alcotest.(check int) "orphans" 0 r.S.rec_orphans;
+          Alcotest.(check int) "unreplayable" 0 r.S.rec_unreplayable;
+          Alcotest.(check bool) "not torn" false r.S.rec_torn;
+          (* The summary and the metrics counters are the same numbers. *)
+          List.iter
+            (fun (name, v) ->
+              Alcotest.(check int) ("counter " ^ name) v
+                (counter_of t2 ("server.recovered." ^ name)))
+            [
+              ("replayed", r.S.rec_replayed);
+              ("verified", r.S.rec_verified);
+              ("mismatched", r.S.rec_mismatched);
+              ("completed", r.S.rec_completed);
+              ("cancelled", r.S.rec_cancelled);
+              ("failed", r.S.rec_failed);
+              ("orphans", r.S.rec_orphans);
+              ("unreplayable", r.S.rec_unreplayable);
+              ("torn", if r.S.rec_torn then 1 else 0);
+            ]);
+      (* The acknowledged-and-completed session came back byte-identical. *)
+      Alcotest.(check string) "a byte-identical" ra
+        (J.to_string (result_json (result t2 "a")));
+      (* The cancelled session stayed cancelled (not resurrected)... *)
+      Alcotest.(check string) "b still cancelled" "cancelled" (err_code (result t2 "b"));
+      (* ...and the acked-but-unfinished one was finished by recovery. *)
+      Alcotest.(check string) "c completed" "done" (state_of (status t2 "c"));
+      (* Recovered ids stay taken; recovered keys stay claimed. *)
+      Alcotest.(check string) "id a still taken" "duplicate_id"
+        (err_code (req t2 (submit_line "a")));
+      let rk = req t2 (submit_key_line ~key:"K" "a2") in
+      Alcotest.(check bool) "key K answers from recovery" true (is_ok rk);
+      Alcotest.(check string) "key K returns a's bytes" ra
+        (J.to_string (result_json rk));
+      S.stop t2)
+
+(* {1 Client retry policy}
+
+   The client's backoff IS the supervisor's retransmission schedule:
+   same config, same PRNG, same numbers.  A server hint can only
+   lengthen a wait. *)
+
+let test_retry_policy_reuse () =
+  let r = { Serve.Client.default_retry with r_base_ms = 20; r_seed = 7 } in
+  let p_client = Prng.create 7 and p_sup = Prng.create 7 in
+  let cfg = Runtime.Supervisor.config ~base_timeout:20 () in
+  for round = 0 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "round %d matches Supervisor.backoff" round)
+      (Runtime.Supervisor.backoff cfg p_sup ~round)
+      (Serve.Client.retry_delay_ms r p_client ~round ~hint_ms:0)
+  done;
+  Alcotest.(check int) "server hint dominates short backoffs" 10_000
+    (Serve.Client.retry_delay_ms r (Prng.create 7) ~round:0 ~hint_ms:10_000)
+
 let () =
   Alcotest.run "serve"
     [
@@ -426,6 +855,8 @@ let () =
           Alcotest.test_case "framing" `Quick test_wire_basic;
           Alcotest.test_case "overflow + resync" `Quick test_wire_overflow;
           prop_wire_chunking;
+          Alcotest.test_case "protocol fuzz (truncate/flip/oversize)" `Quick
+            test_wire_fuzz;
         ] );
       ( "lifecycle",
         [
@@ -438,6 +869,24 @@ let () =
         [
           Alcotest.test_case "overloaded" `Quick test_overloaded;
           Alcotest.test_case "no_credit" `Quick test_no_credit;
+          Alcotest.test_case "adaptive shedding (Sched)" `Quick test_sched_shed;
+          Alcotest.test_case "idempotency keys" `Quick test_idempotent_keys;
+          Alcotest.test_case "key rollback on overload" `Quick
+            test_key_rollback_on_overload;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "escalation ladder (synthetic clock)" `Quick
+            test_watchdog_ladder;
+          Alcotest.test_case "wedged session cancelled, healthy complete"
+            `Quick test_watchdog_cancels_wedged;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "journal replay across restart" `Quick
+            test_recovery_restart;
+          Alcotest.test_case "client backoff = supervisor policy" `Quick
+            test_retry_policy_reuse;
         ] );
       ( "cancel",
         [
